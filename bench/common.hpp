@@ -1,0 +1,129 @@
+// Shared plumbing for the bench harness. Every bench binary regenerates one
+// table or figure of the paper's evaluation section: it compiles the 18
+// Table III benchmarks with the three techniques and prints the same rows /
+// series the paper reports (absolute numbers differ — the substrate is a
+// simulator — but the comparative shape is the reproduction target).
+//
+// Environment knobs:
+//   PARALLAX_FULL_SCALE=1   paper-scale VQE (~450k gates) instead of the
+//                           reduced default.
+//   PARALLAX_SEED=<n>       master seed (default 42).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/eldi.hpp"
+#include "baselines/graphine_router.hpp"
+#include "bench_circuits/registry.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "parallax/compiler.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parallax::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("PARALLAX_FULL_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::uint64_t master_seed() {
+  const char* env = std::getenv("PARALLAX_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 42ULL;
+}
+
+/// Benchmarks that skip the slowest technique sweep when not in full-scale
+/// mode would bias comparisons, so everything always runs; only VQE's size
+/// changes with PARALLAX_FULL_SCALE.
+inline std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& info : bench_circuits::all_benchmarks()) {
+    names.push_back(info.acronym);
+  }
+  return names;
+}
+
+struct TechniqueResults {
+  compiler::CompileResult graphine;
+  compiler::CompileResult eldi;
+  compiler::CompileResult parallax;
+};
+
+/// Compiles `name` with all three techniques on `config`. The transpiled
+/// circuit is shared (the paper's Qiskit-preprocessing methodology); the
+/// GRAPHINE baseline reuses Parallax's own annealed placement so the two
+/// differ only in atom movement vs SWAPs.
+inline TechniqueResults compile_all(const std::string& name,
+                                    const hardware::HardwareConfig& config) {
+  bench_circuits::GenOptions gen;
+  gen.seed = master_seed();
+  gen.full_scale = full_scale();
+  const auto input = bench_circuits::make_benchmark(name, gen);
+  const auto transpiled = circuit::transpile(input);
+
+  TechniqueResults results;
+
+  compiler::CompilerOptions popt;
+  popt.assume_transpiled = true;
+  popt.seed = master_seed();
+  results.parallax = compiler::compile(transpiled, config, popt);
+
+  baselines::EldiOptions eopt;
+  eopt.assume_transpiled = true;
+  eopt.seed = master_seed();
+  results.eldi = baselines::eldi_compile(transpiled, config, eopt);
+
+  baselines::GraphineOptions gopt;
+  gopt.assume_transpiled = true;
+  gopt.seed = master_seed();
+  gopt.placement.seed = master_seed();
+  results.graphine = baselines::graphine_compile(transpiled, config, gopt);
+
+  return results;
+}
+
+/// Compiles every benchmark x 3 techniques in parallel over a thread pool;
+/// results keyed by benchmark acronym.
+inline std::map<std::string, TechniqueResults> compile_suite(
+    const hardware::HardwareConfig& config) {
+  const auto names = benchmark_names();
+  std::map<std::string, TechniqueResults> results;
+  std::mutex mutex;
+  util::ThreadPool pool;
+  pool.parallel_for(names.size(), [&](std::size_t i) {
+    TechniqueResults r = compile_all(names[i], config);
+    std::lock_guard lock(mutex);
+    results.emplace(names[i], std::move(r));
+  });
+  return results;
+}
+
+inline void print_preamble(const char* experiment, const char* description) {
+  std::printf("=== %s ===\n%s\nseed=%llu full_scale=%d\n\n", experiment,
+              description,
+              static_cast<unsigned long long>(master_seed()),
+              full_scale() ? 1 : 0);
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace parallax::bench

@@ -1,0 +1,106 @@
+// Compile-time scaling harness (google-benchmark): measures wall time of the
+// full Parallax pipeline and its phases across circuit sizes, supporting the
+// paper's polynomial-complexity claim (Sec. III: O(q^5) dominated by
+// Graphine's placement; scheduling terms are lower order).
+#include <benchmark/benchmark.h>
+
+#include "baselines/eldi.hpp"
+#include "baselines/graphine_router.hpp"
+#include "bench_circuits/registry.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "parallax/compiler.hpp"
+#include "placement/graphine.hpp"
+
+namespace {
+
+using namespace parallax;
+
+circuit::Circuit qv_circuit(std::int32_t n_qubits) {
+  bench_circuits::GenOptions gen;
+  gen.seed = 42;
+  return circuit::transpile(
+      bench_circuits::make_qv(n_qubits, n_qubits - 1, gen));
+}
+
+void BM_ParallaxCompile(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto transpiled = qv_circuit(n);
+  const auto config = hardware::HardwareConfig::quera_aquila_256();
+  compiler::CompilerOptions options;
+  options.assume_transpiled = true;
+  // Fixed small annealing budget isolates the scheduler's scaling.
+  options.placement.anneal_iterations = 100;
+  options.placement.local_search_evaluations = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::compile(transpiled, config, options));
+  }
+  state.counters["qubits"] = n;
+  state.counters["cz_gates"] = static_cast<double>(transpiled.cz_count());
+}
+BENCHMARK(BM_ParallaxCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EldiCompile(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto transpiled = qv_circuit(n);
+  const auto config = hardware::HardwareConfig::quera_aquila_256();
+  baselines::EldiOptions options;
+  options.assume_transpiled = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::eldi_compile(transpiled, config, options));
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_EldiCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphineCompile(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto transpiled = qv_circuit(n);
+  const auto config = hardware::HardwareConfig::quera_aquila_256();
+  baselines::GraphineOptions options;
+  options.assume_transpiled = true;
+  options.placement.anneal_iterations = 100;
+  options.placement.local_search_evaluations = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::graphine_compile(transpiled, config, options));
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_GraphineCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphinePlacementOnly(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto transpiled = qv_circuit(n);
+  const circuit::InteractionGraph graph(transpiled);
+  placement::GraphineOptions options;
+  options.anneal_iterations = 100;
+  options.local_search_evaluations = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::graphine_place(graph, options));
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_GraphinePlacementOnly)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Transpile(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  bench_circuits::GenOptions gen;
+  gen.seed = 42;
+  const auto raw = bench_circuits::make_qv(n, n - 1, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::transpile(raw));
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_Transpile)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Fig. 13 (ablation): Parallax circuit runtime with 1, 5, 10, 20, 40 AOD
+// rows/columns, on the 256-qubit machine. Paper: 20 (the default) has the
+// lowest average runtime; 1 is clearly worst; 40 is not better than 20.
+#include "common.hpp"
+
+int main() {
+  namespace pb = parallax::bench;
+  namespace pu = parallax::util;
+  pb::print_preamble(
+      "Figure 13",
+      "Ablation: Parallax runtime (us) vs AOD row/column count, 256-qubit "
+      "machine; lower is better");
+
+  pb::Stopwatch stopwatch;
+  const std::vector<std::int32_t> aod_counts{1, 5, 10, 20, 40};
+
+  pu::Table table({"Bench", "AOD 1", "AOD 5", "AOD 10", "AOD 20 (Parallax)",
+                   "AOD 40"});
+  std::map<std::int32_t, double> sum_normalized;
+  for (const auto& name : pb::benchmark_names()) {
+    parallax::bench_circuits::GenOptions gen;
+    gen.seed = pb::master_seed();
+    gen.full_scale = pb::full_scale();
+    const auto transpiled = parallax::circuit::transpile(
+        parallax::bench_circuits::make_benchmark(name, gen));
+
+    std::vector<std::string> row{name};
+    std::map<std::int32_t, double> runtime;
+    double worst = 0.0;
+    for (const auto count : aod_counts) {
+      auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
+      config.aod_rows = config.aod_cols = count;
+      parallax::compiler::CompilerOptions options;
+      options.assume_transpiled = true;
+      options.seed = pb::master_seed();
+      const auto result =
+          parallax::compiler::compile(transpiled, config, options);
+      runtime[count] = result.runtime_us;
+      worst = std::max(worst, result.runtime_us);
+      row.push_back(pu::format_compact(result.runtime_us));
+    }
+    for (const auto count : aod_counts) {
+      if (worst > 0) sum_normalized[count] += runtime[count] / worst;
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Average runtime as %% of each benchmark's worst case (paper: "
+              "1-count 91%%, 5-count 71%%,\n10-count 68%%, 20-count 64%%, "
+              "40-count 68%%):\n");
+  const double n = static_cast<double>(pb::benchmark_names().size());
+  for (const auto count : aod_counts) {
+    std::printf("  AOD count %2d: %s\n", count,
+                pu::format_percent(sum_normalized[count] / n).c_str());
+  }
+  std::printf("[fig13 completed in %.1fs]\n", stopwatch.seconds());
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "anneal/dual_annealing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace parallax::anneal {
+
+namespace {
+
+/// Draws a step from the Tsallis visiting distribution at temperature
+/// `temperature` with shape `qv`. Implementation follows the standard GSA
+/// formulation (Tsallis & Stariolo, 1996): a ratio of a Gaussian to a
+/// power of another Gaussian's magnitude produces the heavy-tailed visit.
+double visit_step(util::Rng& rng, double qv, double temperature) {
+  const double factor1 = std::exp(std::log(temperature) / (qv - 1.0));
+  const double factor2 = std::exp((4.0 - qv) * std::log(qv - 1.0));
+  const double factor3 =
+      std::exp((2.0 - qv) / (qv - 1.0) * std::log(2.0 / (3.0 - qv)));
+  const double factor4 =
+      std::sqrt(std::numbers::pi) * factor1 * factor2 /
+      (factor3 * (3.0 - qv));
+  const double factor5 = 1.0 / (qv - 1.0) - 0.5;
+  const double d1 = 2.0 - factor5;
+  const double factor6 = std::numbers::pi * (1.0 - factor5) /
+                         std::sin(std::numbers::pi * (1.0 - factor5)) /
+                         std::exp(std::lgamma(d1));
+  const double sigma_x =
+      std::exp(-(qv - 1.0) * std::log(factor6 / factor4) / (3.0 - qv));
+
+  const double x = sigma_x * rng.normal();
+  const double y = rng.normal();
+  const double den =
+      std::exp((qv - 1.0) * std::log(std::abs(y)) / (3.0 - qv));
+  return den != 0.0 ? x / den : x;
+}
+
+}  // namespace
+
+AnnealResult dual_annealing(const Objective& f,
+                            const std::vector<double>& lower,
+                            const std::vector<double>& upper,
+                            const DualAnnealingOptions& options) {
+  const std::size_t n = lower.size();
+  assert(upper.size() == n);
+  assert(options.visit > 1.0 && options.visit < 3.0);
+  util::Rng rng(options.seed);
+
+  auto clamp_wrap = [&](std::vector<double>& x) {
+    // GSA wraps out-of-box coordinates back into the box (SciPy does the
+    // same) so boundary states are not oversampled.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double span = upper[i] - lower[i];
+      if (span <= 0.0) {
+        x[i] = lower[i];
+        continue;
+      }
+      double v = std::fmod(x[i] - lower[i], span);
+      if (v < 0) v += span;
+      x[i] = lower[i] + v;
+    }
+  };
+
+  std::vector<double> current(n);
+  if (options.initial) {
+    assert(options.initial->size() == n);
+    current = *options.initial;
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] = std::clamp(current[i], lower[i], upper[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] = rng.uniform(lower[i], upper[i]);
+    }
+  }
+  double current_value = f(current);
+
+  AnnealResult best{current, current_value, 0, 0};
+
+  const double t0 = options.initial_temperature;
+  const double qv = options.visit;
+  const double qa = options.accept;
+  // GSA temperature schedule: T(k) = T0 * (2^{qv-1} - 1) /
+  //                                   ((1+k)^{qv-1} - 1).
+  const double t_coeff = std::pow(2.0, qv - 1.0) - 1.0;
+
+  int accepted_since_local = 0;
+  int k = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter, ++k) {
+    double temperature =
+        t0 * t_coeff / (std::pow(static_cast<double>(k) + 2.0, qv - 1.0) - 1.0);
+    if (temperature < t0 * options.restart_temp_ratio) {
+      k = 0;  // reanneal from the hot end
+      temperature = t0;
+    }
+
+    // Propose: perturb every dimension with a heavy-tailed visit.
+    std::vector<double> candidate = current;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double span = upper[i] - lower[i];
+      double step = visit_step(rng, qv, temperature);
+      // Scale the raw step to the box size; clamp pathological tails.
+      step = std::clamp(step, -1e8, 1e8);
+      candidate[i] += step * span * 1e-2;
+    }
+    clamp_wrap(candidate);
+    const double candidate_value = f(candidate);
+
+    bool accept = false;
+    if (candidate_value <= current_value) {
+      accept = true;
+    } else {
+      // Generalized Metropolis acceptance (Tsallis statistics).
+      const double t_accept = temperature / static_cast<double>(k + 1);
+      const double delta = (candidate_value - current_value) / t_accept;
+      const double base = 1.0 + (qa - 1.0) * delta;
+      if (base > 0.0) {
+        const double p = std::exp(std::log(base) / (1.0 - qa));
+        accept = rng.next_double() < std::min(1.0, p);
+      }
+    }
+
+    if (accept) {
+      current = candidate;
+      current_value = candidate_value;
+      ++accepted_since_local;
+      if (current_value < best.value) {
+        best.x = current;
+        best.value = current_value;
+      }
+    }
+
+    if (options.local_search_interval > 0 &&
+        accepted_since_local >= options.local_search_interval) {
+      accepted_since_local = 0;
+      LocalResult local = nelder_mead(f, best.x, lower, upper,
+                                      options.local_options);
+      ++best.local_searches;
+      if (local.value < best.value) {
+        best.x = local.x;
+        best.value = local.value;
+        current = best.x;
+        current_value = best.value;
+      }
+    }
+    ++best.iterations;
+  }
+
+  // Final polish from the best state found.
+  if (options.local_search_interval > 0) {
+    LocalResult local =
+        nelder_mead(f, best.x, lower, upper, options.local_options);
+    ++best.local_searches;
+    if (local.value < best.value) {
+      best.x = local.x;
+      best.value = local.value;
+    }
+  }
+  return best;
+}
+
+}  // namespace parallax::anneal

@@ -1,0 +1,54 @@
+// Dual annealing: generalized simulated annealing (GSA, Tsallis-statistics
+// visiting distribution) combined with periodic local search, following
+// Xiang et al. and the SciPy `dual_annealing` optimizer that GRAPHINE uses
+// for qubit placement. The broad Cauchy-like visits explore the whole
+// landscape early; the schedule cools toward precise local refinement.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "anneal/nelder_mead.hpp"
+#include "util/rng.hpp"
+
+namespace parallax::anneal {
+
+struct DualAnnealingOptions {
+  /// Visiting-distribution shape parameter q_v in (1, 3). 2.62 is the SciPy
+  /// default; larger means heavier tails (wider jumps).
+  double visit = 2.62;
+  /// Acceptance parameter q_a (negative favors downhill moves strongly).
+  double accept = -5.0;
+  /// Initial temperature.
+  double initial_temperature = 5230.0;
+  /// Temperature restart threshold (relative); annealing restarts from the
+  /// initial temperature when T falls below initial * restart_temp_ratio.
+  double restart_temp_ratio = 2e-5;
+  /// Total annealing iterations (global search sweeps).
+  int max_iterations = 1000;
+  /// Run the local minimizer every `local_search_interval` accepted moves
+  /// (0 disables local search entirely).
+  int local_search_interval = 50;
+  NelderMeadOptions local_options{};
+  std::uint64_t seed = 0x5eedULL;
+  /// Optional warm start. When set, annealing begins from this state
+  /// instead of a uniform random draw (and the final answer is never worse
+  /// than the local refinement of this state).
+  std::optional<std::vector<double>> initial;
+};
+
+struct AnnealResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  int local_searches = 0;
+};
+
+/// Minimizes `f` over the box [lower, upper]^n.
+[[nodiscard]] AnnealResult dual_annealing(const Objective& f,
+                                          const std::vector<double>& lower,
+                                          const std::vector<double>& upper,
+                                          const DualAnnealingOptions& options =
+                                              {});
+
+}  // namespace parallax::anneal

@@ -1,0 +1,132 @@
+#include "anneal/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parallax::anneal {
+
+namespace {
+void clamp_to_box(std::vector<double>& x, const std::vector<double>& lower,
+                  const std::vector<double>& upper) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+}  // namespace
+
+LocalResult nelder_mead(const Objective& f, std::vector<double> x0,
+                        const std::vector<double>& lower,
+                        const std::vector<double>& upper,
+                        const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  assert(lower.size() == n && upper.size() == n);
+  int evals = 0;
+  auto eval = [&](std::vector<double>& x) {
+    clamp_to_box(x, lower, upper);
+    ++evals;
+    return f(x);
+  };
+
+  // Initial simplex: x0 plus a step along each axis.
+  struct Vertex {
+    std::vector<double> x;
+    double value;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  {
+    Vertex v{x0, 0.0};
+    v.value = eval(v.x);
+    simplex.push_back(std::move(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Vertex v{x0, 0.0};
+    const double span = upper[i] - lower[i];
+    const double step = options.initial_step * (span > 0 ? span : 1.0);
+    v.x[i] += (v.x[i] + step <= upper[i]) ? step : -step;
+    v.value = eval(v.x);
+    simplex.push_back(std::move(v));
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  while (evals < options.max_evaluations) {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.value < b.value; });
+
+    // Convergence: simplex diameter and value spread.
+    double x_spread = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double lo = simplex.front().x[i], hi = lo;
+      for (const Vertex& v : simplex) {
+        lo = std::min(lo, v.x[i]);
+        hi = std::max(hi, v.x[i]);
+      }
+      x_spread = std::max(x_spread, hi - lo);
+    }
+    const double f_spread =
+        std::abs(simplex.back().value - simplex.front().value);
+    if (x_spread < options.x_tolerance && f_spread < options.f_tolerance) {
+      break;
+    }
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v].x[i];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    Vertex& worst = simplex.back();
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = centroid[i] + coeff * (centroid[i] - worst.x[i]);
+      }
+      return x;
+    };
+
+    std::vector<double> xr = blend(kAlpha);
+    const double fr = eval(xr);
+    if (fr < simplex.front().value) {
+      std::vector<double> xe = blend(kGamma);
+      const double fe = eval(xe);
+      if (fe < fr) {
+        worst = {std::move(xe), fe};
+      } else {
+        worst = {std::move(xr), fr};
+      }
+      continue;
+    }
+    if (fr < simplex[simplex.size() - 2].value) {
+      worst = {std::move(xr), fr};
+      continue;
+    }
+    // Contraction (outside if reflected point improved on worst).
+    const bool outside = fr < worst.value;
+    std::vector<double> xc = blend(outside ? kRho : -kRho);
+    const double fc = eval(xc);
+    if (fc < std::min(fr, worst.value)) {
+      worst = {std::move(xc), fc};
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t v = 1; v < simplex.size(); ++v) {
+      for (std::size_t i = 0; i < n; ++i) {
+        simplex[v].x[i] = simplex[0].x[i] +
+                          kSigma * (simplex[v].x[i] - simplex[0].x[i]);
+      }
+      simplex[v].value = eval(simplex[v].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(),
+            [](const Vertex& a, const Vertex& b) { return a.value < b.value; });
+  return LocalResult{simplex.front().x, simplex.front().value, evals};
+}
+
+}  // namespace parallax::anneal

@@ -1,0 +1,34 @@
+// Nelder-Mead downhill simplex, used as the local-search phase of dual
+// annealing (mirroring SciPy's dual_annealing, which runs a local minimizer
+// from promising annealer states).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace parallax::anneal {
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct NelderMeadOptions {
+  int max_evaluations = 2000;
+  double x_tolerance = 1e-8;
+  double f_tolerance = 1e-10;
+  double initial_step = 0.05;
+};
+
+struct LocalResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int evaluations = 0;
+};
+
+/// Minimizes `f` starting from `x0`. Coordinates are clamped to
+/// [lower, upper] per dimension before each evaluation (box constraints).
+[[nodiscard]] LocalResult nelder_mead(const Objective& f,
+                                      std::vector<double> x0,
+                                      const std::vector<double>& lower,
+                                      const std::vector<double>& upper,
+                                      const NelderMeadOptions& options = {});
+
+}  // namespace parallax::anneal

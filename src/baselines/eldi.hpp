@@ -1,0 +1,31 @@
+// ELDI baseline (Baker et al., ISCA'21 + Litteken et al., QCE'22): qubits
+// are mapped onto a compact square grid of SLM sites with a graph-aware
+// greedy placement; out-of-range CZs are resolved with SWAP chains along the
+// 8-neighbour connectivity that long-range Rydberg interactions provide.
+// Following the paper's methodology, the baseline is made hardware-
+// compatible: the same discretization pitch, minimum separation, and
+// 2.5x blockade radius as Parallax.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "parallax/result.hpp"
+
+namespace parallax::baselines {
+
+struct EldiOptions {
+  circuit::TranspileOptions transpile{};
+  bool assume_transpiled = false;
+  std::uint64_t seed = 0xE1D1ULL;
+};
+
+/// Compiles `input` for `config` using the ELDI strategy. The result's
+/// swap_gates count feeds the paper's effective-CZ metric (Fig. 9).
+[[nodiscard]] compiler::CompileResult eldi_compile(
+    const circuit::Circuit& input, const hardware::HardwareConfig& config,
+    const EldiOptions& options = {});
+
+}  // namespace parallax::baselines

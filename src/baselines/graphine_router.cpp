@@ -1,0 +1,57 @@
+#include "baselines/graphine_router.hpp"
+
+#include "baselines/static_schedule.hpp"
+#include "baselines/swap_router.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "parallax/compiler.hpp"
+#include "placement/discretize.hpp"
+
+namespace parallax::baselines {
+
+compiler::CompileResult graphine_compile(const circuit::Circuit& input,
+                                         const hardware::HardwareConfig& config,
+                                         const GraphineOptions& options) {
+  if (input.n_qubits() > config.n_atoms()) {
+    throw compiler::CompileError("circuit too large for machine");
+  }
+
+  compiler::CompileResult result;
+  result.technique = "graphine";
+  circuit::Circuit transpiled = options.assume_transpiled
+                                    ? input
+                                    : circuit::transpile(input, options.transpile);
+
+  const circuit::InteractionGraph graph(transpiled);
+  placement::Topology topology;
+  if (options.preset_topology) {
+    topology = *options.preset_topology;
+  } else {
+    topology = placement::graphine_place(graph, options.placement);
+  }
+  result.topology = placement::discretize(topology, config, options.discretize);
+
+  std::vector<geom::Point> positions;
+  positions.reserve(result.topology.sites.size());
+  for (const auto& cell : result.topology.sites) {
+    positions.push_back(result.topology.grid.position(cell));
+  }
+
+  RoutedCircuit routed = route_with_swaps(
+      transpiled, positions, result.topology.interaction_radius_um);
+  StaticScheduleOutput schedule =
+      schedule_static(routed.circuit, positions,
+                      result.topology.blockade_radius_um, config, options.seed);
+
+  result.circuit = std::move(routed.circuit);
+  result.layers = std::move(schedule.layers);
+  result.runtime_us = schedule.runtime_us;
+  result.in_aod.assign(static_cast<std::size_t>(result.circuit.n_qubits()), 0);
+  result.stats.u3_gates = result.circuit.u3_count();
+  result.stats.cz_gates = result.circuit.cz_count();
+  result.stats.swap_gates = result.circuit.swap_count();
+  result.stats.layers = result.layers.size();
+  result.stats.out_of_range_cz = routed.routed_cz;
+  return result;
+}
+
+}  // namespace parallax::baselines

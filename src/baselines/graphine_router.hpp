@@ -1,0 +1,34 @@
+// GRAPHINE baseline (Patel et al., SC'23): the same annealed application-
+// specific layout that Parallax uses for initialization — but atoms stay
+// static, so out-of-range CZs cost SWAP chains over the in-range
+// connectivity graph. Hardware-compatible per the paper's methodology
+// (discretized pitch, connectivity-preserving radius, 2.5x blockade).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "parallax/result.hpp"
+#include "placement/graphine.hpp"
+
+namespace parallax::baselines {
+
+struct GraphineOptions {
+  circuit::TranspileOptions transpile{};
+  placement::GraphineOptions placement{};
+  placement::DiscretizeOptions discretize{};
+  bool assume_transpiled = false;
+  /// Reuse a pre-computed normalized placement (to share the layout with a
+  /// Parallax run, exactly as the paper's evaluation does).
+  std::optional<placement::Topology> preset_topology;
+  std::uint64_t seed = 0x62A9ULL;
+};
+
+[[nodiscard]] compiler::CompileResult graphine_compile(
+    const circuit::Circuit& input, const hardware::HardwareConfig& config,
+    const GraphineOptions& options = {});
+
+}  // namespace parallax::baselines

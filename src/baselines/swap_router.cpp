@@ -1,0 +1,148 @@
+#include "baselines/swap_router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace parallax::baselines {
+
+std::vector<std::vector<std::int32_t>> connectivity_graph(
+    const std::vector<geom::Point>& positions, double radius) {
+  const std::size_t n = positions.size();
+  std::vector<std::vector<std::int32_t>> adjacency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (geom::distance(positions[i], positions[j]) <= radius) {
+        adjacency[i].push_back(static_cast<std::int32_t>(j));
+        adjacency[j].push_back(static_cast<std::int32_t>(i));
+      }
+    }
+  }
+  return adjacency;
+}
+
+namespace {
+
+/// BFS shortest path from atom `from` to any atom within `radius` of
+/// `to_position` (the CZ can fire as soon as the carried qubit is in range
+/// of the partner atom). Returns the atom sequence including `from`.
+std::vector<std::int32_t> shortest_path_into_range(
+    const std::vector<std::vector<std::int32_t>>& adjacency,
+    const std::vector<geom::Point>& positions, std::int32_t from,
+    std::int32_t partner_atom, double radius) {
+  const auto n = static_cast<std::int32_t>(adjacency.size());
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(n), -2);
+  std::deque<std::int32_t> queue{from};
+  parent[static_cast<std::size_t>(from)] = -1;
+  const geom::Point target = positions[static_cast<std::size_t>(partner_atom)];
+
+  std::int32_t goal = -1;
+  while (!queue.empty()) {
+    const std::int32_t atom = queue.front();
+    queue.pop_front();
+    if (atom != partner_atom &&
+        geom::distance(positions[static_cast<std::size_t>(atom)], target) <=
+            radius) {
+      goal = atom;
+      break;
+    }
+    for (const std::int32_t next : adjacency[static_cast<std::size_t>(atom)]) {
+      if (parent[static_cast<std::size_t>(next)] == -2) {
+        parent[static_cast<std::size_t>(next)] = atom;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (goal < 0) {
+    throw std::runtime_error(
+        "SWAP routing failed: connectivity graph disconnects the qubits");
+  }
+  std::vector<std::int32_t> path;
+  for (std::int32_t a = goal; a != -1; a = parent[static_cast<std::size_t>(a)]) {
+    path.push_back(a);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RoutedCircuit route_with_swaps(const circuit::Circuit& input,
+                               const std::vector<geom::Point>& positions,
+                               double radius) {
+  const auto n_atoms = static_cast<std::int32_t>(positions.size());
+  if (input.n_qubits() > n_atoms) {
+    throw std::runtime_error("more logical qubits than atoms");
+  }
+  const auto adjacency = connectivity_graph(positions, radius);
+
+  RoutedCircuit result;
+  result.circuit = circuit::Circuit(n_atoms, input.name());
+  // logical -> atom and its inverse.
+  std::vector<std::int32_t> atom_of(static_cast<std::size_t>(n_atoms));
+  std::vector<std::int32_t> logical_at(static_cast<std::size_t>(n_atoms));
+  std::iota(atom_of.begin(), atom_of.end(), 0);
+  std::iota(logical_at.begin(), logical_at.end(), 0);
+
+  auto do_swap = [&](std::int32_t atom_a, std::int32_t atom_b) {
+    result.circuit.swap(atom_a, atom_b);
+    ++result.swaps_inserted;
+    const std::int32_t la = logical_at[static_cast<std::size_t>(atom_a)];
+    const std::int32_t lb = logical_at[static_cast<std::size_t>(atom_b)];
+    std::swap(logical_at[static_cast<std::size_t>(atom_a)],
+              logical_at[static_cast<std::size_t>(atom_b)]);
+    std::swap(atom_of[static_cast<std::size_t>(la)],
+              atom_of[static_cast<std::size_t>(lb)]);
+  };
+
+  for (const circuit::Gate& g : input.gates()) {
+    switch (g.type) {
+      case circuit::GateType::kU3: {
+        const auto atom = atom_of[static_cast<std::size_t>(g.q[0])];
+        result.circuit.u3(atom, g.theta, g.phi, g.lambda);
+        break;
+      }
+      case circuit::GateType::kMeasure: {
+        result.circuit.measure(atom_of[static_cast<std::size_t>(g.q[0])]);
+        break;
+      }
+      case circuit::GateType::kBarrier: {
+        result.circuit.barrier();
+        break;
+      }
+      case circuit::GateType::kSwap: {
+        // Explicit SWAPs in the input are logical operations: route them as
+        // three CZ-equivalents at the current mapping (rare; generators do
+        // not emit them after transpilation).
+        const auto a = atom_of[static_cast<std::size_t>(g.q[0])];
+        const auto b = atom_of[static_cast<std::size_t>(g.q[1])];
+        result.circuit.swap(a, b);
+        break;
+      }
+      case circuit::GateType::kCZ: {
+        std::int32_t atom_a = atom_of[static_cast<std::size_t>(g.q[0])];
+        std::int32_t atom_b = atom_of[static_cast<std::size_t>(g.q[1])];
+        if (geom::distance(positions[static_cast<std::size_t>(atom_a)],
+                           positions[static_cast<std::size_t>(atom_b)]) >
+            radius) {
+          ++result.routed_cz;
+          const auto path = shortest_path_into_range(adjacency, positions,
+                                                     atom_a, atom_b, radius);
+          // Swap the logical qubit along the path to the goal atom.
+          for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+            do_swap(path[hop], path[hop + 1]);
+          }
+          atom_a = atom_of[static_cast<std::size_t>(g.q[0])];
+          atom_b = atom_of[static_cast<std::size_t>(g.q[1])];
+        }
+        result.circuit.cz(atom_a, atom_b);
+        break;
+      }
+    }
+  }
+  result.final_mapping = std::move(atom_of);
+  return result;
+}
+
+}  // namespace parallax::baselines

@@ -1,0 +1,37 @@
+// Shared SWAP-routing machinery for the two baseline compilers (ELDI and
+// GRAPHINE). Atoms are static; a CZ between out-of-range atoms is resolved
+// by swapping one logical qubit along a shortest path of the in-range
+// connectivity graph until the pair is within the Rydberg interaction
+// radius. The router tracks the logical->physical permutation that SWAPs
+// induce, so the output circuit is logically equivalent to the input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "geometry/point.hpp"
+
+namespace parallax::baselines {
+
+struct RoutedCircuit {
+  circuit::Circuit circuit;           // with SWAPs inserted (atom indices!)
+  std::vector<std::int32_t> final_mapping;  // logical qubit -> atom
+  std::size_t swaps_inserted = 0;
+  std::size_t routed_cz = 0;          // CZs that needed routing
+};
+
+/// Connectivity over static atom positions: adjacency[i] lists atoms within
+/// `radius` of atom i.
+[[nodiscard]] std::vector<std::vector<std::int32_t>> connectivity_graph(
+    const std::vector<geom::Point>& positions, double radius);
+
+/// Routes `input` (a {U3, CZ} circuit over logical qubits) onto atoms at
+/// `positions` with the given interaction radius. The initial mapping is the
+/// identity (logical qubit q starts on atom q). Throws std::runtime_error
+/// if the connectivity graph is disconnected over the used atoms.
+[[nodiscard]] RoutedCircuit route_with_swaps(
+    const circuit::Circuit& input, const std::vector<geom::Point>& positions,
+    double radius);
+
+}  // namespace parallax::baselines

@@ -1,0 +1,187 @@
+// Arithmetic benchmarks: ADD (Cuccaro ripple-carry adder), MLT (shift-and-
+// add multiplier), SQRT (Grover-based square-root search).
+#include <numbers>
+
+#include "bench_circuits/registry.hpp"
+#include "util/rng.hpp"
+
+namespace parallax::bench_circuits {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// MAJ block of the Cuccaro adder (quant-ph/0410184 Fig. 2).
+void maj(circuit::Circuit& c, std::int32_t a, std::int32_t b,
+         std::int32_t carry) {
+  c.cx(carry, b);
+  c.cx(carry, a);
+  c.ccx(a, b, carry);
+}
+
+/// UMA (2-CNOT version) block of the Cuccaro adder.
+void uma(circuit::Circuit& c, std::int32_t a, std::int32_t b,
+         std::int32_t carry) {
+  c.ccx(a, b, carry);
+  c.cx(carry, a);
+  c.cx(a, b);
+}
+
+/// Multi-controlled X with a clean-ancilla Toffoli ladder. `ancillas` must
+/// hold at least controls.size() - 2 qubits for controls.size() > 2.
+void mcx(circuit::Circuit& c, const std::vector<std::int32_t>& controls,
+         std::int32_t target, const std::vector<std::int32_t>& ancillas) {
+  if (controls.empty()) {
+    c.x(target);
+    return;
+  }
+  if (controls.size() == 1) {
+    c.cx(controls[0], target);
+    return;
+  }
+  if (controls.size() == 2) {
+    c.ccx(controls[0], controls[1], target);
+    return;
+  }
+  // Ladder up: anc[0] = c0 AND c1; anc[i] = anc[i-1] AND c[i+1].
+  const std::size_t k = controls.size();
+  c.ccx(controls[0], controls[1], ancillas[0]);
+  for (std::size_t i = 2; i + 1 < k; ++i) {
+    c.ccx(ancillas[i - 2], controls[i], ancillas[i - 1]);
+  }
+  c.ccx(ancillas[k - 3], controls[k - 1], target);
+  // Uncompute the ladder.
+  for (std::size_t i = k - 2; i >= 2; --i) {
+    c.ccx(ancillas[i - 2], controls[i], ancillas[i - 1]);
+  }
+  c.ccx(controls[0], controls[1], ancillas[0]);
+}
+
+}  // namespace
+
+circuit::Circuit make_add(std::int32_t n_bits, const GenOptions& options) {
+  // Layout: cin | a[0..n) | b[0..n)  ->  2n + 1 qubits (paper: n = 4 -> 9).
+  const std::int32_t n = n_bits;
+  circuit::Circuit c(2 * n + 1, "ADD");
+  util::Rng rng(options.seed);
+  const std::int32_t cin = 0;
+  auto qa = [n](std::int32_t i) { return 1 + i; };
+  auto qb = [n](std::int32_t i) { return 1 + n + i; };
+  (void)n;
+
+  // Random input state so the adder computes something nontrivial.
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.5)) c.x(qa(i));
+    if (rng.bernoulli(0.5)) c.x(qb(i));
+  }
+
+  maj(c, cin, qb(0), qa(0));
+  for (std::int32_t i = 1; i < n; ++i) maj(c, qa(i - 1), qb(i), qa(i));
+  // No explicit carry-out qubit at the paper's size; fold straight back.
+  for (std::int32_t i = n - 1; i >= 1; --i) uma(c, qa(i - 1), qb(i), qa(i));
+  uma(c, cin, qb(0), qa(0));
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_mlt(std::int32_t n_bits, const GenOptions& options) {
+  // Shift-and-add multiplier for two n-bit registers into a 2n-bit product
+  // would need 4n+ qubits; the QASMBench-scale MLT uses truncated partial
+  // products. Layout (n=2 -> 10 qubits): a[2] b[2] p[4] anc[2].
+  const std::int32_t n = n_bits;
+  circuit::Circuit c(4 * n + 2, "MLT");
+  util::Rng rng(options.seed);
+  auto qa = [](std::int32_t i) { return i; };
+  auto qb = [n](std::int32_t i) { return n + i; };
+  auto qp = [n](std::int32_t i) { return 2 * n + i; };
+  auto anc = [n](std::int32_t i) { return 4 * n + i; };
+
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.5)) c.x(qa(i));
+    if (rng.bernoulli(0.5)) c.x(qb(i));
+  }
+
+  // Multiply-accumulate passes of schoolbook partial products:
+  // p[i+j] ^= a[i] AND b[j], with carry propagation via a Toffoli into the
+  // next product bit. Four passes mirror the repeated controlled-adder
+  // structure (and gate count) of the QASMBench multiplier.
+  const int passes = 4;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        // anc0 = a[i] AND b[j]
+        c.ccx(qa(i), qb(j), anc(0));
+        // Carry: if the product bit is already set, carry into the next bit.
+        if (i + j + 1 < 2 * n) c.ccx(anc(0), qp(i + j), qp(i + j + 1));
+        c.cx(anc(0), qp(i + j));
+        // Uncompute the ancilla.
+        c.ccx(qa(i), qb(j), anc(0));
+      }
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_sqrt(std::int32_t n_qubits, const GenOptions& options) {
+  // Grover search for x with x*x == N over a small register (Grover 1998);
+  // QASMBench's sqrt uses an arithmetic oracle + diffusion. We build the
+  // same shape: search register s, work register w, oracle flag, ancillas.
+  // Layout (paper: 18): s[5] w[5] flag anc[7].
+  const std::int32_t n = n_qubits;
+  const std::int32_t s_bits = (n - 1) / 3 + 1;      // 5 for n = 18
+  const std::int32_t w_bits = s_bits;
+  const std::int32_t flag = 2 * s_bits;
+  const std::int32_t n_anc = n - 2 * s_bits - 1;
+  circuit::Circuit c(n, "SQRT");
+  util::Rng rng(options.seed);
+
+  std::vector<std::int32_t> search(static_cast<std::size_t>(s_bits));
+  for (std::int32_t i = 0; i < s_bits; ++i) search[static_cast<std::size_t>(i)] = i;
+  std::vector<std::int32_t> ancillas;
+  for (std::int32_t i = 0; i < n_anc; ++i) ancillas.push_back(flag + 1 + i);
+
+  for (std::int32_t q : search) c.h(q);
+  c.x(flag);
+  c.h(flag);  // phase-kickback flag in |->
+
+  const int grover_rounds = 2;
+  for (int round = 0; round < grover_rounds; ++round) {
+    // Oracle: squaring sketch into w (CCX partial products), compare, kick
+    // back, uncompute. The arithmetic mirrors MLT's partial-product core.
+    // Squaring sketch: cross terms x_i AND x_j via CCX; the diagonal
+    // x_i AND x_i = x_i is a plain CX.
+    auto product_term = [&](std::int32_t i, std::int32_t j) {
+      if (i == j) {
+        c.cx(search[static_cast<std::size_t>(i)], s_bits + i);
+      } else {
+        c.ccx(search[static_cast<std::size_t>(i)],
+              search[static_cast<std::size_t>(j)], s_bits + i);
+      }
+    };
+    for (std::int32_t i = 0; i < s_bits; ++i) {
+      for (std::int32_t j = 0; j <= i && i + j < w_bits; ++j) {
+        product_term(i, j);
+      }
+    }
+    mcx(c, {s_bits + 0, s_bits + 1, s_bits + 2}, flag, ancillas);
+    for (std::int32_t i = s_bits - 1; i >= 0; --i) {
+      for (std::int32_t j = std::min(i, w_bits - 1 - i); j >= 0; --j) {
+        product_term(i, j);
+      }
+    }
+    // Diffusion over the search register.
+    for (std::int32_t q : search) c.h(q);
+    for (std::int32_t q : search) c.x(q);
+    c.h(search.back());
+    mcx(c, std::vector<std::int32_t>(search.begin(), search.end() - 1),
+        search.back(), ancillas);
+    c.h(search.back());
+    for (std::int32_t q : search) c.x(q);
+    for (std::int32_t q : search) c.h(q);
+  }
+  c.rz(flag, rng.uniform(0, kPi));  // dephase the flag (cosmetic variety)
+  c.measure_all();
+  return c;
+}
+
+}  // namespace parallax::bench_circuits

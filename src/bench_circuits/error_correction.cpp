@@ -1,0 +1,80 @@
+// Error-correction benchmarks: QEC (distance-d repetition code with
+// syndrome-extraction rounds) and SECA (Shor's 9-qubit error-correction
+// code: encode, fault window, decode).
+#include "bench_circuits/registry.hpp"
+#include "util/rng.hpp"
+
+namespace parallax::bench_circuits {
+
+circuit::Circuit make_qec(std::int32_t distance, int rounds,
+                          const GenOptions& options) {
+  // Bit-flip repetition code: d data qubits interleaved with d-1 syndrome
+  // ancillas (paper: 17 qubits -> d = 9).
+  (void)options;
+  const std::int32_t d = distance;
+  const std::int32_t n = 2 * d - 1;
+  circuit::Circuit c(n, "QEC");
+  auto data = [](std::int32_t i) { return 2 * i; };
+  auto syndrome = [](std::int32_t i) { return 2 * i + 1; };
+
+  // Encode |+> into the logical qubit.
+  c.h(data(0));
+  for (std::int32_t i = 0; i + 1 < d; ++i) c.cx(data(i), data(i + 1));
+
+  for (int round = 0; round < rounds; ++round) {
+    // Syndrome extraction: each ancilla compares neighbouring data qubits.
+    for (std::int32_t i = 0; i + 1 < d; ++i) {
+      c.cx(data(i), syndrome(i));
+      c.cx(data(i + 1), syndrome(i));
+    }
+    for (std::int32_t i = 0; i + 1 < d; ++i) {
+      c.measure(syndrome(i));
+    }
+  }
+  for (std::int32_t i = 0; i < d; ++i) c.measure(data(i));
+  return c;
+}
+
+circuit::Circuit make_seca(const GenOptions& options) {
+  // Shor's 9-qubit code (paper: SECA, 11 qubits = 9 code + 2 ancilla used
+  // as the fault-injection / verification pair).
+  circuit::Circuit c(11, "SECA");
+  util::Rng rng(options.seed);
+  // Qubit 0 carries the state; blocks {0,1,2}, {3,4,5}, {6,7,8}.
+  // --- encode -----------------------------------------------------------
+  c.cx(0, 3);
+  c.cx(0, 6);
+  c.h(0);
+  c.h(3);
+  c.h(6);
+  for (const std::int32_t block : {0, 3, 6}) {
+    c.cx(block, block + 1);
+    c.cx(block, block + 2);
+  }
+  // --- fault window: a random single-qubit error, heralded by ancillas ---
+  const auto victim =
+      static_cast<std::int32_t>(rng.next_below(9));
+  c.cx(victim, 9);
+  if (rng.bernoulli(0.5)) {
+    c.z(victim);
+  } else {
+    c.x(victim);
+  }
+  c.cx(victim, 10);
+  // --- decode (inverse of encode) ----------------------------------------
+  for (const std::int32_t block : {0, 3, 6}) {
+    c.cx(block, block + 1);
+    c.cx(block, block + 2);
+    c.ccx(block + 2, block + 1, block);
+  }
+  c.h(0);
+  c.h(3);
+  c.h(6);
+  c.cx(0, 3);
+  c.cx(0, 6);
+  c.ccx(6, 3, 0);
+  c.measure_all();
+  return c;
+}
+
+}  // namespace parallax::bench_circuits

@@ -1,0 +1,133 @@
+// Sampling-hardness benchmarks: ADV (Google's quantum-advantage random
+// circuit on a 2D grid), QV (IBM's quantum-volume model circuit), and HLF
+// (hidden-linear-function shallow circuit).
+#include <array>
+#include <numbers>
+
+#include "bench_circuits/registry.hpp"
+#include "circuit/unitary.hpp"
+#include "util/rng.hpp"
+
+namespace parallax::bench_circuits {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// A Haar-ish random single-qubit gate.
+void random_u3(circuit::Circuit& c, std::int32_t q, util::Rng& rng) {
+  c.u3(q, rng.uniform(0, kPi), rng.uniform(-kPi, kPi), rng.uniform(-kPi, kPi));
+}
+
+/// Random SU(4) on a pair via the standard 3-CX (here 3-CZ) KAK template.
+void random_su4(circuit::Circuit& c, std::int32_t a, std::int32_t b,
+                util::Rng& rng) {
+  random_u3(c, a, rng);
+  random_u3(c, b, rng);
+  c.cz(a, b);
+  c.ry(a, rng.uniform(-kPi, kPi));
+  c.rz(b, rng.uniform(-kPi, kPi));
+  c.cz(a, b);
+  c.ry(a, rng.uniform(-kPi, kPi));
+  c.rz(b, rng.uniform(-kPi, kPi));
+  c.cz(a, b);
+  random_u3(c, a, rng);
+  random_u3(c, b, rng);
+}
+
+}  // namespace
+
+circuit::Circuit make_adv(std::int32_t side, int depth,
+                          const GenOptions& options) {
+  // Sycamore-style random circuit (Arute et al. 2019): alternating layers
+  // of random {sqrt(X), sqrt(Y), sqrt(W)} and 2q gates along one of four
+  // grid-coupling patterns (A, B, C, D cycling).
+  const std::int32_t n = side * side;
+  circuit::Circuit c(n, "ADV");
+  util::Rng rng(options.seed);
+  auto q = [side](std::int32_t row, std::int32_t col) {
+    return row * side + col;
+  };
+
+  std::vector<int> last_gate(static_cast<std::size_t>(n), -1);
+  auto random_sqrt_gate = [&](std::int32_t qubit) {
+    // sqrt(X), sqrt(Y), sqrt(W) — never repeating on the same qubit.
+    int g = static_cast<int>(rng.next_below(3));
+    while (g == last_gate[static_cast<std::size_t>(qubit)]) {
+      g = static_cast<int>(rng.next_below(3));
+    }
+    last_gate[static_cast<std::size_t>(qubit)] = g;
+    switch (g) {
+      case 0: c.u3(qubit, kPi / 2, -kPi / 2, kPi / 2); break;   // sqrt(X)
+      case 1: c.u3(qubit, kPi / 2, 0.0, 0.0); break;            // sqrt(Y)
+      default: c.u3(qubit, kPi / 2, -kPi / 4, kPi / 4); break;  // sqrt(W)
+    }
+  };
+
+  for (int layer = 0; layer < depth; ++layer) {
+    for (std::int32_t qubit = 0; qubit < n; ++qubit) random_sqrt_gate(qubit);
+    // Coupling pattern: horizontal even/odd, vertical even/odd.
+    const int pattern = layer % 4;
+    for (std::int32_t row = 0; row < side; ++row) {
+      for (std::int32_t col = 0; col < side; ++col) {
+        if (pattern < 2) {  // horizontal pairs
+          if (col % 2 == pattern % 2 && col + 1 < side) {
+            c.cz(q(row, col), q(row, col + 1));
+          }
+        } else {  // vertical pairs
+          if (row % 2 == pattern % 2 && row + 1 < side) {
+            c.cz(q(row, col), q(row + 1, col));
+          }
+        }
+      }
+    }
+  }
+  for (std::int32_t qubit = 0; qubit < n; ++qubit) random_sqrt_gate(qubit);
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_qv(std::int32_t n_qubits, int depth,
+                         const GenOptions& options) {
+  // IBM quantum-volume model circuit (Cross et al. 2019): `depth` rounds of
+  // a random qubit permutation followed by random SU(4) on adjacent pairs.
+  circuit::Circuit c(n_qubits, "QV");
+  util::Rng rng(options.seed);
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n_qubits));
+  for (std::int32_t i = 0; i < n_qubits; ++i) {
+    perm[static_cast<std::size_t>(i)] = i;
+  }
+  for (int round = 0; round < depth; ++round) {
+    rng.shuffle(perm);
+    for (std::int32_t pair = 0; pair + 1 < n_qubits; pair += 2) {
+      random_su4(c, perm[static_cast<std::size_t>(pair)],
+                 perm[static_cast<std::size_t>(pair + 1)], rng);
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_hlf(std::int32_t n_qubits, const GenOptions& options) {
+  // Hidden linear function (Bravyi, Gosset, Koenig 2018): H^n, then the
+  // quadratic form q(x) = sum A_ij x_i x_j + sum b_i x_i realized with CZ
+  // and S gates, then H^n.
+  circuit::Circuit c(n_qubits, "HLF");
+  util::Rng rng(options.seed);
+  for (std::int32_t q = 0; q < n_qubits; ++q) c.h(q);
+  // Random symmetric adjacency: dense short-range couplings plus sparse
+  // long-range ones, matching the QASMBench HLF instances' density.
+  for (std::int32_t a = 0; a < n_qubits; ++a) {
+    for (std::int32_t b = a + 1; b < n_qubits; ++b) {
+      const double p = (b - a <= 4) ? 0.85 : 0.35;
+      if (rng.bernoulli(p)) c.cz(a, b);
+    }
+  }
+  for (std::int32_t q = 0; q < n_qubits; ++q) {
+    if (rng.bernoulli(0.5)) c.s(q);
+  }
+  for (std::int32_t q = 0; q < n_qubits; ++q) c.h(q);
+  c.measure_all();
+  return c;
+}
+
+}  // namespace parallax::bench_circuits

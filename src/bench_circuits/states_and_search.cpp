@@ -1,0 +1,169 @@
+// State-preparation and search benchmarks: QFT (quantum Fourier transform),
+// WST (W-state preparation and assessment), KNN (quantum k-nearest-
+// neighbours swap test), SAT (Grover-style satisfiability oracle).
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "bench_circuits/registry.hpp"
+#include "util/rng.hpp"
+
+namespace parallax::bench_circuits {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+circuit::Circuit make_qft(std::int32_t n_qubits, const GenOptions& options) {
+  // Textbook QFT: H + controlled-phase ladder, then the qubit-order
+  // reversal SWAPs (expanded to CZ by the transpiler, as in the paper's
+  // Qiskit flow).
+  (void)options;
+  circuit::Circuit c(n_qubits, "QFT");
+  for (std::int32_t i = 0; i < n_qubits; ++i) {
+    c.h(i);
+    for (std::int32_t j = i + 1; j < n_qubits; ++j) {
+      c.cp(j, i, kPi / std::pow(2.0, j - i));
+    }
+  }
+  for (std::int32_t i = 0; i < n_qubits / 2; ++i) {
+    c.swap(i, n_qubits - 1 - i);
+  }
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_wst(std::int32_t n_qubits, const GenOptions& options) {
+  // W-state preparation (Fleischhauer & Lukin style cascade): the |1>
+  // excitation is distributed by a chain of controlled rotations, each a
+  // controlled-RY (2 CX) followed by a CX back.
+  (void)options;
+  circuit::Circuit c(n_qubits, "WST");
+  c.x(0);
+  for (std::int32_t i = 0; i + 1 < n_qubits; ++i) {
+    // Controlled-RY(theta_i) from qubit i onto i+1 with
+    // theta = 2*acos(sqrt(1/(n-i))), splitting amplitude evenly.
+    const double theta =
+        2.0 * std::acos(std::sqrt(1.0 / static_cast<double>(n_qubits - i)));
+    c.ry(i + 1, theta / 2);
+    c.cx(i, i + 1);
+    c.ry(i + 1, -theta / 2);
+    c.cx(i, i + 1);
+    c.cx(i + 1, i);
+  }
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_knn(std::int32_t n_features, const GenOptions& options) {
+  // Quantum k-nearest-neighbours distance kernel: a swap test between a
+  // test-feature register and a train-feature register (paper: 25 qubits =
+  // 1 ancilla + 2 x 12 features).
+  const std::int32_t n = 2 * n_features + 1;
+  circuit::Circuit c(n, "KNN");
+  util::Rng rng(options.seed);
+  const std::int32_t ancilla = 0;
+  auto test_q = [](std::int32_t i) { return 1 + i; };
+  auto train_q = [n_features](std::int32_t i) { return 1 + n_features + i; };
+
+  // Feature encoding: arbitrary rotations per feature amplitude.
+  for (std::int32_t i = 0; i < n_features; ++i) {
+    c.ry(test_q(i), rng.uniform(0, kPi));
+    c.ry(train_q(i), rng.uniform(0, kPi));
+  }
+  // Swap test.
+  c.h(ancilla);
+  for (std::int32_t i = 0; i < n_features; ++i) {
+    c.cswap(ancilla, test_q(i), train_q(i));
+  }
+  c.h(ancilla);
+  c.measure(ancilla);
+  return c;
+}
+
+circuit::Circuit make_sat(std::int32_t n_vars, const GenOptions& options) {
+  // Grover-amplified 3-SAT (Su et al. style): clause oracles mark
+  // satisfying assignments via Toffoli ladders onto a flag qubit, followed
+  // by the diffusion operator. Layout (paper: 11) = vars + clause ancillas
+  // + flag.
+  const std::int32_t n_clause_anc = 3;
+  const std::int32_t n = n_vars + n_clause_anc + 1;  // callers size n_vars
+  circuit::Circuit c(n, "SAT");
+  util::Rng rng(options.seed);
+  const std::int32_t flag = n - 1;
+  auto clause_anc = [n_vars](std::int32_t i) { return n_vars + i; };
+
+  // Random 3-SAT instance.
+  struct Clause {
+    std::array<std::int32_t, 3> vars;
+    std::array<bool, 3> negated;
+  };
+  std::vector<Clause> clauses;
+  for (int k = 0; k < n_clause_anc; ++k) {
+    Clause clause{};
+    for (int l = 0; l < 3; ++l) {
+      // Literals within a clause must be distinct variables.
+      std::int32_t v;
+      bool duplicate;
+      do {
+        v = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(n_vars)));
+        duplicate = false;
+        for (int m = 0; m < l; ++m) {
+          duplicate |= (clause.vars[static_cast<std::size_t>(m)] == v);
+        }
+      } while (duplicate);
+      clause.vars[static_cast<std::size_t>(l)] = v;
+      clause.negated[static_cast<std::size_t>(l)] = rng.bernoulli(0.5);
+    }
+    clauses.push_back(clause);
+  }
+
+  auto apply_clause = [&](const Clause& clause, std::int32_t anc) {
+    // anc = OR of literals = NOT(AND of negated literals).
+    for (int l = 0; l < 3; ++l) {
+      if (!clause.negated[static_cast<std::size_t>(l)]) {
+        c.x(clause.vars[static_cast<std::size_t>(l)]);
+      }
+    }
+    c.x(anc);
+    // 3-control AND via a cascading pair of Toffolis through the flag's
+    // neighbour ancilla is overkill at this size; chain two CCX instead.
+    c.ccx(clause.vars[0], clause.vars[1], anc);
+    c.ccx(clause.vars[1], clause.vars[2], anc);
+    for (int l = 0; l < 3; ++l) {
+      if (!clause.negated[static_cast<std::size_t>(l)]) {
+        c.x(clause.vars[static_cast<std::size_t>(l)]);
+      }
+    }
+  };
+
+  for (std::int32_t q = 0; q < n_vars; ++q) c.h(q);
+  c.x(flag);
+  c.h(flag);
+
+  const int rounds = 2;
+  for (int round = 0; round < rounds; ++round) {
+    // Oracle: clause ancillas, AND them onto the flag, uncompute.
+    for (std::size_t k = 0; k < clauses.size(); ++k) {
+      apply_clause(clauses[k], clause_anc(static_cast<std::int32_t>(k)));
+    }
+    c.ccx(clause_anc(0), clause_anc(1), flag);
+    c.ccx(clause_anc(1), clause_anc(2), flag);
+    for (std::size_t k = clauses.size(); k-- > 0;) {
+      apply_clause(clauses[k], clause_anc(static_cast<std::int32_t>(k)));
+    }
+    // Diffusion over variables.
+    for (std::int32_t q = 0; q < n_vars; ++q) c.h(q);
+    for (std::int32_t q = 0; q < n_vars; ++q) c.x(q);
+    c.h(n_vars - 1);
+    c.ccx(0, 1, n_vars - 1);  // truncated multi-control at benchmark scale
+    c.h(n_vars - 1);
+    for (std::int32_t q = 0; q < n_vars; ++q) c.x(q);
+    for (std::int32_t q = 0; q < n_vars; ++q) c.h(q);
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace parallax::bench_circuits

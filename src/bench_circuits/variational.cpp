@@ -1,0 +1,156 @@
+// Variational / chemistry benchmarks: GCM (generator coordinate method),
+// QGAN (quantum generative adversarial network), VQE (variational quantum
+// eigensolver), QAOA (quantum alternating operator ansatz).
+#include <numbers>
+
+#include "bench_circuits/registry.hpp"
+#include "util/rng.hpp"
+
+namespace parallax::bench_circuits {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// Pauli-string evolution exp(-i theta/2 * P) for P a Z-string over
+/// `qubits`, with X/Y basis changes given per qubit ('x', 'y', 'z'). The
+/// CX ladder entangles the string onto its last qubit — the workhorse of
+/// UCCSD-style ansatze.
+void pauli_evolution(circuit::Circuit& c,
+                     const std::vector<std::int32_t>& qubits,
+                     const std::string& basis, double theta) {
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (basis[i] == 'x') {
+      c.h(qubits[i]);
+    } else if (basis[i] == 'y') {
+      c.rx(qubits[i], kPi / 2);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < qubits.size(); ++i) {
+    c.cx(qubits[i], qubits[i + 1]);
+  }
+  c.rz(qubits.back(), theta);
+  for (std::size_t i = qubits.size() - 1; i >= 1; --i) {
+    c.cx(qubits[i - 1], qubits[i]);
+  }
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (basis[i] == 'x') {
+      c.h(qubits[i]);
+    } else if (basis[i] == 'y') {
+      c.rx(qubits[i], -kPi / 2);
+    }
+  }
+}
+
+}  // namespace
+
+circuit::Circuit make_gcm(std::int32_t n_qubits, const GenOptions& options) {
+  // Generator coordinate method (Li et al., QASMBench): short Hamiltonian-
+  // ansatz blocks — paired XX/YY rotations between neighbouring orbitals
+  // plus single-qubit generator rotations.
+  circuit::Circuit c(n_qubits, "GCM");
+  util::Rng rng(options.seed);
+  // 11 blocks x 12 neighbour pairs x 4 CZ = 528 CZs at 13 qubits — the
+  // paper's Fig. 9 GCM count.
+  const int blocks = 11;
+  for (int block = 0; block < blocks; ++block) {
+    for (std::int32_t q = 0; q < n_qubits; ++q) {
+      c.ry(q, rng.uniform(-kPi, kPi));
+    }
+    for (int parity = 0; parity < 2; ++parity) {
+      for (std::int32_t q = parity; q + 1 < n_qubits; q += 2) {
+        pauli_evolution(c, {q, q + 1}, "xx", rng.uniform(-1, 1));
+        pauli_evolution(c, {q, q + 1}, "yy", rng.uniform(-1, 1));
+      }
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_qgan(std::int32_t n_qubits, int layers,
+                           const GenOptions& options) {
+  // QGAN ansatz (Zoufal et al. style): alternating RY rotation layers and
+  // linear CZ entanglement, with a final "discriminator" block coupling the
+  // two register halves.
+  circuit::Circuit c(n_qubits, "QGAN");
+  util::Rng rng(options.seed);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (std::int32_t q = 0; q < n_qubits; ++q) {
+      c.ry(q, rng.uniform(-kPi, kPi));
+    }
+    for (std::int32_t q = 0; q + 1 < n_qubits; ++q) c.cz(q, q + 1);
+  }
+  // Generator-discriminator coupling: half-to-half CX bridges.
+  const std::int32_t half = n_qubits / 2;
+  for (std::int32_t q = 0; q < half; ++q) {
+    c.cx(q, half + q);
+    c.ry(half + q, rng.uniform(-kPi, kPi));
+  }
+  for (std::int32_t q = 0; q < n_qubits; ++q) c.ry(q, rng.uniform(-kPi, kPi));
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_vqe(std::int32_t n_qubits, int layers,
+                          const GenOptions& options) {
+  // UCCSD-flavoured VQE: single-excitation (2-qubit XY) terms between
+  // orbital neighbours and double-excitation (4-qubit) terms across orbital
+  // quadruples. The paper's 28-qubit instance is ~450k gates; `layers`
+  // scales the term count (GenOptions::full_scale selects the paper scale
+  // via the registry).
+  circuit::Circuit c(n_qubits, "VQE");
+  util::Rng rng(options.seed);
+  // Hartree-Fock-like reference state.
+  for (std::int32_t q = 0; q < n_qubits / 2; ++q) c.x(q);
+
+  for (int layer = 0; layer < layers; ++layer) {
+    // Single excitations: neighbouring orbital pairs.
+    for (std::int32_t q = 0; q + 1 < n_qubits; ++q) {
+      const double theta = rng.uniform(-0.5, 0.5);
+      pauli_evolution(c, {q, q + 1}, "xy", theta);
+      pauli_evolution(c, {q, q + 1}, "yx", -theta);
+    }
+    // Double excitations: stride-based quadruples (i, i+1, j, j+1).
+    for (std::int32_t i = 0; i + 3 < n_qubits; i += 2) {
+      const std::int32_t j = i + 2;
+      const double theta = rng.uniform(-0.25, 0.25);
+      pauli_evolution(c, {i, i + 1, j, j + 1}, "xxxy", theta);
+      pauli_evolution(c, {i, i + 1, j, j + 1}, "yyyx", -theta);
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+circuit::Circuit make_qaoa(std::int32_t n_nodes, int p_rounds,
+                           const GenOptions& options) {
+  // MaxCut QAOA on a random 3-regular graph (Farhi & Harrow instance
+  // family): H^n, then p rounds of cost (RZZ per edge) + mixer (RX).
+  circuit::Circuit c(n_nodes, "QAOA");
+  util::Rng rng(options.seed);
+
+  // Random near-3-regular graph by edge swapping on a ring + chords.
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t q = 0; q < n_nodes; ++q) {
+    edges.push_back({q, (q + 1) % n_nodes});
+  }
+  for (std::int32_t q = 0; q < n_nodes / 2; ++q) {
+    const auto a = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(n_nodes)));
+    const auto b = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(n_nodes)));
+    if (a != b) edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+
+  for (std::int32_t q = 0; q < n_nodes; ++q) c.h(q);
+  for (int round = 0; round < p_rounds; ++round) {
+    const double gamma = rng.uniform(0, kPi);
+    const double beta = rng.uniform(0, kPi / 2);
+    for (const auto& [a, b] : edges) c.rzz(a, b, gamma);
+    for (std::int32_t q = 0; q < n_nodes; ++q) c.rx(q, 2 * beta);
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace parallax::bench_circuits

@@ -1,0 +1,152 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <stdexcept>
+
+namespace parallax::circuit {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Circuit::Circuit(std::int32_t n_qubits, std::string name)
+    : n_qubits_(n_qubits), name_(std::move(name)) {
+  if (n_qubits < 0) throw std::invalid_argument("negative qubit count");
+}
+
+void Circuit::append(const Gate& g) {
+  for (int i = 0; i < g.arity(); ++i) {
+    if (g.q[i] < 0 || g.q[i] >= n_qubits_) {
+      throw std::out_of_range("gate qubit index out of range: " +
+                              g.to_string());
+    }
+  }
+  if (g.arity() == 2 && g.q[0] == g.q[1]) {
+    throw std::invalid_argument("two-qubit gate on identical qubits: " +
+                                g.to_string());
+  }
+  gates_.push_back(g);
+}
+
+void Circuit::u3(std::int32_t q, double theta, double phi, double lambda) {
+  append(Gate::u3(q, theta, phi, lambda));
+}
+void Circuit::cz(std::int32_t a, std::int32_t b) { append(Gate::cz(a, b)); }
+void Circuit::swap(std::int32_t a, std::int32_t b) {
+  append(Gate::swap(a, b));
+}
+void Circuit::measure(std::int32_t q) { append(Gate::measure(q)); }
+void Circuit::barrier() { gates_.push_back(Gate::barrier()); }
+
+void Circuit::h(std::int32_t q) { u3(q, kPi / 2, 0.0, kPi); }
+void Circuit::x(std::int32_t q) { u3(q, kPi, 0.0, kPi); }
+void Circuit::y(std::int32_t q) { u3(q, kPi, kPi / 2, kPi / 2); }
+void Circuit::z(std::int32_t q) { u3(q, 0.0, 0.0, kPi); }
+void Circuit::s(std::int32_t q) { u3(q, 0.0, 0.0, kPi / 2); }
+void Circuit::sdg(std::int32_t q) { u3(q, 0.0, 0.0, -kPi / 2); }
+void Circuit::t(std::int32_t q) { u3(q, 0.0, 0.0, kPi / 4); }
+void Circuit::tdg(std::int32_t q) { u3(q, 0.0, 0.0, -kPi / 4); }
+void Circuit::rx(std::int32_t q, double angle) {
+  u3(q, angle, -kPi / 2, kPi / 2);
+}
+void Circuit::ry(std::int32_t q, double angle) { u3(q, angle, 0.0, 0.0); }
+void Circuit::rz(std::int32_t q, double angle) { u3(q, 0.0, 0.0, angle); }
+
+void Circuit::cx(std::int32_t control, std::int32_t target) {
+  // CX = (I x H) CZ (I x H).
+  h(target);
+  cz(control, target);
+  h(target);
+}
+
+void Circuit::cp(std::int32_t a, std::int32_t b, double angle) {
+  // Controlled-phase decomposed into CZ + single-qubit rotations:
+  // CP(t) = Rz(t/2) x Rz(t/2) . CX . (I x Rz(-t/2)) . CX, with CX in the CZ
+  // basis. This uses 2 CZs; for t == pi it is a plain CZ.
+  if (angle == kPi) {
+    cz(a, b);
+    return;
+  }
+  rz(a, angle / 2);
+  cx(a, b);
+  rz(b, -angle / 2);
+  cx(a, b);
+  rz(b, angle / 2);
+}
+
+void Circuit::rzz(std::int32_t a, std::int32_t b, double angle) {
+  cx(a, b);
+  rz(b, angle);
+  cx(a, b);
+}
+
+void Circuit::ccx(std::int32_t c0, std::int32_t c1, std::int32_t target) {
+  // Standard 6-CX Toffoli decomposition (Nielsen & Chuang Fig. 4.9).
+  h(target);
+  cx(c1, target);
+  tdg(target);
+  cx(c0, target);
+  t(target);
+  cx(c1, target);
+  tdg(target);
+  cx(c0, target);
+  t(c1);
+  t(target);
+  h(target);
+  cx(c0, c1);
+  t(c0);
+  tdg(c1);
+  cx(c0, c1);
+}
+
+void Circuit::ccz(std::int32_t a, std::int32_t b, std::int32_t c) {
+  // CCZ = (I x I x H) CCX (I x I x H).
+  h(c);
+  ccx(a, b, c);
+  h(c);
+}
+
+void Circuit::cswap(std::int32_t control, std::int32_t a, std::int32_t b) {
+  // Fredkin via CX + Toffoli sandwich.
+  cx(b, a);
+  ccx(control, a, b);
+  cx(b, a);
+}
+
+void Circuit::measure_all() {
+  for (std::int32_t q = 0; q < n_qubits_; ++q) measure(q);
+}
+
+std::size_t Circuit::count(GateType type) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [type](const Gate& g) { return g.type == type; }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(static_cast<std::size_t>(n_qubits_), 0);
+  std::size_t max_level = 0;
+  for (const Gate& g : gates_) {
+    if (g.type == GateType::kBarrier) {
+      std::fill(level.begin(), level.end(), max_level);
+      continue;
+    }
+    std::size_t start = 0;
+    for (int i = 0; i < g.arity(); ++i) {
+      start = std::max(start, level[static_cast<std::size_t>(g.q[i])]);
+    }
+    const std::size_t end = start + 1;
+    for (int i = 0; i < g.arity(); ++i) {
+      level[static_cast<std::size_t>(g.q[i])] = end;
+    }
+    max_level = std::max(max_level, end);
+  }
+  return max_level;
+}
+
+void Circuit::replace_gates(std::vector<Gate> gates) {
+  gates_ = std::move(gates);
+}
+
+}  // namespace parallax::circuit

@@ -1,0 +1,41 @@
+#include "circuit/gate.hpp"
+
+#include <cstdio>
+
+namespace parallax::circuit {
+
+std::string to_string(GateType type) {
+  switch (type) {
+    case GateType::kU3: return "u3";
+    case GateType::kCZ: return "cz";
+    case GateType::kSwap: return "swap";
+    case GateType::kMeasure: return "measure";
+    case GateType::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+std::string Gate::to_string() const {
+  char buf[128];
+  switch (type) {
+    case GateType::kU3:
+      std::snprintf(buf, sizeof(buf), "u3(%.6g,%.6g,%.6g) q[%d]", theta, phi,
+                    lambda, q[0]);
+      break;
+    case GateType::kCZ:
+      std::snprintf(buf, sizeof(buf), "cz q[%d],q[%d]", q[0], q[1]);
+      break;
+    case GateType::kSwap:
+      std::snprintf(buf, sizeof(buf), "swap q[%d],q[%d]", q[0], q[1]);
+      break;
+    case GateType::kMeasure:
+      std::snprintf(buf, sizeof(buf), "measure q[%d]", q[0]);
+      break;
+    case GateType::kBarrier:
+      std::snprintf(buf, sizeof(buf), "barrier");
+      break;
+  }
+  return buf;
+}
+
+}  // namespace parallax::circuit

@@ -1,0 +1,64 @@
+// Gate representation in the {U3, CZ} universal basis the paper targets.
+// SWAP is representable so that baseline routers (ELDI / GRAPHINE) can count
+// inserted SWAPs; the Parallax compiler itself never emits one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace parallax::circuit {
+
+enum class GateType : std::uint8_t {
+  kU3,       // arbitrary single-qubit rotation (theta, phi, lambda)
+  kCZ,       // two-qubit controlled-Z
+  kSwap,     // two-qubit SWAP (= 3 CZ + single-qubit gates); baselines only
+  kMeasure,  // terminal measurement on one qubit
+  kBarrier,  // scheduling barrier across all qubits
+};
+
+[[nodiscard]] std::string to_string(GateType type);
+
+struct Gate {
+  GateType type = GateType::kU3;
+  // q[1] < 0 for single-qubit gates and barriers.
+  std::array<std::int32_t, 2> q{-1, -1};
+  // U3 Euler angles; unused for other gate types.
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+
+  [[nodiscard]] static Gate u3(std::int32_t qubit, double theta, double phi,
+                               double lambda) noexcept {
+    return Gate{GateType::kU3, {qubit, -1}, theta, phi, lambda};
+  }
+  [[nodiscard]] static Gate cz(std::int32_t a, std::int32_t b) noexcept {
+    return Gate{GateType::kCZ, {a, b}, 0.0, 0.0, 0.0};
+  }
+  [[nodiscard]] static Gate swap(std::int32_t a, std::int32_t b) noexcept {
+    return Gate{GateType::kSwap, {a, b}, 0.0, 0.0, 0.0};
+  }
+  [[nodiscard]] static Gate measure(std::int32_t qubit) noexcept {
+    return Gate{GateType::kMeasure, {qubit, -1}, 0.0, 0.0, 0.0};
+  }
+  [[nodiscard]] static Gate barrier() noexcept {
+    return Gate{GateType::kBarrier, {-1, -1}, 0.0, 0.0, 0.0};
+  }
+
+  [[nodiscard]] int arity() const noexcept {
+    if (type == GateType::kBarrier) return 0;
+    return q[1] >= 0 ? 2 : 1;
+  }
+  [[nodiscard]] bool is_two_qubit() const noexcept { return arity() == 2; }
+  [[nodiscard]] bool touches(std::int32_t qubit) const noexcept {
+    return q[0] == qubit || q[1] == qubit;
+  }
+  /// The partner of `qubit` in a two-qubit gate.
+  [[nodiscard]] std::int32_t other(std::int32_t qubit) const noexcept {
+    return q[0] == qubit ? q[1] : q[0];
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace parallax::circuit

@@ -1,0 +1,76 @@
+#include "circuit/interaction_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace parallax::circuit {
+
+InteractionGraph::InteractionGraph(const Circuit& circuit)
+    : n_qubits_(circuit.n_qubits()),
+      adjacency_(static_cast<std::size_t>(circuit.n_qubits())),
+      weighted_degree_(static_cast<std::size_t>(circuit.n_qubits()), 0) {
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t> weights;
+  for (const Gate& g : circuit.gates()) {
+    if (!g.is_two_qubit()) continue;
+    const auto a = std::min(g.q[0], g.q[1]);
+    const auto b = std::max(g.q[0], g.q[1]);
+    ++weights[{a, b}];
+    ++weighted_degree_[static_cast<std::size_t>(g.q[0])];
+    ++weighted_degree_[static_cast<std::size_t>(g.q[1])];
+  }
+  edges_.reserve(weights.size());
+  for (const auto& [key, w] : weights) {
+    edges_.push_back({key.first, key.second, w});
+    adjacency_[static_cast<std::size_t>(key.first)].push_back(key.second);
+    adjacency_[static_cast<std::size_t>(key.second)].push_back(key.first);
+  }
+}
+
+std::int64_t InteractionGraph::degree(std::int32_t qubit) const {
+  return weighted_degree_[static_cast<std::size_t>(qubit)];
+}
+
+std::int32_t InteractionGraph::partner_count(std::int32_t qubit) const {
+  return static_cast<std::int32_t>(
+      adjacency_[static_cast<std::size_t>(qubit)].size());
+}
+
+bool InteractionGraph::connected_over_active() const {
+  std::vector<std::int32_t> active;
+  for (std::int32_t q = 0; q < n_qubits_; ++q) {
+    if (!adjacency_[static_cast<std::size_t>(q)].empty()) active.push_back(q);
+  }
+  if (active.size() <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n_qubits_), 0);
+  std::vector<std::int32_t> stack{active.front()};
+  seen[static_cast<std::size_t>(active.front())] = 1;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const std::int32_t q = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (std::int32_t nb : adjacency_[static_cast<std::size_t>(q)]) {
+      if (!seen[static_cast<std::size_t>(nb)]) {
+        seen[static_cast<std::size_t>(nb)] = 1;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return visited == active.size();
+}
+
+double InteractionGraph::mean_connectivity() const {
+  std::int64_t total = 0;
+  std::int32_t active = 0;
+  for (std::int32_t q = 0; q < n_qubits_; ++q) {
+    const auto partners = partner_count(q);
+    if (partners > 0) {
+      total += partners;
+      ++active;
+    }
+  }
+  return active == 0 ? 0.0 : static_cast<double>(total) / active;
+}
+
+}  // namespace parallax::circuit

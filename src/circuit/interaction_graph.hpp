@@ -1,0 +1,50 @@
+// Weighted qubit interaction graph: nodes are qubits, edge weight (i, j) is
+// the number of two-qubit gates between i and j. This is the input to
+// Graphine's annealed placement and to the AOD selection heuristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace parallax::circuit {
+
+struct WeightedEdge {
+  std::int32_t a = 0;
+  std::int32_t b = 0;  // invariant: a < b
+  std::int64_t weight = 0;
+};
+
+class InteractionGraph {
+ public:
+  InteractionGraph() = default;
+  explicit InteractionGraph(const Circuit& circuit);
+
+  [[nodiscard]] std::int32_t n_qubits() const noexcept { return n_qubits_; }
+  [[nodiscard]] const std::vector<WeightedEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Number of 2q gates touching `qubit` (weighted degree).
+  [[nodiscard]] std::int64_t degree(std::int32_t qubit) const;
+
+  /// Distinct interaction partners of `qubit`.
+  [[nodiscard]] std::int32_t partner_count(std::int32_t qubit) const;
+
+  /// True if the graph (ignoring weights) is connected over all qubits that
+  /// appear in at least one 2q gate; isolated qubits are trivially fine.
+  [[nodiscard]] bool connected_over_active() const;
+
+  /// Average distinct-partner count over active qubits; the paper's notion
+  /// of circuit "connectivity" (TFIM low, QV high).
+  [[nodiscard]] double mean_connectivity() const;
+
+ private:
+  std::int32_t n_qubits_ = 0;
+  std::vector<WeightedEdge> edges_;
+  std::vector<std::vector<std::int32_t>> adjacency_;  // partner lists
+  std::vector<std::int64_t> weighted_degree_;
+};
+
+}  // namespace parallax::circuit

@@ -1,0 +1,181 @@
+#include "circuit/transpile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numbers>
+#include <optional>
+#include <vector>
+
+#include "circuit/unitary.hpp"
+
+namespace parallax::circuit {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// Appends CX(control, target) in the {U3, CZ} basis.
+void emit_cx(std::vector<Gate>& out, std::int32_t control,
+             std::int32_t target) {
+  out.push_back(Gate::u3(target, kPi / 2, 0.0, kPi));  // H
+  out.push_back(Gate::cz(control, target));
+  out.push_back(Gate::u3(target, kPi / 2, 0.0, kPi));  // H
+}
+}  // namespace
+
+bool expand_swaps(Circuit& circuit) {
+  if (circuit.swap_count() == 0) return false;
+  std::vector<Gate> out;
+  out.reserve(circuit.size() + 8 * circuit.swap_count());
+  for (const Gate& g : circuit.gates()) {
+    if (g.type != GateType::kSwap) {
+      out.push_back(g);
+      continue;
+    }
+    // SWAP(a,b) = CX(a,b) CX(b,a) CX(a,b).
+    emit_cx(out, g.q[0], g.q[1]);
+    emit_cx(out, g.q[1], g.q[0]);
+    emit_cx(out, g.q[0], g.q[1]);
+  }
+  circuit.replace_gates(std::move(out));
+  return true;
+}
+
+bool fuse_single_qubit_runs(Circuit& circuit, double identity_tolerance,
+                            bool drop_identities) {
+  // For each qubit we accumulate the pending single-qubit unitary. A pending
+  // unitary is flushed (emitted as one U3) immediately before any
+  // non-single-qubit event on that qubit, preserving per-qubit gate order.
+  const auto nq = static_cast<std::size_t>(circuit.n_qubits());
+  std::vector<std::optional<Mat2>> pending(nq);
+  std::vector<Gate> out;
+  out.reserve(circuit.size());
+  bool changed = false;
+
+  auto flush = [&](std::int32_t qubit) {
+    auto& p = pending[static_cast<std::size_t>(qubit)];
+    if (!p) return;
+    if (drop_identities && is_identity_up_to_phase(*p, identity_tolerance)) {
+      changed = true;  // at least one gate disappeared
+      p.reset();
+      return;
+    }
+    const Euler e = zyz_decompose(*p);
+    out.push_back(Gate::u3(qubit, e.theta, e.phi, e.lambda));
+    p.reset();
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case GateType::kU3: {
+        auto& p = pending[static_cast<std::size_t>(g.q[0])];
+        const Mat2 m = u3_matrix(g.theta, g.phi, g.lambda);
+        if (p) {
+          *p = m * *p;  // later gate multiplies from the left
+          changed = true;
+        } else {
+          p = m;
+        }
+        break;
+      }
+      case GateType::kCZ:
+      case GateType::kSwap: {
+        flush(g.q[0]);
+        flush(g.q[1]);
+        out.push_back(g);
+        break;
+      }
+      case GateType::kMeasure: {
+        flush(g.q[0]);
+        out.push_back(g);
+        break;
+      }
+      case GateType::kBarrier: {
+        for (std::int32_t q = 0; q < circuit.n_qubits(); ++q) flush(q);
+        out.push_back(g);
+        break;
+      }
+    }
+  }
+  for (std::int32_t q = 0; q < circuit.n_qubits(); ++q) flush(q);
+
+  if (!changed) return false;
+  circuit.replace_gates(std::move(out));
+  return true;
+}
+
+bool cancel_adjacent_cz(Circuit& circuit) {
+  // last_cz[q] = index in `out` of the most recent CZ touching q, valid only
+  // while no other gate has touched q since. Two CZs on the same unordered
+  // pair with no interposed gate on either qubit are the identity.
+  const auto nq = static_cast<std::size_t>(circuit.n_qubits());
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> last_cz(nq, kNone);
+  std::vector<Gate> out;
+  out.reserve(circuit.size());
+  std::vector<char> erased;  // parallel to `out`
+  bool changed = false;
+
+  auto invalidate = [&](std::int32_t q) {
+    last_cz[static_cast<std::size_t>(q)] = kNone;
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    if (g.type == GateType::kCZ) {
+      const auto a = static_cast<std::size_t>(std::min(g.q[0], g.q[1]));
+      const auto b = static_cast<std::size_t>(std::max(g.q[0], g.q[1]));
+      const std::size_t prev = last_cz[a];
+      if (prev != kNone && prev == last_cz[b] && !erased[prev]) {
+        const Gate& pg = out[prev];
+        const auto pa = static_cast<std::size_t>(std::min(pg.q[0], pg.q[1]));
+        const auto pb = static_cast<std::size_t>(std::max(pg.q[0], pg.q[1]));
+        if (pa == a && pb == b) {
+          erased[prev] = 1;
+          last_cz[a] = kNone;
+          last_cz[b] = kNone;
+          changed = true;
+          continue;  // drop this CZ too
+        }
+      }
+      out.push_back(g);
+      erased.push_back(0);
+      last_cz[a] = out.size() - 1;
+      last_cz[b] = out.size() - 1;
+      continue;
+    }
+    if (g.type == GateType::kBarrier) {
+      std::fill(last_cz.begin(), last_cz.end(), kNone);
+    } else {
+      for (int k = 0; k < g.arity(); ++k) invalidate(g.q[k]);
+    }
+    out.push_back(g);
+    erased.push_back(0);
+  }
+
+  if (!changed) return false;
+  std::vector<Gate> compact;
+  compact.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!erased[i]) compact.push_back(out[i]);
+  }
+  circuit.replace_gates(std::move(compact));
+  return true;
+}
+
+Circuit transpile(const Circuit& input, const TranspileOptions& options) {
+  Circuit circuit = input;
+  expand_swaps(circuit);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    if (options.fuse_single_qubit) {
+      changed |= fuse_single_qubit_runs(circuit, options.identity_tolerance,
+                                        options.drop_identities);
+    }
+    if (options.cancel_cz_pairs) {
+      changed |= cancel_adjacent_cz(circuit);
+    }
+    if (!changed) break;
+  }
+  return circuit;
+}
+
+}  // namespace parallax::circuit

@@ -1,0 +1,71 @@
+#include "circuit/unitary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parallax::circuit {
+
+Mat2 u3_matrix(double theta, double phi, double lambda) noexcept {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  const Complex eil = std::polar(1.0, lambda);
+  const Complex eip = std::polar(1.0, phi);
+  return Mat2{{Complex{c, 0}, -eil * s, eip * s, eip * eil * c}};
+}
+
+Euler zyz_decompose(const Mat2& u) noexcept {
+  // |u00| = cos(theta/2), |u10| = sin(theta/2)  (unitarity).
+  const double c = std::clamp(std::abs(u.m[0]), 0.0, 1.0);
+  const double s = std::clamp(std::abs(u.m[2]), 0.0, 1.0);
+  const double theta = 2.0 * std::atan2(s, c);
+
+  Euler e;
+  e.theta = theta;
+  constexpr double kEps = 1e-12;
+  if (s < kEps) {
+    // Diagonal up to phase: only phi + lambda is determined; put it all in
+    // lambda (a pure Z rotation).
+    e.phi = 0.0;
+    e.lambda = std::arg(u.m[3]) - std::arg(u.m[0]);
+    e.phase = std::arg(u.m[0]);
+  } else if (c < kEps) {
+    // Anti-diagonal: only phi - lambda is determined.
+    e.lambda = 0.0;
+    e.phi = std::arg(u.m[2]) - std::arg(-u.m[1]);
+    e.phase = std::arg(-u.m[1]);
+  } else {
+    const double a00 = std::arg(u.m[0]);
+    e.phase = a00;
+    e.phi = std::arg(u.m[2]) - a00;
+    e.lambda = std::arg(-u.m[1]) - a00;
+  }
+  return e;
+}
+
+double distance_up_to_phase(const Mat2& a, const Mat2& b) noexcept {
+  // Align global phase on the largest-magnitude entry of b.
+  std::size_t k = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (std::abs(b.m[i]) > best) {
+      best = std::abs(b.m[i]);
+      k = i;
+    }
+  }
+  if (best == 0.0) return 1e9;  // b is not unitary; report mismatch
+  const Complex ratio = a.m[k] / b.m[k];
+  const Complex phase =
+      std::abs(ratio) > 0 ? ratio / std::abs(ratio) : Complex{1, 0};
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Complex diff = a.m[i] - phase * b.m[i];
+    d2 += std::norm(diff);
+  }
+  return std::sqrt(d2);
+}
+
+bool is_identity_up_to_phase(const Mat2& u, double tol) noexcept {
+  return distance_up_to_phase(u, Mat2::identity()) < tol;
+}
+
+}  // namespace parallax::circuit

@@ -1,0 +1,55 @@
+// Complex 2x2 unitary algebra used by the transpiler's single-qubit gate
+// fusion: consecutive U3 gates on a qubit multiply into one matrix that is
+// re-synthesized to a single U3 via ZYZ (Euler) decomposition.
+#pragma once
+
+#include <array>
+#include <complex>
+
+namespace parallax::circuit {
+
+using Complex = std::complex<double>;
+
+/// Row-major 2x2 complex matrix.
+struct Mat2 {
+  std::array<Complex, 4> m{};  // [ m00 m01 ; m10 m11 ]
+
+  [[nodiscard]] static Mat2 identity() noexcept {
+    return Mat2{{Complex{1, 0}, {}, {}, Complex{1, 0}}};
+  }
+
+  friend Mat2 operator*(const Mat2& a, const Mat2& b) noexcept {
+    Mat2 r;
+    r.m[0] = a.m[0] * b.m[0] + a.m[1] * b.m[2];
+    r.m[1] = a.m[0] * b.m[1] + a.m[1] * b.m[3];
+    r.m[2] = a.m[2] * b.m[0] + a.m[3] * b.m[2];
+    r.m[3] = a.m[2] * b.m[1] + a.m[3] * b.m[3];
+    return r;
+  }
+};
+
+/// The paper's U3 convention (identical to the OpenQASM/Qiskit u3 gate):
+///   U3(t, p, l) = [[cos(t/2),        -e^{il} sin(t/2)],
+///                  [e^{ip} sin(t/2),  e^{i(p+l)} cos(t/2)]]
+[[nodiscard]] Mat2 u3_matrix(double theta, double phi, double lambda) noexcept;
+
+/// ZYZ decomposition: finds (theta, phi, lambda, phase) such that
+/// U = e^{i*phase} * U3(theta, phi, lambda) for any unitary U.
+struct Euler {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+  double phase = 0.0;
+};
+[[nodiscard]] Euler zyz_decompose(const Mat2& u) noexcept;
+
+/// Frobenius distance between two matrices up to global phase; 0 for
+/// equivalent unitaries. Used by tests and the fusion identity check.
+[[nodiscard]] double distance_up_to_phase(const Mat2& a,
+                                          const Mat2& b) noexcept;
+
+/// True if U equals the identity up to global phase within `tol`.
+[[nodiscard]] bool is_identity_up_to_phase(const Mat2& u,
+                                           double tol = 1e-9) noexcept;
+
+}  // namespace parallax::circuit

@@ -1,0 +1,83 @@
+#include "geometry/grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parallax::geom {
+
+Grid::Grid(std::int32_t side, double pitch_um)
+    : side_(side), pitch_um_(pitch_um) {
+  assert(side > 0);
+  assert(pitch_um > 0.0);
+}
+
+Cell Grid::nearest_cell(Point p) const noexcept {
+  auto clamp_idx = [this](double v) {
+    const auto idx = static_cast<std::int32_t>(std::lround(v / pitch_um_));
+    return std::clamp(idx, std::int32_t{0}, side_ - 1);
+  };
+  return {clamp_idx(p.x), clamp_idx(p.y)};
+}
+
+std::vector<Cell> Grid::ring(Cell centre, std::int32_t radius) const {
+  std::vector<Cell> cells;
+  if (radius == 0) {
+    if (in_bounds(centre)) cells.push_back(centre);
+    return cells;
+  }
+  cells.reserve(static_cast<std::size_t>(8) * radius);
+  // Top and bottom edges.
+  for (std::int32_t dc = -radius; dc <= radius; ++dc) {
+    Cell top{centre.col + dc, centre.row - radius};
+    Cell bottom{centre.col + dc, centre.row + radius};
+    if (in_bounds(top)) cells.push_back(top);
+    if (in_bounds(bottom)) cells.push_back(bottom);
+  }
+  // Left and right edges, excluding corners already added.
+  for (std::int32_t dr = -radius + 1; dr <= radius - 1; ++dr) {
+    Cell left{centre.col - radius, centre.row + dr};
+    Cell right{centre.col + radius, centre.row + dr};
+    if (in_bounds(left)) cells.push_back(left);
+    if (in_bounds(right)) cells.push_back(right);
+  }
+  return cells;
+}
+
+Occupancy::Occupancy(const Grid& grid)
+    : grid_(&grid), mask_(grid.site_count(), 0) {}
+
+bool Occupancy::occupied(Cell c) const noexcept {
+  return mask_[index(c)] != 0;
+}
+
+void Occupancy::set(Cell c, bool value) noexcept {
+  char& slot = mask_[index(c)];
+  if (slot != static_cast<char>(value)) {
+    occupied_count_ += value ? 1 : -1;
+    slot = static_cast<char>(value);
+  }
+}
+
+std::optional<Cell> Occupancy::nearest_free(Cell target) const {
+  if (grid_->in_bounds(target) && !occupied(target)) return target;
+  const std::int32_t max_radius = 2 * grid_->side();
+  for (std::int32_t r = 1; r <= max_radius; ++r) {
+    Cell best{};
+    double best_d = -1.0;
+    for (Cell c : grid_->ring(target, r)) {
+      if (occupied(c)) continue;
+      // Among the ring's free cells prefer the one closest in Euclidean
+      // metric so snapping distortion is minimal.
+      const double d = distance_sq(grid_->position(c), grid_->position(target));
+      if (best_d < 0.0 || d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    if (best_d >= 0.0) return best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace parallax::geom

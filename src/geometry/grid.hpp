@@ -1,0 +1,80 @@
+// Discrete site grid used for the SLM trap array. The grid pitch equals
+// 2 * minimum_separation + padding (paper Sec. II-A), which guarantees that
+// (1) static atoms never violate the separation constraint and (2) an AOD
+// atom can always navigate between two static atoms.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace parallax::geom {
+
+class Grid {
+ public:
+  /// side x side sites, spaced `pitch_um` apart, origin at (0, 0).
+  Grid(std::int32_t side, double pitch_um);
+
+  [[nodiscard]] std::int32_t side() const noexcept { return side_; }
+  [[nodiscard]] double pitch() const noexcept { return pitch_um_; }
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return static_cast<std::size_t>(side_) * static_cast<std::size_t>(side_);
+  }
+
+  [[nodiscard]] bool in_bounds(Cell c) const noexcept {
+    return c.col >= 0 && c.row >= 0 && c.col < side_ && c.row < side_;
+  }
+
+  /// Physical position of a cell centre.
+  [[nodiscard]] Point position(Cell c) const noexcept {
+    return {c.col * pitch_um_, c.row * pitch_um_};
+  }
+
+  /// Nearest cell to a physical point (clamped to bounds).
+  [[nodiscard]] Cell nearest_cell(Point p) const noexcept;
+
+  /// Physical side length spanned by the grid.
+  [[nodiscard]] double extent() const noexcept {
+    return (side_ - 1) * pitch_um_;
+  }
+
+  /// Enumerates cells of the square ring at Chebyshev distance `radius`
+  /// around `centre`, clipped to bounds. radius == 0 yields {centre}.
+  [[nodiscard]] std::vector<Cell> ring(Cell centre, std::int32_t radius) const;
+
+ private:
+  std::int32_t side_;
+  double pitch_um_;
+};
+
+/// Occupancy mask over a Grid. Supports spiral search for the nearest free
+/// cell, which discretization and the ELDI mapper both use.
+class Occupancy {
+ public:
+  explicit Occupancy(const Grid& grid);
+
+  [[nodiscard]] bool occupied(Cell c) const noexcept;
+  void set(Cell c, bool value) noexcept;
+
+  /// Nearest free cell to `target` by Chebyshev ring search; nullopt if the
+  /// grid is full.
+  [[nodiscard]] std::optional<Cell> nearest_free(Cell target) const;
+
+  [[nodiscard]] std::size_t count_occupied() const noexcept {
+    return occupied_count_;
+  }
+
+ private:
+  const Grid* grid_;
+  std::vector<char> mask_;
+  std::size_t occupied_count_ = 0;
+
+  [[nodiscard]] std::size_t index(Cell c) const noexcept {
+    return static_cast<std::size_t>(c.row) *
+               static_cast<std::size_t>(grid_->side()) +
+           static_cast<std::size_t>(c.col);
+  }
+};
+
+}  // namespace parallax::geom

@@ -1,0 +1,123 @@
+#include "hardware/aod.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace parallax::hardware {
+
+Aod::Aod(std::int32_t n_rows, std::int32_t n_cols, double extent_um,
+         double min_line_gap_um)
+    : min_gap_(min_line_gap_um) {
+  assert(n_rows > 0 && n_cols > 0);
+  rows_.resize(static_cast<std::size_t>(n_rows));
+  cols_.resize(static_cast<std::size_t>(n_cols));
+  // Evenly spaced home coordinates (degenerate single-line case sits in the
+  // middle of the field).
+  auto spread = [extent_um](std::vector<Line>& lines) {
+    const auto n = lines.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      lines[i].coord = n == 1
+                           ? extent_um / 2.0
+                           : extent_um * static_cast<double>(i) /
+                                 static_cast<double>(n - 1);
+    }
+  };
+  spread(rows_);
+  spread(cols_);
+}
+
+std::optional<std::int32_t> Aod::closest_free(const std::vector<Line>& lines,
+                                              double coord) const {
+  std::optional<std::int32_t> best;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].qubit >= 0) continue;
+    const double d = std::abs(lines[i].coord - coord);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<std::int32_t>(i);
+    }
+  }
+  return best;
+}
+
+std::optional<std::int32_t> Aod::closest_free_row(double coord) const {
+  return closest_free(rows_, coord);
+}
+std::optional<std::int32_t> Aod::closest_free_col(double coord) const {
+  return closest_free(cols_, coord);
+}
+
+void Aod::assign(std::int32_t row, std::int32_t col, std::int32_t qubit) {
+  auto& r = rows_[static_cast<std::size_t>(row)];
+  auto& c = cols_[static_cast<std::size_t>(col)];
+  assert(r.qubit < 0 && c.qubit < 0);
+  r.qubit = qubit;
+  c.qubit = qubit;
+}
+
+void Aod::release(std::int32_t row, std::int32_t col) {
+  rows_[static_cast<std::size_t>(row)].qubit = -1;
+  cols_[static_cast<std::size_t>(col)].qubit = -1;
+}
+
+bool Aod::move_valid(const std::vector<Line>& lines, std::int32_t index,
+                     double coord) const {
+  const auto i = static_cast<std::size_t>(index);
+  if (i > 0 && coord < lines[i - 1].coord + min_gap_) return false;
+  if (i + 1 < lines.size() && coord > lines[i + 1].coord - min_gap_) {
+    return false;
+  }
+  return true;
+}
+
+bool Aod::row_move_valid(std::int32_t row, double coord) const {
+  return move_valid(rows_, row, coord);
+}
+bool Aod::col_move_valid(std::int32_t col, double coord) const {
+  return move_valid(cols_, col, coord);
+}
+
+void Aod::set_row_coord(std::int32_t row, double coord) {
+  rows_[static_cast<std::size_t>(row)].coord = coord;
+}
+void Aod::set_col_coord(std::int32_t col, double coord) {
+  cols_[static_cast<std::size_t>(col)].coord = coord;
+}
+
+std::optional<std::int32_t> Aod::order_blocker(const std::vector<Line>& lines,
+                                               std::int32_t index,
+                                               double coord) const {
+  const auto i = static_cast<std::size_t>(index);
+  // Report the nearer blocker first; the movement engine recurses on it.
+  if (i > 0 && coord < lines[i - 1].coord + min_gap_) {
+    return static_cast<std::int32_t>(i - 1);
+  }
+  if (i + 1 < lines.size() && coord > lines[i + 1].coord - min_gap_) {
+    return static_cast<std::int32_t>(i + 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int32_t> Aod::row_order_blocker(std::int32_t row,
+                                                   double coord) const {
+  return order_blocker(rows_, row, coord);
+}
+std::optional<std::int32_t> Aod::col_order_blocker(std::int32_t col,
+                                                   double coord) const {
+  return order_blocker(cols_, col, coord);
+}
+
+bool Aod::ordering_valid() const {
+  auto ordered = [this](const std::vector<Line>& lines) {
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].coord - lines[i - 1].coord < min_gap_ - 1e-9) return false;
+    }
+    return true;
+  };
+  return ordered(rows_) && ordered(cols_);
+}
+
+}  // namespace parallax::hardware

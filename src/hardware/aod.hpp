@@ -1,0 +1,98 @@
+// The acousto-optic deflector: a crossed array of `rows` horizontal and
+// `cols` vertical trap lines. Hardware constraints (paper Sec. I-A):
+//   (1) lines of the same orientation can never cross (relative order of
+//       coordinates is invariant),
+//   (2) all traps on a line move in tandem (Parallax sidesteps this by
+//       placing at most one atom per row/column pair),
+//   (3) atoms obey the global minimum separation distance.
+// The Aod class owns line coordinates and occupancy; constraint (1) is
+// enforced by every mutation, (3) by the Machine that sees all atoms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace parallax::hardware {
+
+class Aod {
+ public:
+  /// Lines are created unassigned with evenly spaced home coordinates over
+  /// [0, extent_um].
+  Aod(std::int32_t n_rows, std::int32_t n_cols, double extent_um,
+      double min_line_gap_um);
+
+  [[nodiscard]] std::int32_t n_rows() const noexcept {
+    return static_cast<std::int32_t>(rows_.size());
+  }
+  [[nodiscard]] std::int32_t n_cols() const noexcept {
+    return static_cast<std::int32_t>(cols_.size());
+  }
+  [[nodiscard]] double min_line_gap() const noexcept { return min_gap_; }
+
+  [[nodiscard]] double row_coord(std::int32_t row) const {
+    return rows_[static_cast<std::size_t>(row)].coord;
+  }
+  [[nodiscard]] double col_coord(std::int32_t col) const {
+    return cols_[static_cast<std::size_t>(col)].coord;
+  }
+  [[nodiscard]] std::int32_t row_qubit(std::int32_t row) const {
+    return rows_[static_cast<std::size_t>(row)].qubit;
+  }
+  [[nodiscard]] std::int32_t col_qubit(std::int32_t col) const {
+    return cols_[static_cast<std::size_t>(col)].qubit;
+  }
+
+  /// First unoccupied row/column, preferring the one whose current
+  /// coordinate is closest to `coord`.
+  [[nodiscard]] std::optional<std::int32_t> closest_free_row(
+      double coord) const;
+  [[nodiscard]] std::optional<std::int32_t> closest_free_col(
+      double coord) const;
+
+  /// Assigns a qubit to a (row, col) pair. Both must be free.
+  void assign(std::int32_t row, std::int32_t col, std::int32_t qubit);
+  /// Releases the pair holding `qubit` (row and col become free).
+  void release(std::int32_t row, std::int32_t col);
+
+  /// Whether moving `row` to `coord` keeps strict ordering with a gap of
+  /// min_line_gap against both neighbours.
+  [[nodiscard]] bool row_move_valid(std::int32_t row, double coord) const;
+  [[nodiscard]] bool col_move_valid(std::int32_t col, double coord) const;
+
+  /// Unchecked coordinate write (caller must have validated or be resolving
+  /// a violation recursively; the class asserts ordering in debug builds).
+  void set_row_coord(std::int32_t row, double coord);
+  void set_col_coord(std::int32_t col, double coord);
+
+  /// Neighbour line that would block `row` from reaching `coord`, if any.
+  /// Returns the neighbour index; the caller decides whether to displace it
+  /// recursively (Parallax movement engine) or give up (trap change).
+  [[nodiscard]] std::optional<std::int32_t> row_order_blocker(
+      std::int32_t row, double coord) const;
+  [[nodiscard]] std::optional<std::int32_t> col_order_blocker(
+      std::int32_t col, double coord) const;
+
+  /// True if all row coordinates and all column coordinates are strictly
+  /// increasing with the required gap (the non-crossing invariant).
+  [[nodiscard]] bool ordering_valid() const;
+
+ private:
+  struct Line {
+    double coord = 0.0;
+    std::int32_t qubit = -1;  // -1 = free
+  };
+
+  [[nodiscard]] std::optional<std::int32_t> closest_free(
+      const std::vector<Line>& lines, double coord) const;
+  [[nodiscard]] bool move_valid(const std::vector<Line>& lines,
+                                std::int32_t index, double coord) const;
+  [[nodiscard]] std::optional<std::int32_t> order_blocker(
+      const std::vector<Line>& lines, std::int32_t index, double coord) const;
+
+  std::vector<Line> rows_;  // indexed south-to-north; coord = y
+  std::vector<Line> cols_;  // indexed west-to-east; coord = x
+  double min_gap_;
+};
+
+}  // namespace parallax::hardware

@@ -1,0 +1,24 @@
+// Per-atom state tracked by the machine model. An atom is one logical qubit
+// of the circuit being compiled; it is trapped either by the static SLM
+// (at a grid site) or by the mobile AOD (at a row/column intersection).
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/point.hpp"
+
+namespace parallax::hardware {
+
+enum class TrapKind : std::uint8_t { kSlm, kAod };
+
+struct Atom {
+  geom::Point position;      // physical position (um)
+  TrapKind trap = TrapKind::kSlm;
+  geom::Cell slm_site{};     // valid while trap == kSlm (the home site)
+  std::int32_t aod_row = -1;  // valid while trap == kAod
+  std::int32_t aod_col = -1;
+
+  [[nodiscard]] bool in_aod() const noexcept { return trap == TrapKind::kAod; }
+};
+
+}  // namespace parallax::hardware

@@ -1,0 +1,19 @@
+#include "hardware/config.hpp"
+
+namespace parallax::hardware {
+
+HardwareConfig HardwareConfig::quera_aquila_256() {
+  HardwareConfig config;
+  config.name = "quera-256";
+  config.grid_side = 16;
+  return config;
+}
+
+HardwareConfig HardwareConfig::atom_computing_1225() {
+  HardwareConfig config;
+  config.name = "atom-1225";
+  config.grid_side = 35;
+  return config;
+}
+
+}  // namespace parallax::hardware

@@ -1,0 +1,74 @@
+#include "hardware/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace parallax::hardware {
+
+std::string render_topology(const compiler::CompileResult& result,
+                            const RenderOptions& options) {
+  const auto& grid = result.topology.grid;
+  const auto side = grid.side();
+
+  // Clip the render to the used bounding box plus one cell of margin.
+  std::int32_t min_col = side, min_row = side, max_col = 0, max_row = 0;
+  for (const auto& cell : result.topology.sites) {
+    min_col = std::min(min_col, cell.col);
+    max_col = std::max(max_col, cell.col);
+    min_row = std::min(min_row, cell.row);
+    max_row = std::max(max_row, cell.row);
+  }
+  if (result.topology.sites.empty()) {
+    min_col = min_row = 0;
+    max_col = max_row = side - 1;
+  }
+  min_col = std::max(0, min_col - 1);
+  min_row = std::max(0, min_row - 1);
+  max_col = std::min(side - 1, max_col + 1);
+  max_row = std::min(side - 1, max_row + 1);
+
+  // Occupancy map: qubit index per cell (-1 = empty).
+  std::vector<std::vector<std::int32_t>> at(
+      static_cast<std::size_t>(side),
+      std::vector<std::int32_t>(static_cast<std::size_t>(side), -1));
+  for (std::size_t q = 0; q < result.topology.sites.size(); ++q) {
+    const auto& cell = result.topology.sites[q];
+    at[static_cast<std::size_t>(cell.row)][static_cast<std::size_t>(cell.col)] =
+        static_cast<std::int32_t>(q);
+  }
+
+  std::ostringstream out;
+  out << "machine " << side << "x" << side << " sites, pitch "
+      << grid.pitch() << " um; interaction radius "
+      << result.topology.interaction_radius_um << " um\n";
+  out << "[q] = AOD (mobile) qubit,  q  = SLM (static) qubit\n";
+  // Render top row last so y grows upward like the paper's figures.
+  for (std::int32_t row = max_row; row >= min_row; --row) {
+    for (std::int32_t col = min_col; col <= max_col; ++col) {
+      const std::int32_t q =
+          at[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      if (q < 0) {
+        out << ' ' << options.empty_marker << ' ';
+        continue;
+      }
+      const bool mobile =
+          static_cast<std::size_t>(q) < result.in_aod.size() &&
+          result.in_aod[static_cast<std::size_t>(q)] != 0;
+      char label;
+      if (options.show_indices) {
+        label = static_cast<char>('0' + (q % 10));
+      } else {
+        label = mobile ? options.aod_marker : options.slm_marker;
+      }
+      if (mobile) {
+        out << '[' << label << ']';
+      } else {
+        out << ' ' << label << ' ';
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace parallax::hardware

@@ -1,0 +1,28 @@
+// ASCII rendering of machine topologies — handy in examples, debugging
+// sessions, and documentation. Renders the SLM site grid with atoms,
+// distinguishing static (SLM) from mobile (AOD) qubits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parallax/result.hpp"
+
+namespace parallax::hardware {
+
+struct RenderOptions {
+  /// Print logical qubit indices (mod 10) instead of generic markers.
+  bool show_indices = true;
+  /// Marker for AOD-trapped qubits when show_indices is off.
+  char aod_marker = 'A';
+  /// Marker for SLM-trapped qubits when show_indices is off.
+  char slm_marker = 'o';
+  char empty_marker = '.';
+};
+
+/// Renders the discretized topology of a compile result: one character per
+/// grid site; AOD qubits are bracketed, e.g. "[3]" vs " 3 ".
+[[nodiscard]] std::string render_topology(
+    const compiler::CompileResult& result, const RenderOptions& options = {});
+
+}  // namespace parallax::hardware

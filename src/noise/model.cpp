@@ -1,0 +1,55 @@
+#include "noise/model.hpp"
+
+#include <cmath>
+
+namespace parallax::noise {
+
+double decoherence_factor(double runtime_us,
+                          const hardware::HardwareConfig& config) {
+  const double t_seconds = runtime_us * 1e-6;
+  return std::exp(-t_seconds / config.t1_seconds) *
+         std::exp(-t_seconds / config.t2_seconds);
+}
+
+double success_probability(const compiler::CompileResult& result,
+                           const hardware::HardwareConfig& config,
+                           const NoiseOptions& options) {
+  double p = 1.0;
+
+  if (options.include_gate_errors) {
+    p *= std::pow(1.0 - config.u3_error,
+                  static_cast<double>(result.stats.u3_gates));
+    p *= std::pow(1.0 - config.cz_error,
+                  static_cast<double>(result.stats.cz_gates));
+    p *= std::pow(1.0 - config.swap_error,
+                  static_cast<double>(result.stats.swap_gates));
+  }
+
+  if (options.include_operation_overheads) {
+    p *= std::pow(1.0 - config.trap_switch_error,
+                  static_cast<double>(result.stats.trap_changes));
+    p *= std::pow(1.0 - config.movement_loss,
+                  static_cast<double>(result.stats.aod_moves));
+  }
+
+  if (options.include_decoherence) {
+    const double factor = decoherence_factor(result.runtime_us, config);
+    if (options.per_qubit_decoherence) {
+      p *= std::pow(factor, static_cast<double>(result.circuit.n_qubits()));
+    } else {
+      p *= factor;
+    }
+  }
+
+  if (options.include_readout) {
+    p *= std::pow(1.0 - config.readout_error,
+                  static_cast<double>(result.circuit.n_qubits()));
+  }
+  if (options.include_atom_loss) {
+    p *= std::pow(1.0 - config.atom_loss_rate,
+                  static_cast<double>(result.circuit.n_qubits()));
+  }
+  return p;
+}
+
+}  // namespace parallax::noise

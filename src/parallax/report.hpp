@@ -1,0 +1,26 @@
+// Machine-readable compile reports: serializes a CompileResult (plus the
+// noise model's estimate) to JSON for downstream analysis pipelines.
+#pragma once
+
+#include <string>
+
+#include "hardware/config.hpp"
+#include "parallax/result.hpp"
+
+namespace parallax::compiler {
+
+struct ReportOptions {
+  /// Include the per-layer schedule (gates, durations, movement); makes the
+  /// report O(gates) large.
+  bool include_layers = false;
+  /// JSON indentation; < 0 for compact output.
+  int indent = 2;
+};
+
+/// JSON report with technique, gate statistics, runtime, topology summary,
+/// and the estimated success probability under `config`.
+[[nodiscard]] std::string report_json(const CompileResult& result,
+                                      const hardware::HardwareConfig& config,
+                                      const ReportOptions& options = {});
+
+}  // namespace parallax::compiler

@@ -1,0 +1,247 @@
+#include "parallax/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "circuit/dag.hpp"
+#include "parallax/movement.hpp"
+
+namespace parallax::compiler {
+
+namespace {
+
+double gate_time_us(const circuit::Gate& g,
+                    const hardware::HardwareConfig& config) {
+  switch (g.type) {
+    case circuit::GateType::kU3: return config.u3_time_us;
+    case circuit::GateType::kCZ: return config.cz_time_us;
+    case circuit::GateType::kSwap: return config.swap_time_us;
+    case circuit::GateType::kMeasure: return 0.0;  // readout happens once,
+                                                   // post-circuit
+    case circuit::GateType::kBarrier: return 0.0;
+  }
+  return 0.0;
+}
+
+/// Blockade interference at current atom positions: two CZ gates cannot run
+/// in the same layer if any endpoint of one lies within the blockade radius
+/// of an endpoint of the other (paper Fig. 3a).
+bool blockade_conflict(const hardware::Machine& machine,
+                       const circuit::Gate& g1, const circuit::Gate& g2) {
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (geom::distance(machine.position(g1.q[i]),
+                         machine.position(g2.q[j])) <
+          machine.blockade_radius()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ScheduleOutput schedule_gates(const circuit::Circuit& circuit,
+                              hardware::Machine& machine,
+                              const SchedulerOptions& options) {
+  if (circuit.swap_count() != 0) {
+    throw std::invalid_argument(
+        "Parallax scheduler requires a SWAP-free circuit (transpile first)");
+  }
+
+  ScheduleOutput output;
+  circuit::DependencyTracker dag(circuit);
+  MovementEngine mover(machine, options.max_move_iterations);
+  util::Rng rng(options.shuffle_seed);
+  const auto& config = machine.config();
+
+  machine.save_home();
+
+  while (!dag.done()) {
+    Layer layer;
+    bool moved_this_layer = false;
+
+    // --- lines 8-11: one ready gate per qubit -------------------------------
+    std::vector<std::size_t> candidates;
+    for (std::int32_t q = 0; q < circuit.n_qubits(); ++q) {
+      const auto next = dag.next_gate(q);
+      if (!next || !dag.is_ready(*next)) continue;
+      // A two-qubit gate surfaces from both endpoints; keep one copy.
+      if (!candidates.empty() &&
+          std::find(candidates.begin(), candidates.end(), *next) !=
+              candidates.end()) {
+        continue;
+      }
+      candidates.push_back(*next);
+    }
+    assert(!candidates.empty());  // a non-done DAG always has a ready head
+
+    // --- lines 12-19: movement resolution for out-of-range CZs --------------
+    // Trap changes are *recorded* here but only charged (time + error) for
+    // gates that survive the blockade filter and execute — an ejected gate
+    // retries in a later layer and must not accumulate phantom trap
+    // changes. The single physical AOD move is different: it mutates
+    // machine state, so the moved gate is pinned into the layer.
+    std::vector<std::size_t> accepted;
+    std::vector<char> needs_trap_change;  // parallel to `accepted`
+    std::size_t moved_gate = static_cast<std::size_t>(-1);
+    for (const std::size_t gi : candidates) {
+      const circuit::Gate& g = circuit.gate(gi);
+      if (g.type != circuit::GateType::kCZ ||
+          machine.within_interaction(g.q[0], g.q[1])) {
+        accepted.push_back(gi);
+        needs_trap_change.push_back(0);
+        continue;
+      }
+
+      // Prefer moving a mobile endpoint; one move-into-range per layer.
+      const bool q0_mobile = machine.atom(g.q[0]).in_aod();
+      const bool q1_mobile = machine.atom(g.q[1]).in_aod();
+      if ((q0_mobile || q1_mobile) && !moved_this_layer) {
+        const std::int32_t mobile = q0_mobile ? g.q[0] : g.q[1];
+        const std::int32_t anchor = q0_mobile ? g.q[1] : g.q[0];
+        const MoveOutcome move = mover.move_into_range(mobile, anchor);
+        if (move.success) {
+          moved_this_layer = true;
+          moved_gate = gi;
+          ++output.stats.aod_moves;
+          layer.move_distance_um =
+              std::max(layer.move_distance_um, move.max_distance_um);
+          output.stats.total_move_distance_um += move.max_distance_um;
+          output.stats.max_move_distance_um = std::max(
+              output.stats.max_move_distance_um, move.max_distance_um);
+          accepted.push_back(gi);
+          needs_trap_change.push_back(0);
+        } else {
+          // Failed moves are resolved with a trap change (paper Sec. III).
+          accepted.push_back(gi);
+          needs_trap_change.push_back(1);
+        }
+        continue;
+      }
+      if (!q0_mobile && !q1_mobile) {
+        // Both static and out of range: trap-and-move excursion (the ~1.3%
+        // case). The atom is temporarily AOD-trapped, moved into range,
+        // the gate runs, and it returns to its SLM trap within the layer.
+        accepted.push_back(gi);
+        needs_trap_change.push_back(2);  // 2 marks the SLM-SLM statistic
+        continue;
+      }
+      // Mobile endpoint exists but this layer already moved: defer the gate
+      // to a later layer (paper lines 16-17).
+    }
+
+    // --- line 20: shuffle to avoid starvation --------------------------------
+    {
+      std::vector<std::size_t> order(accepted.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.shuffle(order);
+      // Pin the physically-moved gate to the front so the blockade filter
+      // can never waste the move.
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (accepted[order[i]] == moved_gate) {
+          std::swap(order[0], order[i]);
+          break;
+        }
+      }
+      std::vector<std::size_t> acc2(accepted.size());
+      std::vector<char> tc2(accepted.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        acc2[i] = accepted[order[i]];
+        tc2[i] = needs_trap_change[order[i]];
+      }
+      accepted = std::move(acc2);
+      needs_trap_change = std::move(tc2);
+    }
+
+    // --- lines 21-22: blockade-interference serialization --------------------
+    std::vector<std::size_t> final_gates;
+    for (std::size_t idx = 0; idx < accepted.size(); ++idx) {
+      const std::size_t gi = accepted[idx];
+      const circuit::Gate& g = circuit.gate(gi);
+      if (g.type == circuit::GateType::kCZ) {
+        // Re-verify range: the layer's AOD move may have recursively
+        // displaced an endpoint of a gate that was in range when it was
+        // accepted. Such gates are ejected and retry next layer.
+        // (Trap-change gates execute via an excursion and are exempt.)
+        if (needs_trap_change[idx] == 0 &&
+            !machine.within_interaction(g.q[0], g.q[1])) {
+          continue;
+        }
+        bool conflicts = false;
+        for (const std::size_t prior : final_gates) {
+          const circuit::Gate& pg = circuit.gate(prior);
+          if (pg.type == circuit::GateType::kCZ &&
+              blockade_conflict(machine, g, pg)) {
+            conflicts = true;
+            break;
+          }
+        }
+        if (conflicts) continue;  // ejected back to the pool
+      }
+      if (needs_trap_change[idx] != 0) {
+        ++layer.trap_changes;
+        ++output.stats.trap_changes;
+        if (needs_trap_change[idx] == 2) ++output.stats.slm_slm_cz;
+      }
+      final_gates.push_back(gi);
+    }
+    if (final_gates.empty()) {
+      // Progress guarantee: if every accepted gate was ejected (which the
+      // movement engine's post-conditions should prevent), force the first
+      // accepted gate through with a trap-change excursion rather than
+      // spinning on an empty layer.
+      assert(!accepted.empty());
+      ++layer.trap_changes;
+      ++output.stats.trap_changes;
+      final_gates.push_back(accepted.front());
+    }
+
+    // --- line 23: execute -----------------------------------------------------
+    if (options.record_positions) {
+      layer.positions.reserve(static_cast<std::size_t>(machine.n_qubits()));
+      for (std::int32_t q = 0; q < machine.n_qubits(); ++q) {
+        layer.positions.push_back(machine.position(q));
+      }
+    }
+    double max_gate_time = 0.0;
+    for (const std::size_t gi : final_gates) {
+      const circuit::Gate& g = circuit.gate(gi);
+      max_gate_time = std::max(max_gate_time, gate_time_us(g, config));
+      switch (g.type) {
+        case circuit::GateType::kU3: ++output.stats.u3_gates; break;
+        case circuit::GateType::kCZ: ++output.stats.cz_gates; break;
+        default: break;
+      }
+      dag.mark_executed(gi);
+    }
+
+    // --- line 24: reset moved atoms -------------------------------------------
+    if (options.return_home) {
+      layer.return_distance_um = machine.return_all_home();
+    } else if (moved_this_layer) {
+      // Home drifts with the atoms: future saves anchor at current state.
+      machine.save_home();
+    }
+
+    layer.gates = std::move(final_gates);
+    layer.duration_us =
+        max_gate_time +
+        (layer.move_distance_um + layer.return_distance_um) /
+            config.aod_speed_um_per_us +
+        static_cast<double>(layer.trap_changes) * config.trap_switch_time_us;
+    output.runtime_us += layer.duration_us;
+    output.stats.layers += 1;
+    output.layers.push_back(std::move(layer));
+  }
+
+  // Every executed out-of-range CZ was resolved by exactly one AOD move or
+  // one trap change.
+  output.stats.out_of_range_cz =
+      output.stats.aod_moves + output.stats.trap_changes;
+  return output;
+}
+
+}  // namespace parallax::compiler

@@ -1,0 +1,42 @@
+// Post-hoc schedule validation: re-checks a CompileResult against the
+// paper's physical and logical invariants. Used by the property-test suite
+// and available to downstream users as a safety net after custom
+// modifications to the pipeline.
+//
+// Logical invariants (always checkable):
+//   L1  zero SWAP gates in a Parallax result;
+//   L2  every non-barrier gate scheduled exactly once;
+//   L3  no two gates in a layer touch the same qubit;
+//   L4  per-qubit gate order equals the circuit's program order.
+// Physical invariants (need SchedulerOptions::record_positions):
+//   P1  every CZ executes with its atoms within the interaction radius;
+//   P2  no two distinct CZs in a layer violate the blockade radius;
+//   P3  the minimum separation constraint holds at every execution snapshot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hardware/config.hpp"
+#include "parallax/result.hpp"
+
+namespace parallax::compiler {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message) {
+    ok = false;
+    violations.push_back(std::move(message));
+  }
+};
+
+/// Validates all checkable invariants of `result` on `config`.
+/// `expect_zero_swaps` should be true for Parallax results and false for
+/// the SWAP-routing baselines.
+[[nodiscard]] ValidationReport validate_schedule(
+    const CompileResult& result, const hardware::HardwareConfig& config,
+    bool expect_zero_swaps = true);
+
+}  // namespace parallax::compiler

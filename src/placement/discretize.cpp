@@ -1,0 +1,80 @@
+#include "placement/discretize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace parallax::placement {
+
+PhysicalTopology discretize(const Topology& topology,
+                            const hardware::HardwareConfig& config,
+                            const DiscretizeOptions& options) {
+  const auto n = topology.positions.size();
+  if (n > static_cast<std::size_t>(config.n_atoms())) {
+    throw std::runtime_error(
+        "circuit needs " + std::to_string(n) + " qubits but machine '" +
+        config.name + "' has " + std::to_string(config.n_atoms()) + " sites");
+  }
+
+  PhysicalTopology physical;
+  physical.grid = geom::Grid(config.grid_side, config.pitch_um());
+  physical.sites.resize(n);
+
+  // Scale the normalized placement onto the full grid extent. Normalized
+  // coordinates may use only part of [0,1]^2; rescaling the bounding box
+  // keeps relative structure while using the available space.
+  double min_x = 1.0, min_y = 1.0, max_x = 0.0, max_y = 0.0;
+  for (const auto& p : topology.positions) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  // Footprint: a compact square sub-region sized to the circuit, so small
+  // circuits leave room for parallel logical shots and the interaction
+  // radius stays short.
+  const auto wanted_side = static_cast<std::int32_t>(
+      std::ceil(std::sqrt(static_cast<double>(n)) * options.spread_factor));
+  const std::int32_t region_side =
+      std::clamp(wanted_side, std::int32_t{2}, config.grid_side);
+  const double extent = (region_side - 1) * physical.grid.pitch();
+  auto to_physical = [&](geom::Point p) {
+    return geom::Point{(p.x - min_x) / span_x * extent,
+                       (p.y - min_y) / span_y * extent};
+  };
+
+  // Snap qubits in order of "most constrained first": qubits whose ideal
+  // cell is contested should claim it before less-picky neighbours distort.
+  // A simple effective order is by insertion distance after a first-come
+  // pass; here we snap in index order but search spirally for the nearest
+  // free cell, which bounds per-qubit distortion by the local crowding.
+  geom::Occupancy occupancy(physical.grid);
+  for (std::size_t q = 0; q < n; ++q) {
+    const geom::Point target = to_physical(topology.positions[q]);
+    const geom::Cell ideal = physical.grid.nearest_cell(target);
+    const auto cell = occupancy.nearest_free(ideal);
+    if (!cell) throw std::runtime_error("grid full during discretization");
+    physical.sites[q] = *cell;
+    occupancy.set(*cell, true);
+  }
+
+  // Recompute the interaction radius on physical positions so the in-range
+  // graph stays connected after snapping distortion. Clamp below by sqrt(2)
+  // pitch so diagonal neighbours always interact.
+  std::vector<geom::Point> points;
+  points.reserve(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    points.push_back(physical.grid.position(physical.sites[q]));
+  }
+  const double bottleneck = bottleneck_connect_radius(points);
+  physical.interaction_radius_um =
+      std::max(bottleneck, physical.grid.pitch() * std::sqrt(2.0)) *
+      (1.0 + 1e-9);
+  physical.blockade_radius_um = 2.5 * physical.interaction_radius_um;
+  return physical;
+}
+
+}  // namespace parallax::placement

@@ -1,0 +1,175 @@
+#include "placement/graphine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace parallax::placement {
+
+double placement_objective(const std::vector<double>& coords,
+                           const circuit::InteractionGraph& graph,
+                           const GraphineOptions& options) {
+  const auto n = static_cast<std::size_t>(graph.n_qubits());
+  assert(coords.size() == 2 * n);
+  auto point = [&](std::size_t q) {
+    return geom::Point{coords[2 * q], coords[2 * q + 1]};
+  };
+
+  double cost = 0.0;
+  for (const auto& e : graph.edges()) {
+    cost += static_cast<double>(e.weight) *
+            geom::distance(point(static_cast<std::size_t>(e.a)),
+                           point(static_cast<std::size_t>(e.b)));
+  }
+
+  // Crowding penalty: soft minimum distance scaled by density so that the
+  // layout spreads out. Quadratic in the violation.
+  if (n > 1) {
+    const double d_min =
+        options.crowding_distance / std::sqrt(static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = geom::distance(point(i), point(j));
+        if (d < d_min) {
+          const double v = d_min - d;
+          cost += options.crowding_weight * v * v / (d_min * d_min);
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+double bottleneck_connect_radius(const std::vector<geom::Point>& points) {
+  const std::size_t n = points.size();
+  if (n <= 1) return 0.0;
+  // Prim's algorithm on the complete Euclidean graph; the answer is the
+  // largest edge used, i.e. the bottleneck of the MST.
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<char> used(n, 0);
+  best[0] = 0.0;
+  double bottleneck = 0.0;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t pick = n;
+    double pick_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i] && best[i] < pick_d) {
+        pick_d = best[i];
+        pick = i;
+      }
+    }
+    assert(pick < n);
+    used[pick] = 1;
+    bottleneck = std::max(bottleneck, pick_d);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i]) {
+        best[i] = std::min(best[i], geom::distance(points[pick], points[i]));
+      }
+    }
+  }
+  return bottleneck;
+}
+
+namespace {
+
+/// Warm-start layout: BFS over the interaction graph from a low-degree
+/// vertex (a chain endpoint, when there is one), laid out along a
+/// serpentine curve over a sqrt(n) x sqrt(n) virtual grid. For structured
+/// circuits (TFIM's chain, QEC's comb) this is already near-optimal; for
+/// dense circuits it is merely a sane start the annealer improves on.
+std::vector<double> serpentine_seed(const circuit::InteractionGraph& graph) {
+  const auto n = static_cast<std::size_t>(graph.n_qubits());
+  // Adjacency sorted by edge weight (heavy edges first in BFS expansion).
+  std::vector<std::vector<std::pair<std::int64_t, std::int32_t>>> adj(n);
+  for (const auto& e : graph.edges()) {
+    adj[static_cast<std::size_t>(e.a)].push_back({e.weight, e.b});
+    adj[static_cast<std::size_t>(e.b)].push_back({e.weight, e.a});
+  }
+  for (auto& list : adj) {
+    std::sort(list.rbegin(), list.rend());
+  }
+
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::vector<char> seen(n, 0);
+  // Visit components, each from its minimum-positive-degree vertex.
+  for (;;) {
+    std::int32_t start = -1;
+    for (std::int32_t q = 0; q < graph.n_qubits(); ++q) {
+      if (seen[static_cast<std::size_t>(q)]) continue;
+      if (start < 0 || graph.partner_count(q) < graph.partner_count(start)) {
+        start = q;
+      }
+    }
+    if (start < 0) break;
+    std::deque<std::int32_t> queue{start};
+    seen[static_cast<std::size_t>(start)] = 1;
+    while (!queue.empty()) {
+      const std::int32_t q = queue.front();
+      queue.pop_front();
+      order.push_back(q);
+      for (const auto& [w, next] : adj[static_cast<std::size_t>(q)]) {
+        if (!seen[static_cast<std::size_t>(next)]) {
+          seen[static_cast<std::size_t>(next)] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<double> coords(2 * n, 0.5);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t row = rank / side;
+    std::size_t col = rank % side;
+    if (row % 2 == 1) col = side - 1 - col;  // serpentine
+    const auto q = static_cast<std::size_t>(order[rank]);
+    const double denom = static_cast<double>(std::max<std::size_t>(side - 1, 1));
+    coords[2 * q] = static_cast<double>(col) / denom;
+    coords[2 * q + 1] = static_cast<double>(row) / denom;
+  }
+  return coords;
+}
+
+}  // namespace
+
+Topology graphine_place(const circuit::InteractionGraph& graph,
+                        const GraphineOptions& options) {
+  const auto n = static_cast<std::size_t>(graph.n_qubits());
+  Topology topology;
+  topology.positions.resize(n);
+  if (n == 0) return topology;
+  if (n == 1) {
+    topology.positions[0] = {0.5, 0.5};
+    return topology;
+  }
+
+  const std::vector<double> lower(2 * n, 0.0);
+  const std::vector<double> upper(2 * n, 1.0);
+
+  anneal::DualAnnealingOptions anneal_options;
+  anneal_options.max_iterations = options.anneal_iterations;
+  anneal_options.local_options.max_evaluations =
+      options.local_search_evaluations;
+  anneal_options.seed = options.seed;
+  if (options.warm_start) {
+    anneal_options.initial = serpentine_seed(graph);
+  }
+
+  const auto objective = [&](const std::vector<double>& coords) {
+    return placement_objective(coords, graph, options);
+  };
+  const auto result =
+      anneal::dual_annealing(objective, lower, upper, anneal_options);
+
+  for (std::size_t q = 0; q < n; ++q) {
+    topology.positions[q] = {result.x[2 * q], result.x[2 * q + 1]};
+  }
+  topology.interaction_radius = bottleneck_connect_radius(topology.positions);
+  return topology;
+}
+
+}  // namespace parallax::placement

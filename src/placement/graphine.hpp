@@ -1,0 +1,55 @@
+// GRAPHINE-style initial topology generation (paper Sec. II-A): the circuit
+// is converted to a weighted interaction graph, dual annealing places qubits
+// on a normalized [0,1]^2 plane so that heavily-interacting pairs are close,
+// and the Rydberg interaction radius is chosen as the smallest radius that
+// keeps every qubit reachable (the bottleneck edge of the Euclidean MST).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/dual_annealing.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "geometry/point.hpp"
+
+namespace parallax::placement {
+
+struct GraphineOptions {
+  /// Annealing sweeps for the global placement search. The effective
+  /// evaluation budget is max_iterations plus periodic local searches.
+  int anneal_iterations = 600;
+  /// Local-search evaluation budget per invocation.
+  int local_search_evaluations = 400;
+  /// Crowding penalty: pairs closer than `crowding_distance / sqrt(n)` are
+  /// penalized quadratically so the layout cannot collapse to a point.
+  double crowding_distance = 0.5;
+  double crowding_weight = 10.0;
+  /// Seed the annealer with a BFS-serpentine heuristic layout instead of a
+  /// random state. Dramatically better for structured circuits (chains,
+  /// combs) at any annealing budget; the annealer still explores globally.
+  bool warm_start = true;
+  std::uint64_t seed = 0x6ea7;
+};
+
+/// A placement in normalized coordinates plus the selected radius.
+struct Topology {
+  std::vector<geom::Point> positions;  // one per logical qubit, in [0,1]^2
+  double interaction_radius = 0.0;     // normalized units
+};
+
+/// Weighted-edge placement objective (exposed for tests): sum of
+/// weight * distance over edges plus the crowding penalty.
+[[nodiscard]] double placement_objective(
+    const std::vector<double>& coords,
+    const circuit::InteractionGraph& graph, const GraphineOptions& options);
+
+/// Smallest radius r such that the graph "two points connected iff within r"
+/// is connected: the maximum edge of the Euclidean minimum spanning tree.
+[[nodiscard]] double bottleneck_connect_radius(
+    const std::vector<geom::Point>& points);
+
+/// Runs the annealed placement for a circuit's interaction graph.
+[[nodiscard]] Topology graphine_place(const circuit::InteractionGraph& graph,
+                                      const GraphineOptions& options = {});
+
+}  // namespace parallax::placement

@@ -1,0 +1,40 @@
+#include "qasm/ast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parallax::qasm {
+
+double Expr::eval(const std::vector<double>& params) const {
+  switch (kind) {
+    case Kind::kNumber:
+      return number;
+    case Kind::kParam:
+      return params.at(static_cast<std::size_t>(param_index));
+    case Kind::kNegate:
+      return -lhs->eval(params);
+    case Kind::kAdd:
+      return lhs->eval(params) + rhs->eval(params);
+    case Kind::kSub:
+      return lhs->eval(params) - rhs->eval(params);
+    case Kind::kMul:
+      return lhs->eval(params) * rhs->eval(params);
+    case Kind::kDiv:
+      return lhs->eval(params) / rhs->eval(params);
+    case Kind::kPow:
+      return std::pow(lhs->eval(params), rhs->eval(params));
+    case Kind::kCall: {
+      const double v = lhs->eval(params);
+      if (func == "sin") return std::sin(v);
+      if (func == "cos") return std::cos(v);
+      if (func == "tan") return std::tan(v);
+      if (func == "exp") return std::exp(v);
+      if (func == "ln") return std::log(v);
+      if (func == "sqrt") return std::sqrt(v);
+      throw std::runtime_error("unknown function: " + func);
+    }
+  }
+  throw std::logic_error("corrupt expression node");
+}
+
+}  // namespace parallax::qasm

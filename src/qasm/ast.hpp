@@ -1,0 +1,60 @@
+// AST fragments the parser keeps around: parameter expression trees (needed
+// lazily, since gate-body expressions are evaluated at each expansion with
+// different bindings) and gate macro definitions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parallax::qasm {
+
+/// Parameter expression tree. Identifiers are resolved at parse time either
+/// to the constant pi or to a formal-parameter slot index.
+struct Expr {
+  enum class Kind : unsigned char {
+    kNumber,
+    kParam,   // formal parameter reference (slot)
+    kNegate,  // unary minus
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kPow,
+    kCall,  // sin/cos/tan/exp/ln/sqrt
+  };
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;       // kNumber
+  int param_index = -1;      // kParam
+  std::string func;          // kCall
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  /// Evaluates with the given formal-parameter bindings.
+  [[nodiscard]] double eval(const std::vector<double>& params) const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One statement inside a gate body: either a nested gate call or a barrier
+/// (barriers inside macro bodies are accepted and ignored, as they only
+/// constrain intra-macro scheduling, which our IR does not track).
+struct BodyStatement {
+  bool is_barrier = false;
+  std::string gate_name;
+  std::vector<ExprPtr> params;       // expressions over the formals
+  std::vector<int> argument_slots;   // indices into the formal qubit args
+};
+
+/// A `gate` definition (macro). Bodies reference formal qubit arguments by
+/// slot and formal parameters by slot.
+struct GateDef {
+  std::string name;
+  int n_params = 0;
+  int n_qubits = 0;
+  std::vector<BodyStatement> body;
+  bool opaque = false;  // declared `opaque`: instantiating it is an error
+};
+
+}  // namespace parallax::qasm

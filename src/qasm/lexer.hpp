@@ -1,0 +1,30 @@
+// Hand-written lexer for OpenQASM 2.0. Line comments (`//`) are skipped;
+// positions are tracked for error reporting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qasm/token.hpp"
+
+namespace parallax::qasm {
+
+/// Thrown for any lexical or syntactic error; carries line/column.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenizes the full source; the result always ends with a kEof token.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace parallax::qasm

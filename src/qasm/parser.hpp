@@ -1,0 +1,34 @@
+// Recursive-descent parser for OpenQASM 2.0. Produces a flat
+// circuit::Circuit in the {U3, CZ, SWAP, measure, barrier} representation:
+// custom `gate` macros are fully expanded; the native cz/swap idioms from
+// qelib1 are recognized and kept as native gates rather than re-decomposed.
+//
+// Supported: OPENQASM header, include "qelib1.inc" (embedded), qreg/creg,
+// gate definitions with parameter expressions, gate calls with QASM2
+// register broadcasting, U/CX builtins, measure, barrier.
+// Rejected with ParseError: opaque-gate instantiation, reset, if().
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+#include "qasm/lexer.hpp"
+
+namespace parallax::qasm {
+
+struct ParseResult {
+  circuit::Circuit circuit;
+  int n_classical_bits = 0;
+};
+
+/// Parses QASM source text. `name` becomes the circuit name.
+[[nodiscard]] ParseResult parse(std::string_view source,
+                                std::string name = "");
+
+/// Reads and parses a .qasm file; the file stem becomes the circuit name.
+/// Throws std::runtime_error if the file cannot be read, ParseError on
+/// syntax errors.
+[[nodiscard]] ParseResult parse_file(const std::string& path);
+
+}  // namespace parallax::qasm

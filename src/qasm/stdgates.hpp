@@ -1,0 +1,14 @@
+// The standard `qelib1.inc` gate library, embedded as QASM source so that
+// `include "qelib1.inc"` works without any filesystem dependency — and so
+// the parser's own macro machinery defines the standard gates.
+#pragma once
+
+#include <string_view>
+
+namespace parallax::qasm {
+
+/// QASM 2.0 source of the standard library (the common qelib1.inc subset
+/// plus the aliases QASMBench circuits rely on: p, u, sx, cp, cu, rxx, rzz).
+[[nodiscard]] std::string_view qelib1_source();
+
+}  // namespace parallax::qasm

@@ -1,0 +1,41 @@
+// Token definitions for the OpenQASM 2.0 lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parallax::qasm {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // names, keywords, `pi`
+  kNumber,      // integer or real literal
+  kString,      // "quoted"
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kLBracket,    // [
+  kRBracket,    // ]
+  kSemicolon,   // ;
+  kComma,       // ,
+  kArrow,       // ->
+  kEqualEqual,  // ==
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kCaret,       // ^
+  kEof,
+};
+
+[[nodiscard]] std::string to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier/string content or literal spelling
+  double value = 0.0;   // numeric value for kNumber
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace parallax::qasm

@@ -1,0 +1,50 @@
+#include "qasm/writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parallax::qasm {
+
+std::string to_qasm(const circuit::Circuit& circuit) {
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  out << "qreg q[" << circuit.n_qubits() << "];\n";
+  if (circuit.count(circuit::GateType::kMeasure) > 0) {
+    out << "creg c[" << circuit.n_qubits() << "];\n";
+  }
+  char buf[160];
+  for (const circuit::Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case circuit::GateType::kU3:
+        std::snprintf(buf, sizeof(buf), "u3(%.17g,%.17g,%.17g) q[%d];\n",
+                      g.theta, g.phi, g.lambda, g.q[0]);
+        out << buf;
+        break;
+      case circuit::GateType::kCZ:
+        out << "cz q[" << g.q[0] << "],q[" << g.q[1] << "];\n";
+        break;
+      case circuit::GateType::kSwap:
+        out << "swap q[" << g.q[0] << "],q[" << g.q[1] << "];\n";
+        break;
+      case circuit::GateType::kMeasure:
+        out << "measure q[" << g.q[0] << "] -> c[" << g.q[0] << "];\n";
+        break;
+      case circuit::GateType::kBarrier:
+        out << "barrier q;\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+void write_qasm_file(const circuit::Circuit& circuit,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << to_qasm(circuit);
+}
+
+}  // namespace parallax::qasm

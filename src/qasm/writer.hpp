@@ -1,0 +1,18 @@
+// Serializes a circuit back to OpenQASM 2.0. Supports round-trip testing and
+// lets users export compiled/transpiled circuits to other toolchains.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace parallax::qasm {
+
+/// Emits OPENQASM 2.0 text for a circuit in the {U3, CZ, SWAP} basis. One
+/// qreg `q[n]` and (if the circuit measures) one creg `c[n]` are declared.
+[[nodiscard]] std::string to_qasm(const circuit::Circuit& circuit);
+
+/// Writes to_qasm(circuit) to `path`; throws std::runtime_error on I/O error.
+void write_qasm_file(const circuit::Circuit& circuit, const std::string& path);
+
+}  // namespace parallax::qasm

@@ -1,0 +1,77 @@
+#include "shots/parallelize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parallax::shots {
+
+std::int32_t footprint_side(const compiler::CompileResult& result) {
+  std::int32_t min_col = 0, min_row = 0, max_col = 0, max_row = 0;
+  bool first = true;
+  for (const auto& cell : result.topology.sites) {
+    if (first) {
+      min_col = max_col = cell.col;
+      min_row = max_row = cell.row;
+      first = false;
+      continue;
+    }
+    min_col = std::min(min_col, cell.col);
+    max_col = std::max(max_col, cell.col);
+    min_row = std::min(min_row, cell.row);
+    max_row = std::max(max_row, cell.row);
+  }
+  if (first) return 1;  // empty circuit
+  // +1 to convert the inclusive span to a width, +1 margin cell between
+  // neighbouring copies.
+  return std::max(max_col - min_col, max_row - min_row) + 2;
+}
+
+namespace {
+/// AOD lines a single copy occupies (rows and columns are selected in equal
+/// numbers by construction — one atom per pair).
+std::int32_t lines_per_copy(const compiler::CompileResult& result) {
+  return static_cast<std::int32_t>(result.aod_qubit_count());
+}
+}  // namespace
+
+std::int32_t max_copies_per_dim(const compiler::CompileResult& result,
+                                const hardware::HardwareConfig& config) {
+  const std::int32_t footprint = footprint_side(result);
+  std::int32_t by_space = std::max(1, config.grid_side / footprint);
+  const std::int32_t lines = lines_per_copy(result);
+  if (lines > 0) {
+    const std::int32_t by_aod =
+        std::max(1, std::min(config.aod_rows, config.aod_cols) / lines);
+    by_space = std::min(by_space, by_aod);
+  }
+  return by_space;
+}
+
+ParallelPlan plan_parallel_shots(const compiler::CompileResult& result,
+                                 const hardware::HardwareConfig& config,
+                                 std::int32_t copies_per_dim,
+                                 const ShotOptions& options) {
+  ParallelPlan plan;
+  plan.copies_per_dim =
+      std::clamp(copies_per_dim, 1, max_copies_per_dim(result, config));
+  plan.copies = plan.copies_per_dim * plan.copies_per_dim;
+  plan.physical_shots =
+      (options.logical_shots + plan.copies - 1) / plan.copies;
+  plan.total_execution_time_us =
+      static_cast<double>(plan.physical_shots) *
+      (result.runtime_us + options.inter_shot_overhead_us);
+  return plan;
+}
+
+std::vector<ParallelPlan> parallelization_sweep(
+    const compiler::CompileResult& result,
+    const hardware::HardwareConfig& config, const ShotOptions& options) {
+  std::vector<ParallelPlan> plans;
+  const std::int32_t max_dim = max_copies_per_dim(result, config);
+  for (std::int32_t k = 1; k <= max_dim; ++k) {
+    plans.push_back(plan_parallel_shots(result, config, k, options));
+  }
+  return plans;
+}
+
+}  // namespace parallax::shots

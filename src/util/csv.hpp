@@ -1,0 +1,27 @@
+// Minimal CSV writer used by the bench harness to dump machine-readable
+// results next to the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace parallax::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header line. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  std::ofstream out_;
+  std::size_t cols_;
+
+  static std::string escape(const std::string& cell);
+  void write_line(const std::vector<std::string>& cells);
+};
+
+}  // namespace parallax::util

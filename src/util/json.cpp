@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace parallax::util {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.value_ = std::make_shared<Object>();
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.value_ = std::make_shared<Array>();
+  return v;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  auto* object = std::get_if<std::shared_ptr<Object>>(&value_);
+  assert(object != nullptr && *object != nullptr);
+  for (auto& [k, v] : (*object)->fields) {
+    if (k == key) return v;
+  }
+  (*object)->fields.emplace_back(key, JsonValue());
+  return (*object)->fields.back().second;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  auto* array = std::get_if<std::shared_ptr<Array>>(&value_);
+  assert(array != nullptr && *array != nullptr);
+  (*array)->items.push_back(std::move(value));
+}
+
+void JsonValue::write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                                ' ')
+                  : "";
+  const std::string close_pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                  : "";
+  const char* newline = indent >= 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (*d == std::floor(*d) && std::abs(*d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", *d);
+      out += buf;
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", *d);
+      out += buf;
+    }
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    write_escaped(out, *s);
+  } else if (const auto* object = std::get_if<std::shared_ptr<Object>>(&value_)) {
+    const auto& fields = (*object)->fields;
+    if (fields.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += newline;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out += pad;
+      write_escaped(out, fields[i].first);
+      out += indent >= 0 ? ": " : ":";
+      fields[i].second.write(out, indent, depth + 1);
+      if (i + 1 < fields.size()) out += ',';
+      out += newline;
+    }
+    out += close_pad;
+    out += '}';
+  } else if (const auto* array = std::get_if<std::shared_ptr<Array>>(&value_)) {
+    const auto& items = (*array)->items;
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += newline;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out += pad;
+      items[i].write(out, indent, depth + 1);
+      if (i + 1 < items.size()) out += ',';
+      out += newline;
+    }
+    out += close_pad;
+    out += ']';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace parallax::util

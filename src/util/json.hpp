@@ -1,0 +1,56 @@
+// Minimal JSON writer (objects, arrays, strings, numbers, booleans) used to
+// export compile reports for downstream tooling. Write-only by design — the
+// repository has no need to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace parallax::util {
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::size_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+
+  /// Creates an (initially empty) object / array.
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Object field access (creates the field); asserts object-ness.
+  JsonValue& operator[](const std::string& key);
+  /// Array append.
+  void push_back(JsonValue value);
+
+  /// Serializes; `indent` < 0 means compact single-line output.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  struct Object {
+    std::vector<std::pair<std::string, JsonValue>> fields;
+  };
+  struct Array {
+    std::vector<JsonValue> items;
+  };
+  // Recursive types via unique_ptr-free vectors of JsonValue (JsonValue is
+  // complete inside Object/Array thanks to indirection through vector).
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_escaped(std::string& out, const std::string& s);
+};
+
+}  // namespace parallax::util

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace parallax::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  const char c = s.front();
+  return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.';
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (looks_numeric(row[c]) && c > 0) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string format_compact(double v) {
+  if (std::abs(v) >= 1e4) {
+    return format_sci(v, 1);
+  }
+  if (v == std::floor(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  return format_fixed(v, 1);
+}
+
+std::string format_percent(double fraction) {
+  return format_fixed(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace parallax::util

@@ -1,0 +1,132 @@
+// Optimizer tests: Nelder-Mead convergence on standard functions and dual
+// annealing's ability to escape local minima and respect box constraints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anneal/dual_annealing.hpp"
+#include "anneal/nelder_mead.hpp"
+
+namespace pa = parallax::anneal;
+
+namespace {
+double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    s += 100.0 * a * a + b * b;
+  }
+  return s;
+}
+
+/// Rastrigin: many local minima, global minimum 0 at the origin.
+double rastrigin(const std::vector<double>& x) {
+  double s = 10.0 * static_cast<double>(x.size());
+  for (double v : x) s += v * v - 10.0 * std::cos(2.0 * M_PI * v);
+  return s;
+}
+}  // namespace
+
+TEST(NelderMead, MinimizesSphere) {
+  const std::vector<double> lower(3, -10.0), upper(3, 10.0);
+  const auto result =
+      pa::nelder_mead(sphere, {4.0, -3.0, 2.0}, lower, upper);
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D) {
+  const std::vector<double> lower(2, -5.0), upper(2, 5.0);
+  pa::NelderMeadOptions options;
+  options.max_evaluations = 20000;
+  const auto result =
+      pa::nelder_mead(rosenbrock, {-1.2, 1.0}, lower, upper, options);
+  EXPECT_LT(result.value, 1e-4);
+  EXPECT_NEAR(result.x[0], 1.0, 0.05);
+  EXPECT_NEAR(result.x[1], 1.0, 0.05);
+}
+
+TEST(NelderMead, RespectsBoxConstraints) {
+  // Unconstrained minimum at (-3, -3) but the box is [0, 5]^2: the result
+  // must stay inside the box and approach its corner.
+  auto shifted = [](const std::vector<double>& x) {
+    return (x[0] + 3) * (x[0] + 3) + (x[1] + 3) * (x[1] + 3);
+  };
+  const std::vector<double> lower(2, 0.0), upper(2, 5.0);
+  const auto result = pa::nelder_mead(shifted, {4.0, 4.0}, lower, upper);
+  EXPECT_GE(result.x[0], 0.0);
+  EXPECT_GE(result.x[1], 0.0);
+  EXPECT_NEAR(result.x[0], 0.0, 0.05);
+  EXPECT_NEAR(result.x[1], 0.0, 0.05);
+}
+
+TEST(NelderMead, ReportsEvaluationCount) {
+  const std::vector<double> lower(2, -1.0), upper(2, 1.0);
+  pa::NelderMeadOptions options;
+  options.max_evaluations = 100;
+  const auto result = pa::nelder_mead(sphere, {0.5, 0.5}, lower, upper, options);
+  EXPECT_GT(result.evaluations, 0);
+  EXPECT_LE(result.evaluations, 110);  // a final shrink may slightly overshoot
+}
+
+TEST(DualAnnealing, MinimizesSphere) {
+  const std::vector<double> lower(4, -10.0), upper(4, 10.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 500;
+  options.seed = 1;
+  const auto result = pa::dual_annealing(sphere, lower, upper, options);
+  EXPECT_LT(result.value, 1e-4);
+}
+
+TEST(DualAnnealing, EscapesRastriginLocalMinima) {
+  const std::vector<double> lower(2, -5.12), upper(2, 5.12);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 2000;
+  options.seed = 7;
+  const auto result = pa::dual_annealing(rastrigin, lower, upper, options);
+  // Plain local search from a random start lands in one of the many local
+  // minima (value >= ~1); dual annealing should find the global basin.
+  EXPECT_LT(result.value, 1.0);
+}
+
+TEST(DualAnnealing, StaysInsideBox) {
+  const std::vector<double> lower(3, 2.0), upper(3, 3.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 300;
+  options.seed = 3;
+  const auto result = pa::dual_annealing(sphere, lower, upper, options);
+  for (double v : result.x) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 3.0);
+  }
+  // Constrained minimum of the sphere on [2,3]^3 is at (2,2,2).
+  EXPECT_NEAR(result.value, 12.0, 0.1);
+}
+
+TEST(DualAnnealing, DeterministicForSeed) {
+  const std::vector<double> lower(2, -5.0), upper(2, 5.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 200;
+  options.seed = 42;
+  const auto a = pa::dual_annealing(rastrigin, lower, upper, options);
+  const auto b = pa::dual_annealing(rastrigin, lower, upper, options);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(DualAnnealing, LocalSearchCanBeDisabled) {
+  const std::vector<double> lower(2, -5.0), upper(2, 5.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 200;
+  options.local_search_interval = 0;
+  options.seed = 5;
+  const auto result = pa::dual_annealing(sphere, lower, upper, options);
+  EXPECT_EQ(result.local_searches, 0);
+  EXPECT_LT(result.value, 1.0);  // coarse but in the basin
+}

@@ -1,0 +1,118 @@
+// Benchmark generator tests: every Table III circuit must have the paper's
+// qubit count, a connected interaction graph (so every compiler can route
+// it), nontrivial two-qubit structure, and deterministic generation.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/registry.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "circuit/transpile.hpp"
+
+namespace pb = parallax::bench_circuits;
+namespace pc = parallax::circuit;
+
+namespace {
+const std::map<std::string, std::int32_t> kPaperQubits = {
+    {"ADD", 9},   {"ADV", 9},   {"GCM", 13},  {"HSB", 16},  {"HLF", 10},
+    {"KNN", 25},  {"MLT", 10},  {"QAOA", 10}, {"QEC", 17},  {"QFT", 10},
+    {"QGAN", 39}, {"QV", 32},   {"SAT", 11},  {"SECA", 11}, {"SQRT", 18},
+    {"TFIM", 128}, {"VQE", 28}, {"WST", 27}};
+}  // namespace
+
+TEST(BenchCircuits, RegistryHasAll18) {
+  const auto& all = pb::all_benchmarks();
+  EXPECT_EQ(all.size(), 18u);
+  for (const auto& info : all) {
+    ASSERT_TRUE(kPaperQubits.count(info.acronym)) << info.acronym;
+  }
+}
+
+TEST(BenchCircuits, UnknownNameThrows) {
+  EXPECT_THROW((void)pb::make_benchmark("NOPE"), std::invalid_argument);
+}
+
+class BenchCircuitTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchCircuitTest, QubitCountMatchesTableIII) {
+  const auto circuit = pb::make_benchmark(GetParam());
+  EXPECT_EQ(circuit.n_qubits(), kPaperQubits.at(GetParam()));
+  EXPECT_EQ(circuit.name(), GetParam());
+}
+
+TEST_P(BenchCircuitTest, HasTwoQubitStructure) {
+  const auto circuit = pb::make_benchmark(GetParam());
+  const auto transpiled = pc::transpile(circuit);
+  EXPECT_GT(transpiled.cz_count(), 0u);
+  EXPECT_GT(transpiled.depth(), 2u);
+}
+
+TEST_P(BenchCircuitTest, InteractionGraphConnected) {
+  const auto transpiled = pc::transpile(pb::make_benchmark(GetParam()));
+  const pc::InteractionGraph graph(transpiled);
+  EXPECT_TRUE(graph.connected_over_active())
+      << GetParam() << " has a disconnected interaction graph";
+}
+
+TEST_P(BenchCircuitTest, DeterministicForSeed) {
+  pb::GenOptions options;
+  options.seed = 77;
+  const auto a = pb::make_benchmark(GetParam(), options);
+  const auto b = pb::make_benchmark(GetParam(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gate(i).type, b.gate(i).type);
+    EXPECT_EQ(a.gate(i).q, b.gate(i).q);
+    EXPECT_EQ(a.gate(i).theta, b.gate(i).theta);
+  }
+}
+
+TEST_P(BenchCircuitTest, EndsWithMeasurement) {
+  const auto circuit = pb::make_benchmark(GetParam());
+  EXPECT_GT(circuit.count(pc::GateType::kMeasure), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchCircuitTest,
+    ::testing::Values("ADD", "ADV", "GCM", "HSB", "HLF", "KNN", "MLT", "QAOA",
+                      "QEC", "QFT", "QGAN", "QV", "SAT", "SECA", "SQRT",
+                      "TFIM", "VQE", "WST"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(BenchCircuits, TfimCzCountMatchesPaper) {
+  // 10 Trotter steps x 127 bonds x 2 CZ = 2,540 — the paper's exact Fig. 9
+  // TFIM count for all three techniques.
+  const auto transpiled = pc::transpile(pb::make_benchmark("TFIM"));
+  EXPECT_EQ(transpiled.cz_count(), 2540u);
+}
+
+TEST(BenchCircuits, QvCzCountMatchesPaper) {
+  // 31 rounds x 16 pairs x 3 CZ = 1,488 (Fig. 9's Parallax QV count).
+  const auto transpiled = pc::transpile(pb::make_benchmark("QV"));
+  EXPECT_EQ(transpiled.cz_count(), 1488u);
+}
+
+TEST(BenchCircuits, TfimHasLowConnectivity) {
+  // The paper singles out TFIM as the structured low-connectivity case:
+  // each qubit interacts with at most 2 others.
+  const auto transpiled = pc::transpile(pb::make_benchmark("TFIM"));
+  const pc::InteractionGraph graph(transpiled);
+  for (std::int32_t q = 0; q < transpiled.n_qubits(); ++q) {
+    EXPECT_LE(graph.partner_count(q), 2);
+  }
+}
+
+TEST(BenchCircuits, QvHasHighConnectivity) {
+  const auto transpiled = pc::transpile(pb::make_benchmark("QV"));
+  const pc::InteractionGraph graph(transpiled);
+  EXPECT_GT(graph.mean_connectivity(), 5.0);
+}
+
+TEST(BenchCircuits, FullScaleVqeIsMuchBigger) {
+  pb::GenOptions small, full;
+  full.full_scale = true;
+  // Compare generator outputs without paying for a full transpile.
+  const auto a = pb::make_benchmark("VQE", small);
+  const auto b = pb::make_benchmark("VQE", full);
+  EXPECT_GT(b.size(), 20u * a.size());
+}

@@ -1,0 +1,87 @@
+// Geometry tests: points, cells, grids, occupancy spiral search.
+#include <gtest/gtest.h>
+
+#include "geometry/grid.hpp"
+#include "geometry/point.hpp"
+
+namespace pg = parallax::geom;
+
+TEST(Point, Arithmetic) {
+  const pg::Point a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (pg::Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (pg::Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (pg::Point{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(pg::distance(a, b), std::hypot(2.0, 3.0));
+  EXPECT_DOUBLE_EQ(pg::distance_sq(a, b), 13.0);
+}
+
+TEST(Cell, Distances) {
+  const pg::Cell a{0, 0}, b{3, -4};
+  EXPECT_EQ(pg::chebyshev(a, b), 4);
+  EXPECT_EQ(pg::manhattan(a, b), 7);
+  EXPECT_EQ(pg::chebyshev(a, a), 0);
+}
+
+TEST(Grid, PositionsAndBounds) {
+  const pg::Grid grid(16, 5.0);
+  EXPECT_EQ(grid.site_count(), 256u);
+  EXPECT_DOUBLE_EQ(grid.extent(), 75.0);
+  EXPECT_TRUE(grid.in_bounds({0, 0}));
+  EXPECT_TRUE(grid.in_bounds({15, 15}));
+  EXPECT_FALSE(grid.in_bounds({16, 0}));
+  EXPECT_FALSE(grid.in_bounds({-1, 3}));
+  const auto p = grid.position({2, 3});
+  EXPECT_DOUBLE_EQ(p.x, 10.0);
+  EXPECT_DOUBLE_EQ(p.y, 15.0);
+}
+
+TEST(Grid, NearestCellClampsAndRounds) {
+  const pg::Grid grid(4, 2.0);
+  EXPECT_EQ(grid.nearest_cell({0.9, 1.1}), (pg::Cell{0, 1}));
+  EXPECT_EQ(grid.nearest_cell({100.0, -5.0}), (pg::Cell{3, 0}));
+}
+
+TEST(Grid, RingClipsAtBoundary) {
+  const pg::Grid grid(4, 1.0);
+  const auto ring0 = grid.ring({0, 0}, 0);
+  ASSERT_EQ(ring0.size(), 1u);
+  const auto ring1 = grid.ring({0, 0}, 1);
+  EXPECT_EQ(ring1.size(), 3u);  // corner: only 3 of 8 neighbours in bounds
+  const auto ring_mid = grid.ring({1, 1}, 1);
+  EXPECT_EQ(ring_mid.size(), 8u);
+}
+
+TEST(Occupancy, TracksCount) {
+  const pg::Grid grid(3, 1.0);
+  pg::Occupancy occ(grid);
+  EXPECT_EQ(occ.count_occupied(), 0u);
+  occ.set({1, 1}, true);
+  occ.set({1, 1}, true);  // idempotent
+  EXPECT_EQ(occ.count_occupied(), 1u);
+  occ.set({1, 1}, false);
+  EXPECT_EQ(occ.count_occupied(), 0u);
+}
+
+TEST(Occupancy, NearestFreePrefersTarget) {
+  const pg::Grid grid(5, 1.0);
+  pg::Occupancy occ(grid);
+  EXPECT_EQ(occ.nearest_free({2, 2}), (pg::Cell{2, 2}));
+}
+
+TEST(Occupancy, NearestFreeSpiralsOut) {
+  const pg::Grid grid(5, 1.0);
+  pg::Occupancy occ(grid);
+  occ.set({2, 2}, true);
+  const auto cell = occ.nearest_free({2, 2});
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(pg::chebyshev(*cell, {2, 2}), 1);
+}
+
+TEST(Occupancy, FullGridReturnsNullopt) {
+  const pg::Grid grid(2, 1.0);
+  pg::Occupancy occ(grid);
+  for (std::int32_t r = 0; r < 2; ++r) {
+    for (std::int32_t c = 0; c < 2; ++c) occ.set({c, r}, true);
+  }
+  EXPECT_FALSE(occ.nearest_free({0, 0}).has_value());
+}

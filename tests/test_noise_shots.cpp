@@ -1,0 +1,162 @@
+// Noise-model and shot-parallelization tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "parallax/result.hpp"
+#include "shots/parallelize.hpp"
+
+namespace pn = parallax::noise;
+namespace ps = parallax::shots;
+namespace ph = parallax::hardware;
+namespace px = parallax::compiler;
+
+namespace {
+px::CompileResult stub_result(std::size_t cz, std::size_t u3,
+                              std::size_t swaps, double runtime_us,
+                              std::int32_t n_qubits = 10) {
+  px::CompileResult result;
+  result.circuit = parallax::circuit::Circuit(n_qubits, "stub");
+  result.stats.cz_gates = cz;
+  result.stats.u3_gates = u3;
+  result.stats.swap_gates = swaps;
+  result.runtime_us = runtime_us;
+  result.in_aod.assign(static_cast<std::size_t>(n_qubits), 0);
+  // Footprint: a 4x4 block of sites.
+  result.topology.grid = parallax::geom::Grid(16, 5.0);
+  for (std::int32_t i = 0; i < n_qubits; ++i) {
+    result.topology.sites.push_back({i % 4, i / 4});
+  }
+  return result;
+}
+}  // namespace
+
+TEST(Noise, GateErrorProduct) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  pn::NoiseOptions options;
+  options.include_decoherence = false;
+  const auto result = stub_result(52, 0, 0, 100.0);
+  // WST-like: 52 CZ -> 0.9952^52 ~ 0.78, the paper's Fig. 10 value.
+  EXPECT_NEAR(pn::success_probability(result, config, options),
+              std::pow(1.0 - 0.0048, 52), 1e-12);
+  EXPECT_NEAR(pn::success_probability(result, config, options), 0.78, 0.01);
+}
+
+TEST(Noise, SwapsCostMoreThanCz) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto with_swaps = stub_result(10, 0, 5, 100.0);
+  const auto swap_free = stub_result(10, 0, 0, 100.0);
+  EXPECT_LT(pn::success_probability(with_swaps, config),
+            pn::success_probability(swap_free, config));
+}
+
+TEST(Noise, DecoherenceDecaysWithRuntime) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  EXPECT_GT(pn::decoherence_factor(100.0, config),
+            pn::decoherence_factor(1e6, config));
+  EXPECT_NEAR(pn::decoherence_factor(0.0, config), 1.0, 1e-12);
+  // 1 second: exp(-1/4) * exp(-1/1.49).
+  EXPECT_NEAR(pn::decoherence_factor(1e6, config),
+              std::exp(-0.25) * std::exp(-1.0 / 1.49), 1e-9);
+}
+
+TEST(Noise, LongRuntimeLowersSuccess) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto fast = stub_result(100, 100, 0, 100.0);
+  const auto slow = stub_result(100, 100, 0, 5e5);
+  EXPECT_GT(pn::success_probability(fast, config),
+            pn::success_probability(slow, config));
+}
+
+TEST(Noise, ReadoutOptional) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto result = stub_result(0, 0, 0, 0.0, 20);
+  pn::NoiseOptions with_readout;
+  with_readout.include_readout = true;
+  EXPECT_NEAR(pn::success_probability(result, config, with_readout),
+              std::pow(0.95, 20), 1e-12);
+  EXPECT_NEAR(pn::success_probability(result, config), 1.0, 1e-12);
+}
+
+TEST(Noise, TrapChangesAndMovesPenalized) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  auto result = stub_result(0, 0, 0, 0.0);
+  result.stats.trap_changes = 10;
+  result.stats.aod_moves = 20;
+  const double p = pn::success_probability(result, config);
+  EXPECT_NEAR(p, std::pow(1.0 - 0.001, 10) * std::pow(1.0 - 0.001, 20),
+              1e-12);
+  pn::NoiseOptions without;
+  without.include_operation_overheads = false;
+  EXPECT_NEAR(pn::success_probability(result, config, without), 1.0, 1e-12);
+}
+
+TEST(Noise, PerQubitDecoherenceIsHarsher) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto result = stub_result(0, 0, 0, 1e5, 10);
+  pn::NoiseOptions per_qubit;
+  per_qubit.per_qubit_decoherence = true;
+  EXPECT_LT(pn::success_probability(result, config, per_qubit),
+            pn::success_probability(result, config));
+}
+
+// --- shots -------------------------------------------------------------------
+
+TEST(Shots, FootprintFromBoundingBox) {
+  const auto result = stub_result(0, 0, 0, 100.0, 10);
+  // Sites span a 4x3 block -> max span 3 inclusive -> footprint 3 + 2 = 5.
+  EXPECT_EQ(ps::footprint_side(result), 5);
+}
+
+TEST(Shots, MaxCopiesLimitedBySpace) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();  // 16 sites/side
+  const auto result = stub_result(0, 0, 0, 100.0, 10);
+  // footprint 5 -> 16/5 = 3 copies per dimension.
+  EXPECT_EQ(ps::max_copies_per_dim(result, config), 3);
+}
+
+TEST(Shots, MaxCopiesLimitedByAodLines) {
+  auto config = ph::HardwareConfig::quera_aquila_256();
+  auto result = stub_result(0, 0, 0, 100.0, 10);
+  result.in_aod[0] = 1;
+  result.in_aod[1] = 1;  // 2 AOD lines per copy
+  config.aod_rows = config.aod_cols = 4;  // only 2 bands of copies possible
+  EXPECT_EQ(ps::max_copies_per_dim(result, config), 2);
+}
+
+TEST(Shots, PlanComputesTotals) {
+  const auto config = ph::HardwareConfig::atom_computing_1225();
+  const auto result = stub_result(0, 0, 0, 67.0, 9);
+  ps::ShotOptions options;
+  options.logical_shots = 8000;
+  options.inter_shot_overhead_us = 50.0;
+  const auto serial = ps::plan_parallel_shots(result, config, 1, options);
+  EXPECT_EQ(serial.copies, 1);
+  EXPECT_EQ(serial.physical_shots, 8000);
+  EXPECT_NEAR(serial.total_execution_time_us, 8000 * 117.0, 1e-6);
+
+  const auto parallel = ps::plan_parallel_shots(result, config, 3, options);
+  EXPECT_EQ(parallel.copies, 9);
+  EXPECT_EQ(parallel.physical_shots, (8000 + 8) / 9);
+  EXPECT_LT(parallel.total_execution_time_us, serial.total_execution_time_us);
+}
+
+TEST(Shots, SweepIsMonotonicallyFaster) {
+  const auto config = ph::HardwareConfig::atom_computing_1225();
+  const auto result = stub_result(0, 0, 0, 67.0, 9);
+  const auto plans = ps::parallelization_sweep(result, config);
+  ASSERT_GT(plans.size(), 1u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i].total_execution_time_us,
+              plans[i - 1].total_execution_time_us);
+  }
+}
+
+TEST(Shots, FactorClampedToFeasible) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto result = stub_result(0, 0, 0, 100.0, 10);
+  const auto plan = ps::plan_parallel_shots(result, config, 100);
+  EXPECT_EQ(plan.copies_per_dim, ps::max_copies_per_dim(result, config));
+}

@@ -1,0 +1,207 @@
+// Placement tests: annealed Graphine layout quality, radius selection, and
+// discretization invariants (min separation, distinct sites, footprint).
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "hardware/config.hpp"
+#include "placement/discretize.hpp"
+#include "placement/graphine.hpp"
+
+namespace pc = parallax::circuit;
+namespace pp = parallax::placement;
+namespace ph = parallax::hardware;
+namespace pg = parallax::geom;
+
+namespace {
+pp::GraphineOptions fast_options() {
+  pp::GraphineOptions options;
+  options.anneal_iterations = 200;
+  options.local_search_evaluations = 200;
+  options.seed = 7;
+  return options;
+}
+}  // namespace
+
+TEST(Graphine, BottleneckRadiusLine) {
+  // Three collinear points spaced 1 and 3 apart: the connectivity radius is
+  // the larger gap.
+  const std::vector<pg::Point> points{{0, 0}, {1, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(pp::bottleneck_connect_radius(points), 3.0);
+}
+
+TEST(Graphine, BottleneckRadiusDegenerate) {
+  EXPECT_DOUBLE_EQ(pp::bottleneck_connect_radius({}), 0.0);
+  EXPECT_DOUBLE_EQ(pp::bottleneck_connect_radius({{1, 1}}), 0.0);
+}
+
+TEST(Graphine, HeavyEdgesPlaceCloser) {
+  // q0-q1 interact 20x, q2-q3 interact 20x, cross pairs once. The annealer
+  // should place the heavy pairs closer than the average cross distance.
+  pc::Circuit c(4);
+  for (int i = 0; i < 20; ++i) {
+    c.cz(0, 1);
+    c.cz(2, 3);
+  }
+  c.cz(1, 2);
+  const pc::InteractionGraph graph(c);
+  const auto topology = pp::graphine_place(graph, fast_options());
+  ASSERT_EQ(topology.positions.size(), 4u);
+  const double d01 =
+      pg::distance(topology.positions[0], topology.positions[1]);
+  const double d23 =
+      pg::distance(topology.positions[2], topology.positions[3]);
+  const double d02 =
+      pg::distance(topology.positions[0], topology.positions[2]);
+  const double d13 =
+      pg::distance(topology.positions[1], topology.positions[3]);
+  EXPECT_LT(d01, (d02 + d13) / 2);
+  EXPECT_LT(d23, (d02 + d13) / 2);
+}
+
+TEST(Graphine, CrowdingPreventsCollapse) {
+  // All qubits interact with all: without the crowding term everything
+  // would collapse to a point; the layout must keep pairwise distances up.
+  pc::Circuit c(6);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) c.cz(a, b);
+  }
+  const pc::InteractionGraph graph(c);
+  const auto topology = pp::graphine_place(graph, fast_options());
+  double min_d = 1e9;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      min_d = std::min(
+          min_d, pg::distance(topology.positions[i], topology.positions[j]));
+    }
+  }
+  EXPECT_GT(min_d, 0.01);
+}
+
+TEST(Graphine, RadiusConnectsAllQubits) {
+  pc::Circuit c(8);
+  for (int q = 0; q + 1 < 8; ++q) c.cz(q, q + 1);
+  const pc::InteractionGraph graph(c);
+  const auto topology = pp::graphine_place(graph, fast_options());
+  // By construction the radius is the MST bottleneck: every point must have
+  // at least one neighbour within the radius (plus epsilon slack).
+  for (std::size_t i = 0; i < topology.positions.size(); ++i) {
+    double nearest = 1e9;
+    for (std::size_t j = 0; j < topology.positions.size(); ++j) {
+      if (i == j) continue;
+      nearest = std::min(nearest, pg::distance(topology.positions[i],
+                                               topology.positions[j]));
+    }
+    EXPECT_LE(nearest, topology.interaction_radius + 1e-9);
+  }
+}
+
+TEST(Graphine, DeterministicForSeed) {
+  pc::Circuit c(5);
+  c.cz(0, 1);
+  c.cz(1, 2);
+  c.cz(3, 4);
+  c.cz(2, 3);
+  const pc::InteractionGraph graph(c);
+  const auto a = pp::graphine_place(graph, fast_options());
+  const auto b = pp::graphine_place(graph, fast_options());
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+  }
+}
+
+TEST(Graphine, ObjectivePenalizesDistance) {
+  pc::Circuit c(2);
+  c.cz(0, 1);
+  const pc::InteractionGraph graph(c);
+  pp::GraphineOptions options;
+  // Both layouts are beyond the crowding distance (0.5/sqrt(2) ~ 0.354), so
+  // the comparison isolates the weighted-distance term.
+  const double near = pp::placement_objective({0.2, 0.2, 0.6, 0.6}, graph,
+                                              options);
+  const double far =
+      pp::placement_objective({0.0, 0.0, 1.0, 1.0}, graph, options);
+  EXPECT_LT(near, far);
+}
+
+// --- discretization -----------------------------------------------------------
+
+namespace {
+pp::Topology grid_topology(std::size_t n) {
+  // Deterministic spread-out normalized layout (no annealing needed).
+  pp::Topology topology;
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  for (std::size_t q = 0; q < n; ++q) {
+    topology.positions.push_back(
+        {static_cast<double>(q % side) / static_cast<double>(side),
+         static_cast<double>(q / side) / static_cast<double>(side)});
+  }
+  topology.interaction_radius = 0.5;
+  return topology;
+}
+}  // namespace
+
+TEST(Discretize, SitesAreDistinctAndInBounds) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto physical = pp::discretize(grid_topology(30), config);
+  ASSERT_EQ(physical.sites.size(), 30u);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& cell : physical.sites) {
+    EXPECT_TRUE(physical.grid.in_bounds(cell));
+    EXPECT_TRUE(seen.insert({cell.col, cell.row}).second)
+        << "duplicate site " << cell.col << "," << cell.row;
+  }
+}
+
+TEST(Discretize, PitchGuaranteesMinSeparation) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  EXPECT_DOUBLE_EQ(config.pitch_um(),
+                   2 * config.min_separation_um +
+                       config.discretization_padding_um);
+  const auto physical = pp::discretize(grid_topology(64), config);
+  for (std::size_t a = 0; a < 64; ++a) {
+    for (std::size_t b = a + 1; b < 64; ++b) {
+      const double d =
+          pg::distance(physical.grid.position(physical.sites[a]),
+                       physical.grid.position(physical.sites[b]));
+      EXPECT_GE(d, config.min_separation_um);
+    }
+  }
+}
+
+TEST(Discretize, RadiusKeepsConnectivity) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto physical = pp::discretize(grid_topology(20), config);
+  EXPECT_GE(physical.interaction_radius_um,
+            physical.grid.pitch() * std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(physical.blockade_radius_um,
+                   2.5 * physical.interaction_radius_um);
+}
+
+TEST(Discretize, SmallCircuitKeepsCompactFootprint) {
+  const auto config = ph::HardwareConfig::atom_computing_1225();
+  const auto physical = pp::discretize(grid_topology(9), config);
+  std::int32_t max_col = 0, max_row = 0;
+  for (const auto& cell : physical.sites) {
+    max_col = std::max(max_col, cell.col);
+    max_row = std::max(max_row, cell.row);
+  }
+  // spread_factor 2 -> 9 qubits in at most a ~7-cell-wide region, far less
+  // than the 35-site machine (leaving room for parallel shot copies).
+  EXPECT_LT(max_col, 10);
+  EXPECT_LT(max_row, 10);
+}
+
+TEST(Discretize, RejectsOversizedCircuit) {
+  ph::HardwareConfig config = ph::HardwareConfig::quera_aquila_256();
+  EXPECT_THROW((void)pp::discretize(grid_topology(300), config),
+               std::runtime_error);
+}
+
+TEST(Discretize, FullMachineStillFits) {
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  const auto physical = pp::discretize(grid_topology(256), config);
+  EXPECT_EQ(physical.sites.size(), 256u);
+}

@@ -1,0 +1,309 @@
+// QASM 2.0 frontend tests: lexing, parsing, qelib1 gates, macro expansion,
+// broadcasting, expressions, error reporting, and writer round-trips.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/transpile.hpp"
+#include "qasm/lexer.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
+namespace pq = parallax::qasm;
+namespace pc = parallax::circuit;
+constexpr double kPi = std::numbers::pi;
+
+TEST(Lexer, TokenizesSymbolsAndNumbers) {
+  const auto tokens = pq::tokenize("qreg q[16]; u3(0.5,-pi/2,2e-3) q[0];");
+  ASSERT_GT(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, pq::TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "qreg");
+  EXPECT_EQ(tokens[2].kind, pq::TokenKind::kLBracket);
+  EXPECT_EQ(tokens.back().kind, pq::TokenKind::kEof);
+}
+
+TEST(Lexer, SkipsComments) {
+  const auto tokens = pq::tokenize("// comment line\nqreg // trailing\nq");
+  EXPECT_EQ(tokens[0].text, "qreg");
+  EXPECT_EQ(tokens[1].text, "q");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto tokens = pq::tokenize("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(Lexer, ArrowAndEqeq) {
+  const auto tokens = pq::tokenize("-> == -");
+  EXPECT_EQ(tokens[0].kind, pq::TokenKind::kArrow);
+  EXPECT_EQ(tokens[1].kind, pq::TokenKind::kEqualEqual);
+  EXPECT_EQ(tokens[2].kind, pq::TokenKind::kMinus);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(pq::tokenize("qreg $"), pq::ParseError);
+}
+
+TEST(Parser, MinimalProgram) {
+  const auto result = pq::parse(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0],q[1];
+    measure q -> c;
+  )");
+  EXPECT_EQ(result.circuit.n_qubits(), 2);
+  EXPECT_EQ(result.n_classical_bits, 2);
+  EXPECT_EQ(result.circuit.cz_count(), 1u);  // cx = h cz h
+  EXPECT_EQ(result.circuit.u3_count(), 3u);
+  EXPECT_EQ(result.circuit.count(pc::GateType::kMeasure), 2u);
+}
+
+TEST(Parser, HeaderOptional) {
+  const auto result = pq::parse("qreg q[1]; U(0,0,0) q[0];");
+  EXPECT_EQ(result.circuit.size(), 1u);
+}
+
+TEST(Parser, RejectsQasm3) {
+  EXPECT_THROW(pq::parse("OPENQASM 3.0;"), pq::ParseError);
+}
+
+TEST(Parser, NativeCzInterception) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[2];
+    cz q[0],q[1];
+  )");
+  EXPECT_EQ(result.circuit.cz_count(), 1u);
+  EXPECT_EQ(result.circuit.u3_count(), 0u);  // no H padding inserted
+}
+
+TEST(Parser, SwapStaysNative) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[2];
+    swap q[0],q[1];
+  )");
+  EXPECT_EQ(result.circuit.swap_count(), 1u);
+}
+
+TEST(Parser, RegisterBroadcasting) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[3];
+    h q;
+  )");
+  EXPECT_EQ(result.circuit.u3_count(), 3u);
+}
+
+TEST(Parser, TwoQubitBroadcasting) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg a[3];
+    qreg b[3];
+    cx a,b;
+  )");
+  EXPECT_EQ(result.circuit.cz_count(), 3u);
+  // Registers are flattened: a -> 0..2, b -> 3..5.
+  EXPECT_EQ(result.circuit.n_qubits(), 6);
+}
+
+TEST(Parser, BroadcastSizeMismatchFails) {
+  EXPECT_THROW(pq::parse(R"(
+    include "qelib1.inc";
+    qreg a[2];
+    qreg b[3];
+    cx a,b;
+  )"),
+               pq::ParseError);
+}
+
+TEST(Parser, ParameterExpressions) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[1];
+    rz(pi/4) q[0];
+    rz(-pi) q[0];
+    rz(2*pi/8+1) q[0];
+    rz(sin(pi/2)) q[0];
+    rz(2^3) q[0];
+  )");
+  const auto& g = result.circuit.gates();
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_NEAR(g[0].lambda, kPi / 4, 1e-12);
+  EXPECT_NEAR(g[1].lambda, -kPi, 1e-12);
+  EXPECT_NEAR(g[2].lambda, kPi / 4 + 1, 1e-12);
+  EXPECT_NEAR(g[3].lambda, 1.0, 1e-12);
+  EXPECT_NEAR(g[4].lambda, 8.0, 1e-12);
+}
+
+TEST(Parser, CustomGateDefinitionAndExpansion) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    gate bell a,b { h a; cx a,b; }
+    qreg q[2];
+    bell q[0],q[1];
+  )");
+  EXPECT_EQ(result.circuit.cz_count(), 1u);
+  EXPECT_EQ(result.circuit.u3_count(), 3u);
+}
+
+TEST(Parser, ParameterizedCustomGate) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    gate wiggle(a,b) q { rz(a+b) q; rz(a-b) q; }
+    qreg q[1];
+    wiggle(0.5,0.25) q[0];
+  )");
+  const auto& g = result.circuit.gates();
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_NEAR(g[0].lambda, 0.75, 1e-12);
+  EXPECT_NEAR(g[1].lambda, 0.25, 1e-12);
+}
+
+TEST(Parser, NestedCustomGates) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    gate inner a { h a; }
+    gate outer a,b { inner a; inner b; cx a,b; }
+    qreg q[2];
+    outer q[0],q[1];
+  )");
+  EXPECT_EQ(result.circuit.cz_count(), 1u);
+  EXPECT_EQ(result.circuit.u3_count(), 4u);
+}
+
+TEST(Parser, QelibToffoliExpands) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[3];
+    ccx q[0],q[1],q[2];
+  )");
+  EXPECT_EQ(result.circuit.cz_count(), 6u);
+}
+
+TEST(Parser, MeasureIndexedAndBroadcast) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[3];
+    creg c[3];
+    measure q[1] -> c[1];
+    measure q -> c;
+  )");
+  EXPECT_EQ(result.circuit.count(pc::GateType::kMeasure), 4u);
+}
+
+TEST(Parser, BarrierParses) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg q[2];
+    h q[0];
+    barrier q;
+    barrier q[0],q[1];
+    h q[1];
+  )");
+  EXPECT_EQ(result.circuit.count(pc::GateType::kBarrier), 2u);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    (void)pq::parse("qreg q[2];\nbogus q[0];");
+    FAIL() << "expected ParseError";
+  } catch (const pq::ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, RejectsUnknownGate) {
+  EXPECT_THROW(pq::parse("qreg q[1]; notagate q[0];"), pq::ParseError);
+}
+
+TEST(Parser, RejectsReset) {
+  EXPECT_THROW(pq::parse("qreg q[1]; reset q[0];"), pq::ParseError);
+}
+
+TEST(Parser, RejectsClassicalControl) {
+  EXPECT_THROW(
+      pq::parse("qreg q[1]; creg c[1]; if(c==1) U(0,0,0) q[0];"),
+      pq::ParseError);
+}
+
+TEST(Parser, RejectsOpaqueInstantiation) {
+  EXPECT_THROW(pq::parse(R"(
+    opaque mystery a,b;
+    qreg q[2];
+    mystery q[0],q[1];
+  )"),
+               pq::ParseError);
+}
+
+TEST(Parser, RejectsIndexOutOfRange) {
+  EXPECT_THROW(pq::parse("qreg q[2]; U(0,0,0) q[5];"), pq::ParseError);
+}
+
+TEST(Parser, RejectsDuplicateRegister) {
+  EXPECT_THROW(pq::parse("qreg q[2]; qreg q[3];"), pq::ParseError);
+}
+
+TEST(Parser, MultipleQregsFlatten) {
+  const auto result = pq::parse(R"(
+    include "qelib1.inc";
+    qreg a[2];
+    qreg b[3];
+    h b[2];
+  )");
+  EXPECT_EQ(result.circuit.n_qubits(), 5);
+  EXPECT_EQ(result.circuit.gates()[0].q[0], 4);  // b[2] flattens to 2+2
+}
+
+TEST(Writer, RoundTripPreservesStructure) {
+  pc::Circuit c(3, "rt");
+  c.h(0);
+  c.cz(0, 1);
+  c.swap(1, 2);
+  c.u3(2, 0.1, -0.2, 0.3);
+  c.barrier();
+  c.measure_all();
+  const std::string text = pq::to_qasm(c);
+  const auto reparsed = pq::parse(text).circuit;
+  EXPECT_EQ(reparsed.n_qubits(), c.n_qubits());
+  EXPECT_EQ(reparsed.cz_count(), c.cz_count());
+  EXPECT_EQ(reparsed.swap_count(), c.swap_count());
+  EXPECT_EQ(reparsed.u3_count(), c.u3_count());
+  EXPECT_EQ(reparsed.count(pc::GateType::kMeasure), 3u);
+}
+
+TEST(Writer, RoundTripPreservesAngles) {
+  pc::Circuit c(1);
+  c.u3(0, 0.12345678901234, -2.3456789012345, 3.0123456789);
+  const auto reparsed = pq::parse(pq::to_qasm(c)).circuit;
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(reparsed.gates()[0].theta, 0.12345678901234);
+  EXPECT_DOUBLE_EQ(reparsed.gates()[0].phi, -2.3456789012345);
+  EXPECT_DOUBLE_EQ(reparsed.gates()[0].lambda, 3.0123456789);
+}
+
+TEST(EndToEnd, QasmThroughTranspiler) {
+  // GHZ-ish circuit through the full frontend + transpiler pipeline.
+  const auto parsed = pq::parse(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[4];
+    creg c[4];
+    h q[0];
+    cx q[0],q[1];
+    cx q[1],q[2];
+    cx q[2],q[3];
+    measure q -> c;
+  )");
+  const auto out = pc::transpile(parsed.circuit);
+  EXPECT_EQ(out.cz_count(), 3u);
+  // h q0; then each cx contributes h-cz-h on target; adjacent h's across cx
+  // boundaries on different qubits cannot merge, so u3 count is 1 + 2*3 = 7.
+  EXPECT_EQ(out.u3_count(), 7u);
+}

@@ -1,0 +1,109 @@
+// Tests for the JSON writer, compile reports, and the ASCII renderer.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/registry.hpp"
+#include "hardware/config.hpp"
+#include "hardware/render.hpp"
+#include "parallax/compiler.hpp"
+#include "parallax/report.hpp"
+#include "util/json.hpp"
+
+namespace pu = parallax::util;
+namespace px = parallax::compiler;
+namespace ph = parallax::hardware;
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(pu::JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(pu::JsonValue(true).dump(), "true");
+  EXPECT_EQ(pu::JsonValue(false).dump(), "false");
+  EXPECT_EQ(pu::JsonValue(42).dump(), "42");
+  EXPECT_EQ(pu::JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(pu::JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(pu::JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, ObjectAndArray) {
+  auto root = pu::JsonValue::object();
+  root["name"] = "parallax";
+  root["count"] = 3;
+  auto list = pu::JsonValue::array();
+  list.push_back(1);
+  list.push_back(2);
+  root["items"] = std::move(list);
+  const std::string compact = root.dump(-1);
+  EXPECT_EQ(compact, R"({"name":"parallax","count":3,"items":[1,2]})");
+}
+
+TEST(Json, IndentedOutputHasNewlines) {
+  auto root = pu::JsonValue::object();
+  root["a"] = 1;
+  const std::string pretty = root.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1\n"), std::string::npos);
+}
+
+TEST(Json, RepeatedKeyOverwrites) {
+  auto root = pu::JsonValue::object();
+  root["k"] = 1;
+  root["k"] = 2;
+  EXPECT_EQ(root.dump(-1), R"({"k":2})");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(pu::JsonValue::object().dump(-1), "{}");
+  EXPECT_EQ(pu::JsonValue::array().dump(-1), "[]");
+}
+
+namespace {
+px::CompileResult small_result() {
+  parallax::bench_circuits::GenOptions gen;
+  gen.seed = 5;
+  const auto input = parallax::bench_circuits::make_benchmark("ADV", gen);
+  px::CompilerOptions options;
+  options.seed = 5;
+  return px::compile(input, ph::HardwareConfig::quera_aquila_256(), options);
+}
+}  // namespace
+
+TEST(Report, ContainsCoreFields) {
+  const auto result = small_result();
+  const auto json = px::report_json(
+      result, ph::HardwareConfig::quera_aquila_256());
+  EXPECT_NE(json.find("\"technique\": \"parallax\""), std::string::npos);
+  EXPECT_NE(json.find("\"effective_cz\""), std::string::npos);
+  EXPECT_NE(json.find("\"success_probability\""), std::string::npos);
+  EXPECT_NE(json.find("\"interaction_radius_um\""), std::string::npos);
+  EXPECT_EQ(json.find("\"layers\": ["), std::string::npos);  // off by default
+}
+
+TEST(Report, LayersOptional) {
+  const auto result = small_result();
+  px::ReportOptions options;
+  options.include_layers = true;
+  const auto json = px::report_json(
+      result, ph::HardwareConfig::quera_aquila_256(), options);
+  EXPECT_NE(json.find("\"duration_us\""), std::string::npos);
+}
+
+TEST(Render, MarksAodQubits) {
+  const auto result = small_result();
+  const auto art = ph::render_topology(result);
+  EXPECT_NE(art.find("machine 16x16 sites"), std::string::npos);
+  if (result.aod_qubit_count() > 0) {
+    EXPECT_NE(art.find('['), std::string::npos);
+  }
+  // Every qubit digit 0..8 appears (9-qubit ADV).
+  for (char d = '0'; d <= '8'; ++d) {
+    EXPECT_NE(art.find(d), std::string::npos) << "missing qubit " << d;
+  }
+}
+
+TEST(Render, GenericMarkers) {
+  const auto result = small_result();
+  ph::RenderOptions options;
+  options.show_indices = false;
+  const auto art = ph::render_topology(result, options);
+  EXPECT_NE(art.find('o'), std::string::npos);
+}

@@ -1,0 +1,168 @@
+// Transpiler tests: basis reduction, fusion correctness (checked against
+// direct unitary products), CZ cancellation, and end-to-end invariants.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/circuit.hpp"
+#include "circuit/transpile.hpp"
+#include "circuit/unitary.hpp"
+#include "util/rng.hpp"
+
+namespace pc = parallax::circuit;
+constexpr double kPi = std::numbers::pi;
+
+TEST(Transpile, ExpandsSwapsToCz) {
+  pc::Circuit c(2);
+  c.swap(0, 1);
+  const auto out = pc::transpile(c);
+  EXPECT_EQ(out.swap_count(), 0u);
+  EXPECT_EQ(out.cz_count(), 3u);
+}
+
+TEST(Transpile, FusesAdjacentSingleQubitGates) {
+  pc::Circuit c(1);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  c.s(0);
+  const auto out = pc::transpile(c);
+  EXPECT_EQ(out.u3_count(), 1u);
+}
+
+TEST(Transpile, FusionPreservesUnitary) {
+  parallax::util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    pc::Circuit c(1);
+    pc::Mat2 expected = pc::Mat2::identity();
+    const int n_gates = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n_gates; ++i) {
+      const double t = rng.uniform(-kPi, kPi);
+      const double p = rng.uniform(-kPi, kPi);
+      const double l = rng.uniform(-kPi, kPi);
+      c.u3(0, t, p, l);
+      expected = pc::u3_matrix(t, p, l) * expected;
+    }
+    const auto out = pc::transpile(c);
+    ASSERT_LE(out.u3_count(), 1u);
+    pc::Mat2 actual = pc::Mat2::identity();
+    for (const auto& g : out.gates()) {
+      if (g.type == pc::GateType::kU3) {
+        actual = pc::u3_matrix(g.theta, g.phi, g.lambda) * actual;
+      }
+    }
+    EXPECT_LT(pc::distance_up_to_phase(actual, expected), 1e-8);
+  }
+}
+
+TEST(Transpile, DropsIdentityRuns) {
+  pc::Circuit c(1);
+  c.h(0);
+  c.h(0);  // H^2 = I
+  const auto out = pc::transpile(c);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Transpile, XThenXCancels) {
+  pc::Circuit c(1);
+  c.x(0);
+  c.x(0);
+  EXPECT_EQ(pc::transpile(c).size(), 0u);
+}
+
+TEST(Transpile, CancelsAdjacentCzPairs) {
+  pc::Circuit c(2);
+  c.cz(0, 1);
+  c.cz(1, 0);  // same unordered pair, directly adjacent
+  EXPECT_EQ(pc::transpile(c).cz_count(), 0u);
+}
+
+TEST(Transpile, DoesNotCancelSeparatedCz) {
+  pc::Circuit c(2);
+  c.cz(0, 1);
+  c.t(1);  // interposed gate on qubit 1 blocks cancellation
+  c.cz(0, 1);
+  EXPECT_EQ(pc::transpile(c).cz_count(), 2u);
+}
+
+TEST(Transpile, CancelsCzThroughIndependentQubit) {
+  pc::Circuit c(3);
+  c.cz(0, 1);
+  c.h(2);  // touches neither qubit of the pair
+  c.cz(0, 1);
+  EXPECT_EQ(pc::transpile(c).cz_count(), 0u);
+}
+
+TEST(Transpile, CxPairCollapses) {
+  // cx = h cz h; two in a row must vanish entirely after fusion+cancellation.
+  pc::Circuit c(2);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  const auto out = pc::transpile(c);
+  EXPECT_EQ(out.cz_count(), 0u);
+  EXPECT_EQ(out.u3_count(), 0u);
+}
+
+TEST(Transpile, PreservesMeasureAndBarrier) {
+  pc::Circuit c(2);
+  c.h(0);
+  c.barrier();
+  c.measure_all();
+  const auto out = pc::transpile(c);
+  EXPECT_EQ(out.count(pc::GateType::kMeasure), 2u);
+  EXPECT_EQ(out.count(pc::GateType::kBarrier), 1u);
+  EXPECT_EQ(out.u3_count(), 1u);
+}
+
+TEST(Transpile, BarrierBlocksFusion) {
+  pc::Circuit c(1);
+  c.h(0);
+  c.barrier();
+  c.h(0);
+  const auto out = pc::transpile(c);
+  EXPECT_EQ(out.u3_count(), 2u);  // barrier prevents the H H merge
+}
+
+TEST(Transpile, MeasureBlocksFusion) {
+  pc::Circuit c(1);
+  c.h(0);
+  c.measure(0);
+  c.h(0);
+  EXPECT_EQ(pc::transpile(c).u3_count(), 2u);
+}
+
+TEST(Transpile, PerQubitOrderPreserved) {
+  // Property: the subsequence of CZ endpoints per qubit is unchanged.
+  pc::Circuit c(4);
+  c.cz(0, 1);
+  c.h(1);
+  c.cz(1, 2);
+  c.cz(2, 3);
+  c.h(2);
+  c.cz(0, 3);
+  const auto out = pc::transpile(c);
+  auto cz_partners = [](const pc::Circuit& circ, std::int32_t q) {
+    std::vector<std::int32_t> partners;
+    for (const auto& g : circ.gates()) {
+      if (g.type == pc::GateType::kCZ && g.touches(q)) {
+        partners.push_back(g.other(q));
+      }
+    }
+    return partners;
+  };
+  for (std::int32_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(cz_partners(c, q), cz_partners(out, q)) << "qubit " << q;
+  }
+}
+
+TEST(Transpile, IdempotentOnFixpoint) {
+  pc::Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.cz(1, 2);
+  c.t(2);
+  const auto once = pc::transpile(c);
+  const auto twice = pc::transpile(once);
+  EXPECT_EQ(once.size(), twice.size());
+  EXPECT_EQ(once.cz_count(), twice.cz_count());
+}

@@ -1,0 +1,167 @@
+// Tests for util: RNG determinism/statistics, table/CSV formatting, pool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pu = parallax::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  pu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  pu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  pu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  pu::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRangeUniformly) {
+  pu::Rng rng(11);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(c, kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  pu::Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  pu::Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  pu::Rng rng(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // overwhelmingly likely
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  pu::Rng parent(23);
+  pu::Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  pu::Rng rng(29);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  pu::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(pu::format_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(pu::format_sci(0.018, 1), "1.8e-02");
+  EXPECT_EQ(pu::format_compact(57000.0), "5.7e+04");
+  EXPECT_EQ(pu::format_compact(371.0), "371");
+  EXPECT_EQ(pu::format_percent(0.4567), "45.7%");
+}
+
+TEST(Csv, WritesEscapedCells) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "parallax_csv_test.csv")
+          .string();
+  {
+    pu::CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "with,comma"});
+    csv.add_row({"quote\"inside", "line\nbreak"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,b"), std::string::npos);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  pu::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(1000, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  pu::ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop) {
+  pu::ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}

@@ -1,0 +1,212 @@
+// parallax_cli — command-line front end for the compiler library.
+//
+// Usage:
+//   parallax_cli --benchmark QAOA [options]
+//   parallax_cli --circuit file.qasm [options]
+//
+// Options:
+//   --machine quera256|atom1225   target machine preset (default quera256)
+//   --technique parallax|eldi|graphine|all   (default parallax)
+//   --aod-count N                 AOD rows/columns (default 20)
+//   --no-home-return              disable the home-return step (Fig. 12)
+//   --spread F                    discretization spread factor (default 2.0)
+//   --seed N                      master seed (default 42)
+//   --json                        emit a JSON report instead of text
+//   --layers                      include the per-layer schedule in JSON
+//   --render                      print the ASCII topology
+//   --export-qasm FILE            write the compiled circuit as QASM 2.0
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "baselines/eldi.hpp"
+#include "baselines/graphine_router.hpp"
+#include "bench_circuits/registry.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "hardware/render.hpp"
+#include "noise/model.hpp"
+#include "parallax/compiler.hpp"
+#include "parallax/report.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string benchmark;
+  std::string circuit_file;
+  std::string machine = "quera256";
+  std::string technique = "parallax";
+  std::int32_t aod_count = 20;
+  bool home_return = true;
+  double spread = 2.0;
+  std::uint64_t seed = 42;
+  bool json = false;
+  bool layers = false;
+  bool render = false;
+  std::string export_qasm;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s (--benchmark NAME | --circuit FILE.qasm) "
+               "[--machine quera256|atom1225]\n"
+               "          [--technique parallax|eldi|graphine|all] "
+               "[--aod-count N] [--no-home-return]\n"
+               "          [--spread F] [--seed N] [--json [--layers]] "
+               "[--render] [--export-qasm FILE]\n",
+               argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], "missing value for option");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--benchmark")) {
+      options.benchmark = need_value(i);
+    } else if (!std::strcmp(arg, "--circuit")) {
+      options.circuit_file = need_value(i);
+    } else if (!std::strcmp(arg, "--machine")) {
+      options.machine = need_value(i);
+    } else if (!std::strcmp(arg, "--technique")) {
+      options.technique = need_value(i);
+    } else if (!std::strcmp(arg, "--aod-count")) {
+      options.aod_count = std::atoi(need_value(i));
+    } else if (!std::strcmp(arg, "--no-home-return")) {
+      options.home_return = false;
+    } else if (!std::strcmp(arg, "--spread")) {
+      options.spread = std::atof(need_value(i));
+    } else if (!std::strcmp(arg, "--seed")) {
+      options.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--json")) {
+      options.json = true;
+    } else if (!std::strcmp(arg, "--layers")) {
+      options.layers = true;
+    } else if (!std::strcmp(arg, "--render")) {
+      options.render = true;
+    } else if (!std::strcmp(arg, "--export-qasm")) {
+      options.export_qasm = need_value(i);
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], (std::string("unknown option ") + arg).c_str());
+    }
+  }
+  if (options.benchmark.empty() == options.circuit_file.empty()) {
+    usage(argv[0], "exactly one of --benchmark / --circuit is required");
+  }
+  return options;
+}
+
+void print_text_summary(const parallax::compiler::CompileResult& result,
+                        const parallax::hardware::HardwareConfig& config) {
+  std::printf("%-9s  CZ=%-6zu swaps=%-5zu effCZ=%-6zu layers=%-5zu "
+              "runtime=%.1fus  moves=%zu tc=%zu  P(success)=%.3e\n",
+              result.technique.c_str(), result.stats.cz_gates,
+              result.stats.swap_gates, result.stats.effective_cz(),
+              result.stats.layers, result.runtime_us, result.stats.aod_moves,
+              result.stats.trap_changes,
+              parallax::noise::success_probability(result, config));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parallax;
+  const CliOptions cli = parse_cli(argc, argv);
+
+  hardware::HardwareConfig config;
+  if (cli.machine == "quera256") {
+    config = hardware::HardwareConfig::quera_aquila_256();
+  } else if (cli.machine == "atom1225") {
+    config = hardware::HardwareConfig::atom_computing_1225();
+  } else {
+    usage(argv[0], "unknown machine (use quera256 or atom1225)");
+  }
+  config.aod_rows = config.aod_cols = cli.aod_count;
+
+  circuit::Circuit input;
+  try {
+    if (!cli.benchmark.empty()) {
+      bench_circuits::GenOptions gen;
+      gen.seed = cli.seed;
+      input = bench_circuits::make_benchmark(cli.benchmark, gen);
+    } else {
+      input = qasm::parse_file(cli.circuit_file).circuit;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error loading circuit: %s\n", error.what());
+    return 1;
+  }
+  const circuit::Circuit transpiled = circuit::transpile(input);
+
+  auto run_one = [&](const std::string& technique)
+      -> compiler::CompileResult {
+    if (technique == "parallax") {
+      compiler::CompilerOptions options;
+      options.assume_transpiled = true;
+      options.seed = cli.seed;
+      options.scheduler.return_home = cli.home_return;
+      options.discretize.spread_factor = cli.spread;
+      return compiler::compile(transpiled, config, options);
+    }
+    if (technique == "eldi") {
+      baselines::EldiOptions options;
+      options.assume_transpiled = true;
+      options.seed = cli.seed;
+      return baselines::eldi_compile(transpiled, config, options);
+    }
+    if (technique == "graphine") {
+      baselines::GraphineOptions options;
+      options.assume_transpiled = true;
+      options.seed = cli.seed;
+      options.placement.seed = cli.seed;
+      options.discretize.spread_factor = cli.spread;
+      return baselines::graphine_compile(transpiled, config, options);
+    }
+    usage(argv[0], "unknown technique");
+  };
+
+  std::vector<std::string> techniques;
+  if (cli.technique == "all") {
+    techniques = {"graphine", "eldi", "parallax"};
+  } else {
+    techniques = {cli.technique};
+  }
+
+  try {
+    for (const auto& technique : techniques) {
+      const auto result = run_one(technique);
+      if (cli.json) {
+        compiler::ReportOptions report_options;
+        report_options.include_layers = cli.layers;
+        std::printf("%s\n",
+                    compiler::report_json(result, config, report_options)
+                        .c_str());
+      } else {
+        print_text_summary(result, config);
+      }
+      if (cli.render) {
+        std::printf("%s", hardware::render_topology(result).c_str());
+      }
+      if (!cli.export_qasm.empty()) {
+        qasm::write_qasm_file(result.circuit, cli.export_qasm);
+        std::printf("compiled circuit written to %s\n",
+                    cli.export_qasm.c_str());
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "compilation failed: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
