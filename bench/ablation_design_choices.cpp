@@ -4,7 +4,9 @@
 //       happens if the tie-breaker dominates, or if selection is unweighted;
 //   (b) the discretization spread factor (footprint sizing): compact vs
 //       roomy initial topologies.
-// Reported on a representative subset spanning low/high connectivity.
+// Reported on a representative subset spanning low/high connectivity. Each
+// variant is one parallax-only sweep with the knob changed in the base
+// compile options.
 #include "common.hpp"
 
 int main() {
@@ -19,6 +21,19 @@ int main() {
   const auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
   const std::vector<std::string> circuits{"HLF", "QAOA", "QFT", "KNN", "QV",
                                           "TFIM"};
+
+  const auto run_variant = [&](const auto& tweak) {
+    auto options = pb::sweep_options();
+    tweak(options.compile);
+    auto suite =
+        pb::compile_suite(pb::machine(config), {"parallax"}, circuits, options);
+    pb::require_all_ok(suite);
+    return suite;
+  };
+  const auto cell_text = [](const parallax::sweep::Cell& cell) {
+    return pu::format_compact(cell.result.runtime_us) + " / " +
+           std::to_string(cell.result.stats.trap_changes);
+  };
 
   // --- (a) AOD selection weights ---------------------------------------------
   struct WeightVariant {
@@ -36,24 +51,21 @@ int main() {
               "changes:\n");
   pu::Table weight_table({"Bench", "paper 0.99/0.01", "inverted 0.01/0.99",
                           "oor only 1.0/0.0", "uniform 0.5/0.5"});
-  for (const auto& name : circuits) {
-    parallax::bench_circuits::GenOptions gen;
-    gen.seed = pb::master_seed();
-    const auto transpiled = parallax::circuit::transpile(
-        parallax::bench_circuits::make_benchmark(name, gen));
-    std::vector<std::string> row{name};
+  {
+    std::vector<parallax::sweep::Result> suites;
     for (const auto& variant : weight_variants) {
-      parallax::compiler::CompilerOptions options;
-      options.assume_transpiled = true;
-      options.seed = pb::master_seed();
-      options.aod_selection.out_of_range_weight = variant.oor;
-      options.aod_selection.interference_weight = variant.intf;
-      const auto result =
-          parallax::compiler::compile(transpiled, config, options);
-      row.push_back(pu::format_compact(result.runtime_us) + " / " +
-                    std::to_string(result.stats.trap_changes));
+      suites.push_back(run_variant([&](parallax::pipeline::CompileOptions& c) {
+        c.aod_selection.out_of_range_weight = variant.oor;
+        c.aod_selection.interference_weight = variant.intf;
+      }));
     }
-    weight_table.add_row(std::move(row));
+    for (const auto& name : circuits) {
+      std::vector<std::string> row{name};
+      for (const auto& suite : suites) {
+        row.push_back(cell_text(suite.at(name, "parallax")));
+      }
+      weight_table.add_row(std::move(row));
+    }
   }
   std::printf("%s\n", weight_table.to_string().c_str());
 
@@ -63,23 +75,20 @@ int main() {
               "changes (2.0 is the default):\n");
   pu::Table spread_table(
       {"Bench", "spread 1.0", "spread 1.5", "spread 2.0", "spread 3.0"});
-  for (const auto& name : circuits) {
-    parallax::bench_circuits::GenOptions gen;
-    gen.seed = pb::master_seed();
-    const auto transpiled = parallax::circuit::transpile(
-        parallax::bench_circuits::make_benchmark(name, gen));
-    std::vector<std::string> row{name};
+  {
+    std::vector<parallax::sweep::Result> suites;
     for (const double spread : spreads) {
-      parallax::compiler::CompilerOptions options;
-      options.assume_transpiled = true;
-      options.seed = pb::master_seed();
-      options.discretize.spread_factor = spread;
-      const auto result =
-          parallax::compiler::compile(transpiled, config, options);
-      row.push_back(pu::format_compact(result.runtime_us) + " / " +
-                    std::to_string(result.stats.trap_changes));
+      suites.push_back(run_variant([&](parallax::pipeline::CompileOptions& c) {
+        c.discretize.spread_factor = spread;
+      }));
     }
-    spread_table.add_row(std::move(row));
+    for (const auto& name : circuits) {
+      std::vector<std::string> row{name};
+      for (const auto& suite : suites) {
+        row.push_back(cell_text(suite.at(name, "parallax")));
+      }
+      spread_table.add_row(std::move(row));
+    }
   }
   std::printf("%s\n", spread_table.to_string().c_str());
   std::printf(

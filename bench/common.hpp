@@ -1,6 +1,6 @@
 // Shared plumbing for the bench harness. Every bench binary regenerates one
-// table or figure of the paper's evaluation section: it compiles the 18
-// Table III benchmarks with the three techniques and prints the same rows /
+// table or figure of the paper's evaluation section by running one (or two)
+// sweep::run calls over the Table III benchmarks and printing the same rows /
 // series the paper reports (absolute numbers differ — the substrate is a
 // simulator — but the comparative shape is the reproduction target).
 //
@@ -8,25 +8,19 @@
 //   PARALLAX_FULL_SCALE=1   paper-scale VQE (~450k gates) instead of the
 //                           reduced default.
 //   PARALLAX_SEED=<n>       master seed (default 42).
+//   PARALLAX_THREADS=<n>    sweep worker threads (default: hardware).
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "baselines/eldi.hpp"
-#include "baselines/graphine_router.hpp"
 #include "bench_circuits/registry.hpp"
-#include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
-#include "noise/model.hpp"
-#include "parallax/compiler.hpp"
+#include "sweep/sweep.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 namespace parallax::bench {
 
@@ -40,6 +34,11 @@ inline std::uint64_t master_seed() {
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 42ULL;
 }
 
+inline std::size_t sweep_threads() {
+  const char* env = std::getenv("PARALLAX_THREADS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+}
+
 /// Benchmarks that skip the slowest technique sweep when not in full-scale
 /// mode would bias comparisons, so everything always runs; only VQE's size
 /// changes with PARALLAX_FULL_SCALE.
@@ -51,59 +50,58 @@ inline std::vector<std::string> benchmark_names() {
   return names;
 }
 
-struct TechniqueResults {
-  compiler::CompileResult graphine;
-  compiler::CompileResult eldi;
-  compiler::CompileResult parallax;
-};
+/// The paper's three evaluated techniques, in its reporting order.
+inline std::vector<std::string> paper_techniques() {
+  return {"graphine", "eldi", "parallax"};
+}
 
-/// Compiles `name` with all three techniques on `config`. The transpiled
-/// circuit is shared (the paper's Qiskit-preprocessing methodology); the
-/// GRAPHINE baseline reuses Parallax's own annealed placement so the two
-/// differ only in atom movement vs SWAPs.
-inline TechniqueResults compile_all(const std::string& name,
-                                    const hardware::HardwareConfig& config) {
+inline bench_circuits::GenOptions gen_options() {
   bench_circuits::GenOptions gen;
   gen.seed = master_seed();
   gen.full_scale = full_scale();
-  const auto input = bench_circuits::make_benchmark(name, gen);
-  const auto transpiled = circuit::transpile(input);
-
-  TechniqueResults results;
-
-  compiler::CompilerOptions popt;
-  popt.assume_transpiled = true;
-  popt.seed = master_seed();
-  results.parallax = compiler::compile(transpiled, config, popt);
-
-  baselines::EldiOptions eopt;
-  eopt.assume_transpiled = true;
-  eopt.seed = master_seed();
-  results.eldi = baselines::eldi_compile(transpiled, config, eopt);
-
-  baselines::GraphineOptions gopt;
-  gopt.assume_transpiled = true;
-  gopt.seed = master_seed();
-  gopt.placement.seed = master_seed();
-  results.graphine = baselines::graphine_compile(transpiled, config, gopt);
-
-  return results;
+  return gen;
 }
 
-/// Compiles every benchmark x 3 techniques in parallel over a thread pool;
-/// results keyed by benchmark acronym.
-inline std::map<std::string, TechniqueResults> compile_suite(
+/// Base sweep options for every bench: master seed from the environment,
+/// thread count from PARALLAX_THREADS.
+inline sweep::Options sweep_options() {
+  sweep::Options options;
+  options.compile.seed = master_seed();
+  options.n_threads = sweep_threads();
+  return options;
+}
+
+/// One machine as a single-entry sweep axis.
+inline std::vector<sweep::MachineSpec> machine(
     const hardware::HardwareConfig& config) {
-  const auto names = benchmark_names();
-  std::map<std::string, TechniqueResults> results;
-  std::mutex mutex;
-  util::ThreadPool pool;
-  pool.parallel_for(names.size(), [&](std::size_t i) {
-    TechniqueResults r = compile_all(names[i], config);
-    std::lock_guard lock(mutex);
-    results.emplace(names[i], std::move(r));
-  });
-  return results;
+  return {{config.name, config}};
+}
+
+/// Compiles circuits x techniques x machines with the shared bench settings.
+/// The transpiled circuit is shared per circuit (the paper's
+/// Qiskit-preprocessing methodology) and the GRAPHINE baseline reuses
+/// Parallax's own annealed placement, so the two differ only in atom
+/// movement vs SWAPs.
+inline sweep::Result compile_suite(
+    const std::vector<sweep::MachineSpec>& machines,
+    const std::vector<std::string>& techniques = paper_techniques(),
+    const std::vector<std::string>& circuits = benchmark_names(),
+    const sweep::Options& options = sweep_options()) {
+  return sweep::run(sweep::benchmark_circuits(circuits, gen_options()),
+                    techniques, machines, options);
+}
+
+/// Aborts the bench with a clear message if any sweep cell failed — a bench
+/// table built from partial results would silently misreport the paper.
+inline void require_all_ok(const sweep::Result& result) {
+  for (const auto& cell : result.cells) {
+    if (!cell.ok()) {
+      std::fprintf(stderr, "sweep cell %s/%s/%s failed: %s\n",
+                   cell.circuit.c_str(), cell.technique.c_str(),
+                   cell.machine.c_str(), cell.error.c_str());
+      std::exit(1);
+    }
+  }
 }
 
 inline void print_preamble(const char* experiment, const char* description) {
@@ -113,17 +111,6 @@ inline void print_preamble(const char* experiment, const char* description) {
               full_scale() ? 1 : 0);
 }
 
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+using Stopwatch = util::Stopwatch;
 
 }  // namespace parallax::bench

@@ -1,16 +1,15 @@
 // Compile-time scaling harness (google-benchmark): measures wall time of the
-// full Parallax pipeline and its phases across circuit sizes, supporting the
+// full pipelines and their phases across circuit sizes, supporting the
 // paper's polynomial-complexity claim (Sec. III: O(q^5) dominated by
-// Graphine's placement; scheduling terms are lower order).
+// Graphine's placement; scheduling terms are lower order). Techniques run
+// through the registry, so adding one here is a one-line change.
 #include <benchmark/benchmark.h>
 
-#include "baselines/eldi.hpp"
-#include "baselines/graphine_router.hpp"
 #include "bench_circuits/registry.hpp"
 #include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
-#include "parallax/compiler.hpp"
 #include "placement/graphine.hpp"
+#include "technique/registry.hpp"
 
 namespace {
 
@@ -23,54 +22,48 @@ circuit::Circuit qv_circuit(std::int32_t n_qubits) {
       bench_circuits::make_qv(n_qubits, n_qubits - 1, gen));
 }
 
-void BM_ParallaxCompile(benchmark::State& state) {
+void technique_compile(benchmark::State& state, const char* technique,
+                       bool budget_placement) {
   const auto n = static_cast<std::int32_t>(state.range(0));
   const auto transpiled = qv_circuit(n);
   const auto config = hardware::HardwareConfig::quera_aquila_256();
-  compiler::CompilerOptions options;
+  pipeline::CompileOptions options;
   options.assume_transpiled = true;
-  // Fixed small annealing budget isolates the scheduler's scaling.
-  options.placement.anneal_iterations = 100;
-  options.placement.local_search_evaluations = 100;
+  if (budget_placement) {
+    // Fixed small annealing budget isolates the scheduler's scaling.
+    options.placement.anneal_iterations = 100;
+    options.placement.local_search_evaluations = 100;
+  }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(compiler::compile(transpiled, config, options));
+    benchmark::DoNotOptimize(
+        technique::compile(technique, transpiled, config, options));
   }
   state.counters["qubits"] = n;
   state.counters["cz_gates"] = static_cast<double>(transpiled.cz_count());
+}
+
+void BM_ParallaxCompile(benchmark::State& state) {
+  technique_compile(state, "parallax", /*budget_placement=*/true);
 }
 BENCHMARK(BM_ParallaxCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
 void BM_EldiCompile(benchmark::State& state) {
-  const auto n = static_cast<std::int32_t>(state.range(0));
-  const auto transpiled = qv_circuit(n);
-  const auto config = hardware::HardwareConfig::quera_aquila_256();
-  baselines::EldiOptions options;
-  options.assume_transpiled = true;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        baselines::eldi_compile(transpiled, config, options));
-  }
-  state.counters["qubits"] = n;
+  technique_compile(state, "eldi", /*budget_placement=*/false);
 }
 BENCHMARK(BM_EldiCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GraphineCompile(benchmark::State& state) {
-  const auto n = static_cast<std::int32_t>(state.range(0));
-  const auto transpiled = qv_circuit(n);
-  const auto config = hardware::HardwareConfig::quera_aquila_256();
-  baselines::GraphineOptions options;
-  options.assume_transpiled = true;
-  options.placement.anneal_iterations = 100;
-  options.placement.local_search_evaluations = 100;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        baselines::graphine_compile(transpiled, config, options));
-  }
-  state.counters["qubits"] = n;
+  technique_compile(state, "graphine", /*budget_placement=*/true);
 }
 BENCHMARK(BM_GraphineCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StaticCompile(benchmark::State& state) {
+  technique_compile(state, "static", /*budget_placement=*/false);
+}
+BENCHMARK(BM_StaticCompile)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GraphinePlacementOnly(benchmark::State& state) {

@@ -14,17 +14,18 @@ int main() {
 
   pb::Stopwatch stopwatch;
   const auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
-  const auto suite = pb::compile_suite(config);
+  const auto suite = pb::compile_suite(pb::machine(config));
+  pb::require_all_ok(suite);
 
   pu::Table table({"Bench", "Graphine", "Eldi", "Parallax", "P vs G", "P vs E",
                    "P swaps"});
   double geo_vs_g = 0.0, geo_vs_e = 0.0;
   int count_g = 0, count_e = 0;
   for (const auto& name : pb::benchmark_names()) {
-    const auto& r = suite.at(name);
-    const auto g = r.graphine.stats.effective_cz();
-    const auto e = r.eldi.stats.effective_cz();
-    const auto p = r.parallax.stats.effective_cz();
+    const auto g = suite.at(name, "graphine").result.stats.effective_cz();
+    const auto e = suite.at(name, "eldi").result.stats.effective_cz();
+    const auto& parallax_cell = suite.at(name, "parallax");
+    const auto p = parallax_cell.result.stats.effective_cz();
     auto reduction = [](std::size_t baseline, std::size_t ours) {
       return baseline == 0
                  ? 0.0
@@ -42,7 +43,7 @@ int main() {
     table.add_row({name, std::to_string(g), std::to_string(e),
                    std::to_string(p), pu::format_percent(reduction(g, p)),
                    pu::format_percent(reduction(e, p)),
-                   std::to_string(r.parallax.stats.swap_gates)});
+                   std::to_string(parallax_cell.result.stats.swap_gates)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -15,17 +15,17 @@ int main() {
 
   pb::Stopwatch stopwatch;
   const auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
-  const auto suite = pb::compile_suite(config);
+  const auto suite = pb::compile_suite(pb::machine(config));
+  pb::require_all_ok(suite);
 
   pu::Table table({"Bench", "Graphine", "Eldi", "Parallax", "P % of best",
                    "Best"});
   double sum_gain_g = 0.0, sum_gain_e = 0.0;
   int n_g = 0, n_e = 0;
   for (const auto& name : pb::benchmark_names()) {
-    const auto& r = suite.at(name);
-    const double pg = parallax::noise::success_probability(r.graphine, config);
-    const double pe = parallax::noise::success_probability(r.eldi, config);
-    const double pp = parallax::noise::success_probability(r.parallax, config);
+    const double pg = suite.at(name, "graphine").success_probability;
+    const double pe = suite.at(name, "eldi").success_probability;
+    const double pp = suite.at(name, "parallax").success_probability;
     const double best = std::max({pg, pe, pp});
     const char* who = (best == pp) ? "Parallax" : (best == pe ? "Eldi" : "Graphine");
     // Improvement in percentage points of the best-case-normalized scale

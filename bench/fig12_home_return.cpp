@@ -15,26 +15,25 @@ int main() {
   pb::Stopwatch stopwatch;
   const auto config = parallax::hardware::HardwareConfig::atom_computing_1225();
 
+  // Two parallax-only sweeps differing in one scheduler flag; the annealed
+  // placement is identical (same seed derivation), so the comparison
+  // isolates the home-return step.
+  const auto with_home =
+      pb::compile_suite(pb::machine(config), {"parallax"});
+  auto options = pb::sweep_options();
+  options.compile.scheduler.return_home = false;
+  const auto without_home = pb::compile_suite(
+      pb::machine(config), {"parallax"}, pb::benchmark_names(), options);
+  pb::require_all_ok(with_home);
+  pb::require_all_ok(without_home);
+
   pu::Table table({"Bench", "No home return", "With home return (Parallax)",
                    "Change", "CZ equal?"});
   double sum_change = 0.0;
   int n = 0;
   for (const auto& name : pb::benchmark_names()) {
-    parallax::bench_circuits::GenOptions gen;
-    gen.seed = pb::master_seed();
-    gen.full_scale = pb::full_scale();
-    const auto transpiled = parallax::circuit::transpile(
-        parallax::bench_circuits::make_benchmark(name, gen));
-
-    parallax::compiler::CompilerOptions with_home;
-    with_home.assume_transpiled = true;
-    with_home.seed = pb::master_seed();
-    auto without_home = with_home;
-    without_home.scheduler.return_home = false;
-
-    const auto a = parallax::compiler::compile(transpiled, config, with_home);
-    const auto b = parallax::compiler::compile(transpiled, config,
-                                               without_home);
+    const auto& a = with_home.at(name, "parallax").result;
+    const auto& b = without_home.at(name, "parallax").result;
     const double change = b.runtime_us > 0
                               ? (a.runtime_us - b.runtime_us) / b.runtime_us
                               : 0.0;

@@ -1,6 +1,11 @@
 // Fig. 13 (ablation): Parallax circuit runtime with 1, 5, 10, 20, 40 AOD
 // rows/columns, on the 256-qubit machine. Paper: 20 (the default) has the
 // lowest average runtime; 1 is clearly worst; 40 is not better than 20.
+//
+// The AOD variants are machine specs of one sweep, so all five compile runs
+// of a circuit share one memoized Graphine placement.
+#include <map>
+
 #include "common.hpp"
 
 int main() {
@@ -14,30 +19,28 @@ int main() {
   pb::Stopwatch stopwatch;
   const std::vector<std::int32_t> aod_counts{1, 5, 10, 20, 40};
 
+  std::vector<parallax::sweep::MachineSpec> machines;
+  for (const auto count : aod_counts) {
+    auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
+    config.aod_rows = config.aod_cols = count;
+    machines.push_back({"aod" + std::to_string(count), config});
+  }
+  const auto suite = pb::compile_suite(machines, {"parallax"});
+  pb::require_all_ok(suite);
+
   pu::Table table({"Bench", "AOD 1", "AOD 5", "AOD 10", "AOD 20 (Parallax)",
                    "AOD 40"});
   std::map<std::int32_t, double> sum_normalized;
   for (const auto& name : pb::benchmark_names()) {
-    parallax::bench_circuits::GenOptions gen;
-    gen.seed = pb::master_seed();
-    gen.full_scale = pb::full_scale();
-    const auto transpiled = parallax::circuit::transpile(
-        parallax::bench_circuits::make_benchmark(name, gen));
-
     std::vector<std::string> row{name};
     std::map<std::int32_t, double> runtime;
     double worst = 0.0;
     for (const auto count : aod_counts) {
-      auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
-      config.aod_rows = config.aod_cols = count;
-      parallax::compiler::CompilerOptions options;
-      options.assume_transpiled = true;
-      options.seed = pb::master_seed();
-      const auto result =
-          parallax::compiler::compile(transpiled, config, options);
-      runtime[count] = result.runtime_us;
-      worst = std::max(worst, result.runtime_us);
-      row.push_back(pu::format_compact(result.runtime_us));
+      const auto& cell =
+          suite.at(name, "parallax", "aod" + std::to_string(count));
+      runtime[count] = cell.result.runtime_us;
+      worst = std::max(worst, cell.result.runtime_us);
+      row.push_back(pu::format_compact(cell.result.runtime_us));
     }
     for (const auto count : aod_counts) {
       if (worst > 0) sum_normalized[count] += runtime[count] / worst;

@@ -1,21 +1,19 @@
 // Compare compilation techniques on a QAOA workload — the scenario the
 // paper's introduction motivates: a variational optimization circuit whose
 // qubit connectivity exceeds what a static layout can serve locally.
-// Compiles the same transpiled circuit with GRAPHINE (static custom layout +
-// SWAPs), ELDI (grid layout + SWAPs), and Parallax (custom layout + atom
-// movement, zero SWAPs) and prints the paper's three metrics side by side.
+// One sweep::run call compiles the same transpiled circuit with every
+// registered technique — GRAPHINE (static custom layout + SWAPs), ELDI
+// (grid layout + SWAPs), the naive static control, and Parallax (custom
+// layout + atom movement, zero SWAPs) — and prints the paper's three
+// metrics side by side.
 //
 //   ./compare_techniques [n_nodes] [p_rounds]
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/eldi.hpp"
-#include "baselines/graphine_router.hpp"
 #include "bench_circuits/registry.hpp"
-#include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
-#include "noise/model.hpp"
-#include "parallax/compiler.hpp"
+#include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -27,49 +25,55 @@ int main(int argc, char** argv) {
 
   bench_circuits::GenOptions gen;
   gen.seed = 2024;
-  const auto input = bench_circuits::make_qaoa(n_nodes, p_rounds, gen);
-  const auto transpiled = circuit::transpile(input);
-  std::printf("QAOA MaxCut: %d nodes, p=%d -> %zu CZ gates after transpile\n\n",
-              n_nodes, p_rounds, transpiled.cz_count());
-
+  sweep::CircuitSpec spec{"QAOA", bench_circuits::make_qaoa(n_nodes, p_rounds,
+                                                            gen)};
   const auto config = hardware::HardwareConfig::quera_aquila_256();
 
-  compiler::CompilerOptions popt;
-  popt.assume_transpiled = true;
-  const auto parallax_result = compiler::compile(transpiled, config, popt);
+  // The paper's three techniques plus the naive identity-placement control,
+  // straight from the registry.
+  const std::vector<std::string> techniques{"static", "graphine", "eldi",
+                                            "parallax"};
+  sweep::Options options;
+  options.compile.seed = 2024;
+  const auto result = sweep::run({spec}, techniques, {{config.name, config}},
+                                 options);
+  for (const auto& cell : result.cells) {
+    if (!cell.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", cell.technique.c_str(),
+                   cell.error.c_str());
+      return 1;
+    }
+  }
+  std::printf("QAOA MaxCut: %d nodes, p=%d -> %zu CZ gates after transpile\n\n",
+              n_nodes, p_rounds,
+              result.at("QAOA", "parallax").result.circuit.cz_count());
 
-  baselines::EldiOptions eopt;
-  eopt.assume_transpiled = true;
-  const auto eldi_result = baselines::eldi_compile(transpiled, config, eopt);
-
-  baselines::GraphineOptions gopt;
-  gopt.assume_transpiled = true;
-  const auto graphine_result =
-      baselines::graphine_compile(transpiled, config, gopt);
-
-  util::Table table({"Metric", "Graphine", "Eldi", "Parallax"});
+  util::Table table({"Metric", "Static", "Graphine", "Eldi", "Parallax"});
   auto row = [&](const char* metric, auto getter) {
-    table.add_row({metric, getter(graphine_result), getter(eldi_result),
-                   getter(parallax_result)});
+    std::vector<std::string> cells{metric};
+    for (const auto& technique : techniques) {
+      cells.push_back(getter(result.at("QAOA", technique)));
+    }
+    table.add_row(std::move(cells));
   };
-  row("SWAP gates inserted", [](const compiler::CompileResult& r) {
-    return std::to_string(r.stats.swap_gates);
+  row("SWAP gates inserted", [](const sweep::Cell& cell) {
+    return std::to_string(cell.result.stats.swap_gates);
   });
-  row("Effective CZ count (Fig. 9 metric)",
-      [](const compiler::CompileResult& r) {
-        return std::to_string(r.stats.effective_cz());
-      });
-  row("Circuit runtime (us)", [](const compiler::CompileResult& r) {
-    return util::format_fixed(r.runtime_us, 1);
+  row("Effective CZ count (Fig. 9 metric)", [](const sweep::Cell& cell) {
+    return std::to_string(cell.result.stats.effective_cz());
   });
-  row("Schedule layers", [](const compiler::CompileResult& r) {
-    return std::to_string(r.stats.layers);
+  row("Circuit runtime (us)", [](const sweep::Cell& cell) {
+    return util::format_fixed(cell.result.runtime_us, 1);
   });
-  row("Success probability", [&](const compiler::CompileResult& r) {
-    return util::format_sci(noise::success_probability(r, config), 2);
+  row("Schedule layers", [](const sweep::Cell& cell) {
+    return std::to_string(cell.result.stats.layers);
+  });
+  row("Success probability", [](const sweep::Cell& cell) {
+    return util::format_sci(cell.success_probability, 2);
   });
   std::printf("%s", table.to_string().c_str());
 
+  const auto& parallax_result = result.at("QAOA", "parallax").result;
   std::printf(
       "\nParallax avoids every SWAP by moving %zu AOD-trapped atoms "
       "(%zu moves, %zu trap changes).\n",

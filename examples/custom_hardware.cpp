@@ -3,34 +3,24 @@
 // AOD count and atom movement speed, ensuring Parallax can evolve alongside
 // advancements in neutral atom hardware"). This example sweeps a
 // hypothetical next-generation machine — faster movement, better CZ
-// fidelity, larger grid — and shows how runtime and success probability of
-// a TFIM workload respond.
+// fidelity, larger grid — as the machine axis of one sweep::run call, and
+// shows how runtime and success probability of a TFIM workload respond.
+// The annealed placement is memoized, so five scenarios cost one anneal.
 #include <cstdio>
 
 #include "bench_circuits/registry.hpp"
-#include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
-#include "noise/model.hpp"
-#include "parallax/compiler.hpp"
+#include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace parallax;
 
-  const auto transpiled =
-      circuit::transpile(bench_circuits::make_tfim(64, 10, {}));
-  std::printf("Workload: 64-qubit TFIM, %zu CZ gates\n\n",
-              transpiled.cz_count());
+  sweep::CircuitSpec spec{"TFIM64", bench_circuits::make_tfim(64, 10, {})};
 
-  struct Scenario {
-    const char* label;
-    hardware::HardwareConfig config;
-  };
-  std::vector<Scenario> scenarios;
-
+  std::vector<sweep::MachineSpec> scenarios;
   scenarios.push_back({"today (QuEra-like 256)",
                        hardware::HardwareConfig::quera_aquila_256()});
-
   {
     auto config = hardware::HardwareConfig::atom_computing_1225();
     scenarios.push_back({"today (Atom-like 1225)", config});
@@ -56,17 +46,24 @@ int main() {
     scenarios.push_back({"next-gen: 40 AOD lines", config});
   }
 
+  const auto result = sweep::run({spec}, {"parallax"}, scenarios);
+  for (const auto& cell : result.cells) {
+    if (!cell.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", cell.machine.c_str(),
+                   cell.error.c_str());
+      return 1;
+    }
+  }
+  std::printf("Workload: 64-qubit TFIM, %zu CZ gates\n\n",
+              result.cells.front().result.circuit.cz_count());
+
   util::Table table({"Scenario", "Runtime (us)", "Trap changes", "AOD moves",
                      "Success prob."});
-  for (const auto& [label, config] : scenarios) {
-    compiler::CompilerOptions options;
-    options.assume_transpiled = true;
-    const auto result = compiler::compile(transpiled, config, options);
-    table.add_row({label, util::format_fixed(result.runtime_us, 0),
-                   std::to_string(result.stats.trap_changes),
-                   std::to_string(result.stats.aod_moves),
-                   util::format_sci(
-                       noise::success_probability(result, config), 2)});
+  for (const auto& cell : result.cells) {
+    table.add_row({cell.machine, util::format_fixed(cell.result.runtime_us, 0),
+                   std::to_string(cell.result.stats.trap_changes),
+                   std::to_string(cell.result.stats.aod_moves),
+                   util::format_sci(cell.success_probability, 2)});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\nEvery Table II parameter is a plain struct field — no "

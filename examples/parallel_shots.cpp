@@ -1,45 +1,50 @@
 // Parallel logical shots (paper Sec. II-E): compile a small circuit
 // compactly, replicate it across the 1,225-atom machine with shared AOD
 // rows/columns, and show how the total time for 8,000 logical shots falls
-// with the parallelization factor.
+// with the parallelization factor. The shot-plan series comes straight out
+// of the sweep driver (Options::shots).
 //
 //   ./parallel_shots [benchmark acronym] (default: ADV)
 #include <cstdio>
 #include <string>
 
 #include "bench_circuits/registry.hpp"
-#include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
-#include "parallax/compiler.hpp"
 #include "shots/parallelize.hpp"
+#include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace parallax;
 
   const std::string name = argc > 1 ? argv[1] : "ADV";
-  const auto input = bench_circuits::make_benchmark(name);
-  const auto transpiled = circuit::transpile(input);
   const auto config = hardware::HardwareConfig::atom_computing_1225();
 
+  sweep::Options options;
   // Compact layout so copies tile the machine.
-  compiler::CompilerOptions options;
-  options.assume_transpiled = true;
-  options.discretize.spread_factor = 1.2;
-  const auto result = compiler::compile(transpiled, config, options);
+  options.compile.discretize.spread_factor = 1.2;
+  options.shots = shots::ShotOptions{};  // 8,000 logical shots
 
-  const auto footprint = shots::footprint_side(result);
+  const auto swept = sweep::run(sweep::benchmark_circuits({name}),
+                                {"parallax"}, {{config.name, config}},
+                                options);
+  const auto& cell = swept.at(name, "parallax");
+  if (!cell.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n", cell.error.c_str());
+    return 1;
+  }
+
+  const auto footprint = shots::footprint_side(cell.result);
   std::printf("%s: %d qubits, footprint %dx%d sites on a %dx%d machine, "
               "%zu AOD lines per copy\n\n",
-              name.c_str(), transpiled.n_qubits(), footprint, footprint,
-              config.grid_side, config.grid_side, result.aod_qubit_count());
+              name.c_str(), cell.result.circuit.n_qubits(), footprint,
+              footprint, config.grid_side, config.grid_side,
+              cell.result.aod_qubit_count());
 
-  shots::ShotOptions shot_options;  // 8,000 logical shots
   util::Table table({"Copies per dim", "Logical shots per physical",
                      "Physical shots", "Total time (s)", "Speedup"});
-  const auto plans = shots::parallelization_sweep(result, config, shot_options);
-  const double serial = plans.front().total_execution_time_us;
-  for (const auto& plan : plans) {
+  const double serial = cell.shot_plans.front().total_execution_time_us;
+  for (const auto& plan : cell.shot_plans) {
     table.add_row({std::to_string(plan.copies_per_dim),
                    std::to_string(plan.copies),
                    std::to_string(plan.physical_shots),

@@ -11,8 +11,8 @@
 #include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
 #include "noise/model.hpp"
-#include "parallax/compiler.hpp"
 #include "qasm/parser.hpp"
+#include "technique/registry.hpp"
 
 namespace {
 constexpr const char* kGhzQasm = R"(
@@ -50,12 +50,13 @@ int main(int argc, char** argv) {
               transpiled.u3_count(), transpiled.cz_count(),
               transpiled.depth());
 
-  // 3. Compile with Parallax for QuEra's 256-atom machine.
+  // 3. Compile with Parallax for QuEra's 256-atom machine. Any registered
+  //    technique name works here — try "eldi", "graphine", or "static".
   const auto config = hardware::HardwareConfig::quera_aquila_256();
-  compiler::CompilerOptions options;
+  pipeline::CompileOptions options;
   options.assume_transpiled = true;
   const compiler::CompileResult result =
-      compiler::compile(transpiled, config, options);
+      technique::compile("parallax", transpiled, config, options);
 
   std::printf("\nParallax schedule on %s:\n", config.name.c_str());
   std::printf("  layers:              %zu\n", result.stats.layers);

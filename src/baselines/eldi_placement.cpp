@@ -1,23 +1,13 @@
-#include "baselines/eldi.hpp"
+#include "baselines/eldi_placement.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
-
-#include "baselines/static_schedule.hpp"
-#include "baselines/swap_router.hpp"
-#include "circuit/interaction_graph.hpp"
-#include "geometry/grid.hpp"
-#include "parallax/compiler.hpp"
+#include <utility>
 
 namespace parallax::baselines {
 
-namespace {
-
-/// Greedy graph-aware placement on a compact square sub-grid: qubits are
-/// placed in descending connection-to-placed order, each at the free cell
-/// minimizing the weighted distance to its already-placed partners.
 std::vector<geom::Cell> compact_grid_placement(
     const circuit::InteractionGraph& graph, const geom::Grid& grid,
     std::int32_t region_side) {
@@ -107,61 +97,11 @@ std::vector<geom::Cell> compact_grid_placement(
   return cells;
 }
 
-}  // namespace
-
-compiler::CompileResult eldi_compile(const circuit::Circuit& input,
-                                     const hardware::HardwareConfig& config,
-                                     const EldiOptions& options) {
-  if (input.n_qubits() > config.n_atoms()) {
-    throw compiler::CompileError("circuit too large for machine");
-  }
-
-  compiler::CompileResult result;
-  result.technique = "eldi";
-  circuit::Circuit transpiled = options.assume_transpiled
-                                    ? input
-                                    : circuit::transpile(input, options.transpile);
-
-  // Square region at hardware pitch, with ~2x site slack so the greedy
-  // mapper can keep chains contiguous (ELDI exploits long-distance
-  // interactions rather than maximal packing).
-  const geom::Grid grid(config.grid_side, config.pitch_um());
-  const auto region_side = std::min<std::int32_t>(
-      config.grid_side,
-      static_cast<std::int32_t>(std::ceil(std::sqrt(
-          1.45 * static_cast<double>(std::max(1, transpiled.n_qubits()))))));
-  const circuit::InteractionGraph graph(transpiled);
-  const auto cells = compact_grid_placement(graph, grid, region_side);
-
-  result.topology.grid = grid;
-  result.topology.sites = cells;
-  // Long-range interaction radius: diagonal neighbours are reachable
-  // (8-connectivity), the hardware-compatible setting the paper applies.
-  result.topology.interaction_radius_um =
-      grid.pitch() * std::sqrt(2.0) * (1.0 + 1e-9);
-  result.topology.blockade_radius_um =
-      2.5 * result.topology.interaction_radius_um;
-
-  std::vector<geom::Point> positions;
-  positions.reserve(cells.size());
-  for (const auto& cell : cells) positions.push_back(grid.position(cell));
-
-  RoutedCircuit routed = route_with_swaps(transpiled, positions,
-                                          result.topology.interaction_radius_um);
-  StaticScheduleOutput schedule =
-      schedule_static(routed.circuit, positions,
-                      result.topology.blockade_radius_um, config, options.seed);
-
-  result.circuit = std::move(routed.circuit);
-  result.layers = std::move(schedule.layers);
-  result.runtime_us = schedule.runtime_us;
-  result.in_aod.assign(static_cast<std::size_t>(result.circuit.n_qubits()), 0);
-  result.stats.u3_gates = result.circuit.u3_count();
-  result.stats.cz_gates = result.circuit.cz_count();
-  result.stats.swap_gates = result.circuit.swap_count();
-  result.stats.layers = result.layers.size();
-  result.stats.out_of_range_cz = routed.routed_cz;
-  return result;
+std::int32_t eldi_region_side(std::int32_t n_qubits, std::int32_t grid_side) {
+  return std::min<std::int32_t>(
+      grid_side,
+      static_cast<std::int32_t>(
+          std::ceil(std::sqrt(1.45 * static_cast<double>(std::max(1, n_qubits))))));
 }
 
-}  // namespace baselines
+}  // namespace parallax::baselines

@@ -1,0 +1,30 @@
+// ELDI-style placement (Baker et al., ISCA'21 + Litteken et al., QCE'22):
+// qubits are mapped onto a compact square sub-grid of SLM sites with a
+// graph-aware greedy strategy — qubits in descending connection-to-placed
+// order, each at the free cell minimizing the weighted distance to its
+// already-placed partners. Consumed by the "eldi-placement" pipeline pass;
+// exposed here so tests can exercise it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/interaction_graph.hpp"
+#include "geometry/grid.hpp"
+
+namespace parallax::baselines {
+
+/// Greedy graph-aware placement on a compact square region of `region_side`
+/// sites. Throws std::runtime_error if the region cannot hold every qubit.
+[[nodiscard]] std::vector<geom::Cell> compact_grid_placement(
+    const circuit::InteractionGraph& graph, const geom::Grid& grid,
+    std::int32_t region_side);
+
+/// Side of ELDI's placement region for `n_qubits` qubits on a machine with
+/// `grid_side` sites per side: ~2x site slack so the greedy mapper can keep
+/// chains contiguous (ELDI exploits long-distance interactions rather than
+/// maximal packing).
+[[nodiscard]] std::int32_t eldi_region_side(std::int32_t n_qubits,
+                                            std::int32_t grid_side);
+
+}  // namespace parallax::baselines

@@ -1,70 +1,13 @@
 #include "parallax/compiler.hpp"
 
-#include <functional>
-
-#include "circuit/interaction_graph.hpp"
-#include "parallax/aod_selection.hpp"
+#include "technique/registry.hpp"
 
 namespace parallax::compiler {
-
-namespace {
-std::uint64_t derive_seed(std::uint64_t master, const std::string& name,
-                          std::uint64_t salt) {
-  std::uint64_t h = master ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
-  for (const char c : name) {
-    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-}  // namespace
 
 CompileResult compile(const circuit::Circuit& input,
                       const hardware::HardwareConfig& config,
                       const CompilerOptions& options) {
-  if (input.n_qubits() > config.n_atoms()) {
-    throw CompileError("circuit '" + input.name() + "' needs " +
-                       std::to_string(input.n_qubits()) +
-                       " qubits; machine '" + config.name + "' has " +
-                       std::to_string(config.n_atoms()) + " atoms");
-  }
-
-  CompileResult result;
-  result.technique = "parallax";
-  result.circuit = options.assume_transpiled
-                       ? input
-                       : circuit::transpile(input, options.transpile);
-
-  // Step 1: Graphine placement (or the caller's preset).
-  const circuit::InteractionGraph graph(result.circuit);
-  placement::Topology topology;
-  if (options.preset_topology) {
-    topology = *options.preset_topology;
-  } else {
-    placement::GraphineOptions placement_options = options.placement;
-    placement_options.seed = derive_seed(options.seed, input.name(), 1);
-    topology = placement::graphine_place(graph, placement_options);
-  }
-
-  // Step 2: hardware-constraint discretization.
-  result.topology = placement::discretize(topology, config, options.discretize);
-
-  // Step 3: AOD qubit selection.
-  hardware::Machine machine(config, result.topology);
-  const AodSelectionResult selection =
-      select_aod_qubits(result.circuit, machine, options.aod_selection);
-  result.in_aod = selection.in_aod;
-
-  // Step 4: Algorithm 1 scheduling.
-  SchedulerOptions scheduler_options = options.scheduler;
-  scheduler_options.shuffle_seed = derive_seed(options.seed, input.name(), 2);
-  ScheduleOutput schedule =
-      schedule_gates(result.circuit, machine, scheduler_options);
-
-  result.layers = std::move(schedule.layers);
-  result.stats = schedule.stats;
-  result.runtime_us = schedule.runtime_us;
-  return result;
+  return technique::compile("parallax", input, config, options);
 }
 
 }  // namespace parallax::compiler

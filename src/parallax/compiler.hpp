@@ -4,49 +4,28 @@
 //           separation constraint.
 //   Step 3  AOD qubit selection (one atom per row/column pair).
 //   Step 4  Gate + movement scheduling (Algorithm 1).
-// The result carries the layer schedule, movement statistics, and the
-// single-shot runtime; pair it with noise::success_probability and
+// Since the pass-pipeline refactor this is a thin front door over the
+// "parallax" technique's pipeline (technique::Registry assembles the same
+// stages); it remains the convenience entry point for single-technique
+// callers. The result carries the layer schedule, movement statistics, and
+// the single-shot runtime; pair it with noise::success_probability and
 // shots::parallelize for the paper's other metrics.
 #pragma once
 
-#include <optional>
-#include <stdexcept>
-
-#include "circuit/circuit.hpp"
-#include "circuit/transpile.hpp"
-#include "hardware/config.hpp"
-#include "parallax/aod_selection.hpp"
-#include "parallax/scheduler.hpp"
-#include "placement/discretize.hpp"
-#include "placement/graphine.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace parallax::compiler {
 
-struct CompilerOptions {
-  circuit::TranspileOptions transpile{};
-  placement::GraphineOptions placement{};
-  placement::DiscretizeOptions discretize{};
-  SchedulerOptions scheduler{};
-  AodSelectionOptions aod_selection{};
-  /// Input is already in the {U3, CZ} basis; skip transpilation.
-  bool assume_transpiled = false;
-  /// Pre-computed Graphine placement (the paper's command-line option for
-  /// loading earlier results to cut compile time). Skips Step 1.
-  std::optional<placement::Topology> preset_topology;
-  /// Master seed; placement and shuffle seeds derive from it and the
-  /// circuit name, so runs are reproducible per circuit.
-  std::uint64_t seed = 0xA77AC5ULL;
-};
+/// Per-stage options, shared by every technique's pipeline.
+using CompilerOptions = pipeline::CompileOptions;
 
 /// Thrown when a circuit cannot be compiled for a machine (e.g. more qubits
 /// than atoms).
-class CompileError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+using CompileError = pipeline::CompileError;
 
-/// Compiles `input` for the machine described by `config`. Never inserts
-/// SWAP gates (the compiled circuit's swap count is zero by construction).
+/// Compiles `input` for the machine described by `config` with the Parallax
+/// pipeline. Never inserts SWAP gates (the compiled circuit's swap count is
+/// zero by construction). Equivalent to technique::compile("parallax", ...).
 [[nodiscard]] CompileResult compile(const circuit::Circuit& input,
                                     const hardware::HardwareConfig& config,
                                     const CompilerOptions& options = {});

@@ -1,0 +1,37 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+namespace parallax::pipeline {
+
+bool Pipeline::contains(std::string_view pass_name) const {
+  return std::any_of(passes_.begin(), passes_.end(), [&](const Pass& pass) {
+    return pass.name() == pass_name;
+  });
+}
+
+std::vector<std::string> Pipeline::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.push_back(pass.name());
+  return names;
+}
+
+compiler::CompileResult Pipeline::run(const circuit::Circuit& input,
+                                      const hardware::HardwareConfig& config,
+                                      const CompileOptions& options) const {
+  if (input.n_qubits() > config.n_atoms()) {
+    throw CompileError("circuit '" + input.name() + "' needs " +
+                       std::to_string(input.n_qubits()) +
+                       " qubits; machine '" + config.name + "' has " +
+                       std::to_string(config.n_atoms()) + " atoms");
+  }
+  CompileContext context(input, config, options);
+  context.result.technique = technique_;
+  for (const auto& pass : passes_) {
+    pass.run(context);
+  }
+  return std::move(context.result);
+}
+
+}  // namespace parallax::pipeline

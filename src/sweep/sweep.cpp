@@ -1,0 +1,235 @@
+#include "sweep/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/interaction_graph.hpp"
+#include "circuit/transpile.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parallax::sweep {
+
+namespace {
+
+using util::Stopwatch;
+
+/// Thread-safe memo keyed by an option fingerprint. The first caller of a
+/// key computes the value; concurrent callers of the same key wait on its
+/// shared_future, so no placement is ever annealed twice.
+template <typename V>
+class Memo {
+ public:
+  /// The reference is into the memo's shared state and stays valid for the
+  /// memo's lifetime.
+  const V& get(const std::string& key, const std::function<V()>& compute,
+               std::size_t* hits, std::size_t* misses) {
+    std::shared_future<V> future;
+    bool owner = false;
+    std::promise<V> promise;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = futures_.find(key);
+      if (it == futures_.end()) {
+        owner = true;
+        future = promise.get_future().share();
+        futures_.emplace(key, future);
+        ++*misses;
+      } else {
+        future = it->second;
+        ++*hits;
+      }
+    }
+    if (owner) {
+      try {
+        promise.set_value(compute());
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_future<V>> futures_;
+};
+
+/// Keyed by the fingerprint of the circuit the placement's interaction graph
+/// is built from (`input_key`) plus every GraphineOptions field, so cells
+/// whose effective inputs or placement options diverge never share one.
+std::string placement_key(const std::string& input_key,
+                          const placement::GraphineOptions& options) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer), "|%d|%d|%.17g|%.17g|%d|%llu",
+                options.anneal_iterations,
+                options.local_search_evaluations, options.crowding_distance,
+                options.crowding_weight, options.warm_start ? 1 : 0,
+                static_cast<unsigned long long>(options.seed));
+  return input_key + buffer;
+}
+
+std::string transpile_key(std::size_t circuit_index,
+                          const circuit::TranspileOptions& options) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%zu|%d|%d|%d|%.17g|%d",
+                circuit_index, options.fuse_single_qubit ? 1 : 0,
+                options.cancel_cz_pairs ? 1 : 0,
+                options.drop_identities ? 1 : 0, options.identity_tolerance,
+                options.max_iterations);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<CircuitSpec> benchmark_circuits(
+    const std::vector<std::string>& acronyms,
+    const bench_circuits::GenOptions& gen) {
+  std::vector<CircuitSpec> specs;
+  specs.reserve(acronyms.size());
+  for (const auto& acronym : acronyms) {
+    specs.push_back({acronym, bench_circuits::make_benchmark(acronym, gen)});
+  }
+  return specs;
+}
+
+std::vector<CircuitSpec> all_benchmark_circuits(
+    const bench_circuits::GenOptions& gen) {
+  std::vector<std::string> acronyms;
+  for (const auto& info : bench_circuits::all_benchmarks()) {
+    acronyms.push_back(info.acronym);
+  }
+  return benchmark_circuits(acronyms, gen);
+}
+
+const Cell& Result::at(std::string_view circuit, std::string_view technique,
+                       std::string_view machine) const {
+  if (machine.empty()) {
+    for (const auto& cell : cells) {
+      if (cell.machine_index > 0) {
+        throw std::logic_error(
+            "sweep::Result::at needs a machine label on a multi-machine "
+            "sweep");
+      }
+    }
+  }
+  for (const auto& cell : cells) {
+    if (cell.circuit == circuit && cell.technique == technique &&
+        (machine.empty() || cell.machine == machine)) {
+      return cell;
+    }
+  }
+  throw std::out_of_range("no sweep cell for circuit '" +
+                          std::string(circuit) + "', technique '" +
+                          std::string(technique) + "', machine '" +
+                          std::string(machine) + "'");
+}
+
+Result run(const std::vector<CircuitSpec>& circuits,
+           const std::vector<std::string>& techniques,
+           const std::vector<MachineSpec>& machines, const Options& options,
+           const technique::Registry& registry) {
+  // Fail fast on a name the registry does not know, before any threads run.
+  for (const auto& name : techniques) (void)registry.info(name);
+
+  const Stopwatch stopwatch;
+  Result sweep_result;
+  sweep_result.cells.resize(circuits.size() * techniques.size() *
+                            machines.size());
+
+  // Each circuit is transpiled once and shared by every (technique, machine)
+  // cell with the same transpile options — the paper's Qiskit-preprocessing
+  // methodology.
+  Memo<circuit::Circuit> transpiled_memo;
+  Memo<placement::Topology> placement_memo;
+
+  util::ThreadPool pool(options.n_threads);
+  sweep_result.threads_used = pool.size();
+
+  const auto run_cell = [&](std::size_t flat) {
+    const std::size_t per_circuit = techniques.size() * machines.size();
+    const std::size_t ci = flat / per_circuit;
+    const std::size_t ti = (flat % per_circuit) / machines.size();
+    const std::size_t mi = flat % machines.size();
+    const CircuitSpec& spec = circuits[ci];
+    const MachineSpec& machine = machines[mi];
+
+    Cell& cell = sweep_result.cells[flat];
+    cell.circuit = spec.name;
+    cell.technique = techniques[ti];
+    cell.machine = machine.name;
+    cell.circuit_index = ci;
+    cell.technique_index = ti;
+    cell.machine_index = mi;
+
+    const Stopwatch cell_watch;
+    try {
+      pipeline::CompileOptions opts = options.compile;
+      if (options.customize) {
+        options.customize(cell.circuit, cell.technique, cell.machine, opts);
+      }
+
+      // Shared transpilation (no-op when the caller's inputs are already in
+      // the {U3, CZ} basis). Keyed on the cell's effective transpile options
+      // so a customize hook that changes them is honored, not silently
+      // served another cell's circuit. Circuit names are preserved, so
+      // per-circuit seed derivation is unchanged.
+      const circuit::Circuit* input = &spec.circuit;
+      std::string input_key = std::to_string(ci) + "|raw";
+      if (!opts.assume_transpiled) {
+        input_key = transpile_key(ci, opts.transpile);
+        input = &transpiled_memo.get(
+            input_key,
+            [&, transpile_options = opts.transpile] {
+              return circuit::transpile(spec.circuit, transpile_options);
+            },
+            &sweep_result.transpile_cache_hits,
+            &sweep_result.transpile_cache_misses);
+        opts.assume_transpiled = true;
+      }
+
+      const pipeline::Pipeline pl = registry.make_pipeline(cell.technique,
+                                                           opts);
+      const bool fits = input->n_qubits() <= machine.config.n_atoms();
+      if (options.share_placements && fits && !opts.preset_topology &&
+          pl.contains("graphine-placement")) {
+        placement::GraphineOptions popts = opts.placement;
+        popts.seed = util::derive_seed(opts.seed, input->name(),
+                                       util::kPlacementSeedSalt);
+        opts.preset_topology = placement_memo.get(
+            placement_key(input_key, popts),
+            [&] {
+              const circuit::InteractionGraph graph(*input);
+              return placement::graphine_place(graph, popts);
+            },
+            &sweep_result.placement_cache_hits,
+            &sweep_result.placement_cache_misses);
+      }
+
+      cell.result = pl.run(*input, machine.config, opts);
+      if (options.compute_success_probability) {
+        cell.success_probability = noise::success_probability(
+            cell.result, machine.config, options.noise);
+      }
+      if (options.shots) {
+        cell.shot_plans = shots::parallelization_sweep(
+            cell.result, machine.config, *options.shots);
+      }
+    } catch (const std::exception& error) {
+      cell.error = error.what();
+    }
+    cell.compile_seconds = cell_watch.seconds();
+  };
+
+  pool.parallel_for(sweep_result.cells.size(), run_cell);
+  sweep_result.wall_seconds = stopwatch.seconds();
+  return sweep_result;
+}
+
+}  // namespace parallax::sweep

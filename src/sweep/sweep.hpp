@@ -1,0 +1,127 @@
+// The batch sweep driver: fans a circuit x technique x machine matrix across
+// util::ThreadPool and returns structured per-cell results (stats, runtime,
+// success probability, shot plans). This is the engine behind every bench
+// binary, the CLI's --technique all mode, and the examples — the paper's
+// 18 circuits x 3 techniques x 2 machines evaluation is one call.
+//
+// Guarantees:
+//   * Determinism: a cell's result depends only on (circuit, technique,
+//     machine, options) — never on thread count or completion order. Every
+//     seed derives from (master seed, circuit name, stage salt).
+//   * Shared work: each circuit is transpiled once, and the Graphine
+//     annealed placement is memoized per (circuit, placement options), so
+//     techniques that share Step 1 (parallax, graphine) and machine variants
+//     of the same circuit never recompute it — exactly the paper's
+//     methodology of reusing placements across techniques.
+//   * Isolation: a cell that fails to compile reports its error string;
+//     the rest of the sweep completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_circuits/registry.hpp"
+#include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "pipeline/pipeline.hpp"
+#include "shots/parallelize.hpp"
+#include "technique/registry.hpp"
+
+namespace parallax::sweep {
+
+/// One circuit of the sweep matrix, with the label results are keyed by.
+struct CircuitSpec {
+  std::string name;
+  circuit::Circuit circuit;
+};
+
+/// Builds specs for Table III benchmarks by acronym.
+[[nodiscard]] std::vector<CircuitSpec> benchmark_circuits(
+    const std::vector<std::string>& acronyms,
+    const bench_circuits::GenOptions& gen = {});
+
+/// All 18 Table III benchmarks.
+[[nodiscard]] std::vector<CircuitSpec> all_benchmark_circuits(
+    const bench_circuits::GenOptions& gen = {});
+
+/// One hardware configuration of the sweep matrix.
+struct MachineSpec {
+  std::string name;
+  hardware::HardwareConfig config;
+};
+
+struct Options {
+  /// Base compile options for every cell (seed, spreads, scheduler knobs).
+  pipeline::CompileOptions compile{};
+  /// Worker threads; 0 selects hardware concurrency.
+  std::size_t n_threads = 0;
+  /// Memoize the Graphine placement per (circuit, placement options) and
+  /// feed it to every cell whose pipeline contains "graphine-placement".
+  bool share_placements = true;
+  /// Estimate noise::success_probability per cell.
+  bool compute_success_probability = true;
+  noise::NoiseOptions noise{};
+  /// When set, compute the Fig. 11 parallelization series per cell.
+  std::optional<shots::ShotOptions> shots;
+  /// Per-cell option tweaks, applied before compilation (e.g. a different
+  /// spread factor for one technique). Placement memoization keys on the
+  /// customized options, so divergent placements are never wrongly shared.
+  std::function<void(const std::string& circuit, const std::string& technique,
+                     const std::string& machine,
+                     pipeline::CompileOptions& options)>
+      customize;
+};
+
+/// One (circuit, technique, machine) result.
+struct Cell {
+  std::string circuit;
+  std::string technique;
+  std::string machine;
+  std::size_t circuit_index = 0;
+  std::size_t technique_index = 0;
+  std::size_t machine_index = 0;
+
+  compiler::CompileResult result;
+  double success_probability = 0.0;
+  /// Fig. 11 series (only when Options::shots is set and the cell compiled).
+  std::vector<shots::ParallelPlan> shot_plans;
+  double compile_seconds = 0.0;
+  /// Non-empty if compilation threw; `result` is then default-constructed.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+struct Result {
+  /// Cells in deterministic circuit-major order (then technique, then
+  /// machine), independent of thread count.
+  std::vector<Cell> cells;
+  double wall_seconds = 0.0;
+  std::size_t threads_used = 0;
+  std::size_t placement_cache_hits = 0;
+  std::size_t placement_cache_misses = 0;
+  std::size_t transpile_cache_hits = 0;
+  std::size_t transpile_cache_misses = 0;
+
+  /// Cell lookup by labels; empty `machine` matches the sole machine of a
+  /// single-machine sweep (std::logic_error if the sweep had several).
+  /// Throws std::out_of_range when absent.
+  [[nodiscard]] const Cell& at(std::string_view circuit,
+                               std::string_view technique,
+                               std::string_view machine = {}) const;
+};
+
+/// Runs the full matrix. Technique names are validated against `registry`
+/// up front (UnknownTechniqueError); per-cell compile errors are reported in
+/// the cells, not thrown.
+[[nodiscard]] Result run(
+    const std::vector<CircuitSpec>& circuits,
+    const std::vector<std::string>& techniques,
+    const std::vector<MachineSpec>& machines, const Options& options = {},
+    const technique::Registry& registry = technique::Registry::global());
+
+}  // namespace parallax::sweep

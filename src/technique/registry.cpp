@@ -1,0 +1,130 @@
+#include "technique/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pipeline/passes.hpp"
+
+namespace parallax::technique {
+
+namespace passes = pipeline::passes;
+
+Registry Registry::with_builtins() {
+  Registry registry;
+  registry.add(
+      "parallax",
+      "the paper's four-step compiler: annealed placement, discretization, "
+      "AOD selection, movement scheduling (zero SWAPs)",
+      [](const pipeline::CompileOptions&) {
+        pipeline::Pipeline pipeline("parallax");
+        pipeline.add(passes::transpile())
+            .add(passes::graphine_placement())
+            .add(passes::discretize())
+            .add(passes::aod_selection())
+            .add(passes::schedule());
+        return pipeline;
+      });
+  registry.add(
+      "eldi",
+      "ELDI baseline: compact-grid greedy placement, SWAP routing over "
+      "8-neighbour connectivity, static scheduling",
+      [](const pipeline::CompileOptions&) {
+        pipeline::Pipeline pipeline("eldi");
+        pipeline.add(passes::transpile())
+            .add(passes::eldi_placement())
+            .add(passes::swap_route())
+            .add(passes::static_schedule());
+        return pipeline;
+      });
+  registry.add(
+      "graphine",
+      "GRAPHINE baseline: the same annealed placement as Parallax, but atoms "
+      "stay static and out-of-range CZs cost SWAP chains",
+      [](const pipeline::CompileOptions&) {
+        pipeline::Pipeline pipeline("graphine");
+        pipeline.add(passes::transpile())
+            .add(passes::graphine_placement())
+            .add(passes::discretize())
+            .add(passes::swap_route())
+            .add(passes::static_schedule());
+        return pipeline;
+      });
+  registry.add(
+      "static",
+      "no-optimization control: identity placement on a compact square, SWAP "
+      "routing, static scheduling",
+      [](const pipeline::CompileOptions&) {
+        pipeline::Pipeline pipeline("static");
+        pipeline.add(passes::transpile())
+            .add(passes::identity_placement())
+            .add(passes::swap_route())
+            .add(passes::static_schedule());
+        return pipeline;
+      });
+  return registry;
+}
+
+const Registry& Registry::global() {
+  static const Registry registry = with_builtins();
+  return registry;
+}
+
+void Registry::add(std::string name, std::string description,
+                   Factory factory) {
+  if (contains(name)) {
+    throw std::invalid_argument("technique '" + name +
+                                "' is already registered");
+  }
+  techniques_.push_back(
+      {std::move(name), std::move(description), std::move(factory)});
+}
+
+bool Registry::contains(std::string_view name) const noexcept {
+  return std::any_of(
+      techniques_.begin(), techniques_.end(),
+      [&](const TechniqueInfo& info) { return info.name == name; });
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> names;
+  names.reserve(techniques_.size());
+  for (const auto& info : techniques_) names.push_back(info.name);
+  return names;
+}
+
+const TechniqueInfo& Registry::info(std::string_view name) const {
+  const auto it = std::find_if(
+      techniques_.begin(), techniques_.end(),
+      [&](const TechniqueInfo& info) { return info.name == name; });
+  if (it == techniques_.end()) {
+    std::string known;
+    for (const auto& info : techniques_) {
+      if (!known.empty()) known += ", ";
+      known += info.name;
+    }
+    throw UnknownTechniqueError("unknown technique '" + std::string(name) +
+                                "' (known: " + known + ")");
+  }
+  return *it;
+}
+
+pipeline::Pipeline Registry::make_pipeline(
+    std::string_view name, const pipeline::CompileOptions& options) const {
+  return info(name).factory(options);
+}
+
+compiler::CompileResult Registry::compile(
+    std::string_view name, const circuit::Circuit& input,
+    const hardware::HardwareConfig& config,
+    const pipeline::CompileOptions& options) const {
+  return make_pipeline(name, options).run(input, config, options);
+}
+
+compiler::CompileResult compile(std::string_view name,
+                                const circuit::Circuit& input,
+                                const hardware::HardwareConfig& config,
+                                const pipeline::CompileOptions& options) {
+  return Registry::global().compile(name, input, config, options);
+}
+
+}  // namespace parallax::technique

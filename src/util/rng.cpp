@@ -11,6 +11,16 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t master, std::string_view name,
+                          std::uint64_t salt) noexcept {
+  std::uint64_t h = master ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
   for (auto& s : state_) s = sm.next();

@@ -9,9 +9,25 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace parallax::util {
+
+/// Salts for derive_seed: every compiler stage that consumes randomness draws
+/// its seed from (master seed, circuit name, stage salt), so Parallax, the
+/// baselines, and the sweep driver all derive identical per-circuit seeds —
+/// which is what lets the sweep driver share one memoized Graphine placement
+/// across every technique and machine config of the same circuit.
+inline constexpr std::uint64_t kPlacementSeedSalt = 1;
+inline constexpr std::uint64_t kShuffleSeedSalt = 2;
+
+/// Derives a per-component seed from a master seed, a component name
+/// (typically the circuit name), and a stage salt. FNV-1a over the name,
+/// offset by a golden-ratio multiple of the salt.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::string_view name,
+                                        std::uint64_t salt) noexcept;
 
 /// SplitMix64: used to expand a single 64-bit seed into a full state vector.
 class SplitMix64 {

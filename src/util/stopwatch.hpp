@@ -1,0 +1,22 @@
+// Monotonic wall-clock timer shared by the sweep driver and the bench
+// harness.
+#pragma once
+
+#include <chrono>
+
+namespace parallax::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace parallax::util

@@ -6,11 +6,10 @@
 #include <numeric>
 #include <set>
 
-#include "baselines/eldi.hpp"
-#include "baselines/graphine_router.hpp"
 #include "baselines/static_schedule.hpp"
 #include "baselines/swap_router.hpp"
 #include "circuit/transpile.hpp"
+#include "technique/registry.hpp"
 #include "util/rng.hpp"
 
 namespace pb = parallax::baselines;
@@ -186,8 +185,8 @@ TEST(Eldi, CompilesGhz) {
   ghz.h(0);
   for (int q = 0; q + 1 < 8; ++q) ghz.cx(q, q + 1);
   ghz.measure_all();
-  const auto result =
-      pb::eldi_compile(ghz, ph::HardwareConfig::quera_aquila_256());
+  const auto result = parallax::technique::compile(
+      "eldi", ghz, ph::HardwareConfig::quera_aquila_256());
   EXPECT_EQ(result.technique, "eldi");
   // A GHZ chain on a compact grid with 8-connectivity routes with few or no
   // swaps.
@@ -201,8 +200,8 @@ TEST(Eldi, HighConnectivityCostsSwaps) {
   for (int a = 0; a < 16; ++a) {
     for (int b = a + 1; b < 16; ++b) c.cz(a, b);
   }
-  const auto result =
-      pb::eldi_compile(c, ph::HardwareConfig::quera_aquila_256());
+  const auto result = parallax::technique::compile(
+      "eldi", c, ph::HardwareConfig::quera_aquila_256());
   EXPECT_GT(result.stats.swap_gates, 0u);
   EXPECT_EQ(result.stats.cz_gates, 120u);  // original CZs unchanged
 }
@@ -212,10 +211,10 @@ TEST(Graphine, CompilesGhz) {
   ghz.h(0);
   for (int q = 0; q + 1 < 8; ++q) ghz.cx(q, q + 1);
   ghz.measure_all();
-  pb::GraphineOptions options;
+  parallax::pipeline::CompileOptions options;
   options.placement.anneal_iterations = 150;
-  const auto result =
-      pb::graphine_compile(ghz, ph::HardwareConfig::quera_aquila_256(), options);
+  const auto result = parallax::technique::compile(
+      "graphine", ghz, ph::HardwareConfig::quera_aquila_256(), options);
   EXPECT_EQ(result.technique, "graphine");
   EXPECT_GT(result.runtime_us, 0.0);
   EXPECT_EQ(result.stats.cz_gates, 7u + 0u * result.stats.swap_gates);

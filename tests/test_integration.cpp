@@ -8,20 +8,18 @@
 //     counts when runtimes are comparable.
 #include <gtest/gtest.h>
 
-#include "baselines/eldi.hpp"
-#include "baselines/graphine_router.hpp"
 #include "bench_circuits/registry.hpp"
 #include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
 #include "noise/model.hpp"
-#include "parallax/compiler.hpp"
 #include "parallax/validate.hpp"
+#include "sweep/sweep.hpp"
 
 namespace pb = parallax::bench_circuits;
 namespace pc = parallax::circuit;
 namespace ph = parallax::hardware;
 namespace px = parallax::compiler;
-namespace bl = parallax::baselines;
+namespace sw = parallax::sweep;
 
 namespace {
 
@@ -32,7 +30,9 @@ struct SuiteResult {
   px::CompileResult graphine;
 };
 
-/// Compile cache: each benchmark is compiled once across all test cases.
+/// Compile cache: each benchmark is compiled once across all test cases,
+/// through the same sweep driver the bench harness uses (which also
+/// exercises the shared-transpile and memoized-placement paths).
 const SuiteResult& compile_once(const std::string& name) {
   static std::map<std::string, SuiteResult> cache;
   auto it = cache.find(name);
@@ -41,23 +41,23 @@ const SuiteResult& compile_once(const std::string& name) {
   const auto config = ph::HardwareConfig::quera_aquila_256();
   pb::GenOptions gen;
   gen.seed = 42;
+
+  sw::Options options;
+  options.compile.seed = 42;
+  options.compile.scheduler.record_positions = true;
+  const auto swept = sw::run(sw::benchmark_circuits({name}, gen),
+                             {"parallax", "eldi", "graphine"},
+                             {{config.name, config}}, options);
+
   SuiteResult suite;
   suite.transpiled = pc::transpile(pb::make_benchmark(name, gen));
-
-  px::CompilerOptions popt;
-  popt.assume_transpiled = true;
-  popt.seed = 42;
-  popt.scheduler.record_positions = true;
-  suite.parallax = px::compile(suite.transpiled, config, popt);
-
-  bl::EldiOptions eopt;
-  eopt.assume_transpiled = true;
-  suite.eldi = bl::eldi_compile(suite.transpiled, config, eopt);
-
-  bl::GraphineOptions gopt;
-  gopt.assume_transpiled = true;
-  gopt.placement.seed = 42;
-  suite.graphine = bl::graphine_compile(suite.transpiled, config, gopt);
+  for (const auto& cell : swept.cells) {
+    EXPECT_TRUE(cell.ok()) << name << "/" << cell.technique << ": "
+                           << cell.error;
+  }
+  suite.parallax = swept.at(name, "parallax").result;
+  suite.eldi = swept.at(name, "eldi").result;
+  suite.graphine = swept.at(name, "graphine").result;
 
   return cache.emplace(name, std::move(suite)).first->second;
 }

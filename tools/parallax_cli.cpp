@@ -3,14 +3,16 @@
 // Usage:
 //   parallax_cli --benchmark QAOA [options]
 //   parallax_cli --circuit file.qasm [options]
+//   parallax_cli --list-techniques
 //
 // Options:
 //   --machine quera256|atom1225   target machine preset (default quera256)
-//   --technique parallax|eldi|graphine|all   (default parallax)
+//   --technique NAME|all          any registered technique (default parallax)
 //   --aod-count N                 AOD rows/columns (default 20)
 //   --no-home-return              disable the home-return step (Fig. 12)
 //   --spread F                    discretization spread factor (default 2.0)
 //   --seed N                      master seed (default 42)
+//   --threads N                   sweep worker threads (default: hardware)
 //   --json                        emit a JSON report instead of text
 //   --layers                      include the per-layer schedule in JSON
 //   --render                      print the ASCII topology
@@ -18,20 +20,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <optional>
 #include <string>
+#include <vector>
 
-#include "baselines/eldi.hpp"
-#include "baselines/graphine_router.hpp"
 #include "bench_circuits/registry.hpp"
-#include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
 #include "hardware/render.hpp"
-#include "noise/model.hpp"
-#include "parallax/compiler.hpp"
 #include "parallax/report.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
+#include "sweep/sweep.hpp"
+#include "technique/registry.hpp"
 
 namespace {
 
@@ -44,9 +43,11 @@ struct CliOptions {
   bool home_return = true;
   double spread = 2.0;
   std::uint64_t seed = 42;
+  std::size_t threads = 0;
   bool json = false;
   bool layers = false;
   bool render = false;
+  bool list_techniques = false;
   std::string export_qasm;
 };
 
@@ -55,11 +56,13 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s (--benchmark NAME | --circuit FILE.qasm) "
                "[--machine quera256|atom1225]\n"
-               "          [--technique parallax|eldi|graphine|all] "
+               "          [--technique NAME|all] "
                "[--aod-count N] [--no-home-return]\n"
-               "          [--spread F] [--seed N] [--json [--layers]] "
-               "[--render] [--export-qasm FILE]\n",
-               argv0);
+               "          [--spread F] [--seed N] [--threads N] "
+               "[--json [--layers]] [--render]\n"
+               "          [--export-qasm FILE]\n"
+               "       %s --list-techniques\n",
+               argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -87,12 +90,16 @@ CliOptions parse_cli(int argc, char** argv) {
       options.spread = std::atof(need_value(i));
     } else if (!std::strcmp(arg, "--seed")) {
       options.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--threads")) {
+      options.threads = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--json")) {
       options.json = true;
     } else if (!std::strcmp(arg, "--layers")) {
       options.layers = true;
     } else if (!std::strcmp(arg, "--render")) {
       options.render = true;
+    } else if (!std::strcmp(arg, "--list-techniques")) {
+      options.list_techniques = true;
     } else if (!std::strcmp(arg, "--export-qasm")) {
       options.export_qasm = need_value(i);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
@@ -101,21 +108,21 @@ CliOptions parse_cli(int argc, char** argv) {
       usage(argv[0], (std::string("unknown option ") + arg).c_str());
     }
   }
-  if (options.benchmark.empty() == options.circuit_file.empty()) {
+  if (!options.list_techniques &&
+      options.benchmark.empty() == options.circuit_file.empty()) {
     usage(argv[0], "exactly one of --benchmark / --circuit is required");
   }
   return options;
 }
 
-void print_text_summary(const parallax::compiler::CompileResult& result,
-                        const parallax::hardware::HardwareConfig& config) {
+void print_text_summary(const parallax::sweep::Cell& cell) {
   std::printf("%-9s  CZ=%-6zu swaps=%-5zu effCZ=%-6zu layers=%-5zu "
               "runtime=%.1fus  moves=%zu tc=%zu  P(success)=%.3e\n",
-              result.technique.c_str(), result.stats.cz_gates,
-              result.stats.swap_gates, result.stats.effective_cz(),
-              result.stats.layers, result.runtime_us, result.stats.aod_moves,
-              result.stats.trap_changes,
-              parallax::noise::success_probability(result, config));
+              cell.technique.c_str(), cell.result.stats.cz_gates,
+              cell.result.stats.swap_gates, cell.result.stats.effective_cz(),
+              cell.result.stats.layers, cell.result.runtime_us,
+              cell.result.stats.aod_moves, cell.result.stats.trap_changes,
+              cell.success_probability);
 }
 
 }  // namespace
@@ -123,6 +130,15 @@ void print_text_summary(const parallax::compiler::CompileResult& result,
 int main(int argc, char** argv) {
   using namespace parallax;
   const CliOptions cli = parse_cli(argc, argv);
+  const technique::Registry& registry = technique::Registry::global();
+
+  if (cli.list_techniques) {
+    for (const auto& name : registry.names()) {
+      std::printf("%-9s  %s\n", name.c_str(),
+                  registry.info(name).description.c_str());
+    }
+    return 0;
+  }
 
   hardware::HardwareConfig config;
   if (cli.machine == "quera256") {
@@ -134,79 +150,64 @@ int main(int argc, char** argv) {
   }
   config.aod_rows = config.aod_cols = cli.aod_count;
 
-  circuit::Circuit input;
+  sweep::CircuitSpec spec;
   try {
     if (!cli.benchmark.empty()) {
       bench_circuits::GenOptions gen;
       gen.seed = cli.seed;
-      input = bench_circuits::make_benchmark(cli.benchmark, gen);
+      spec = {cli.benchmark, bench_circuits::make_benchmark(cli.benchmark, gen)};
     } else {
-      input = qasm::parse_file(cli.circuit_file).circuit;
+      spec = {cli.circuit_file, qasm::parse_file(cli.circuit_file).circuit};
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error loading circuit: %s\n", error.what());
     return 1;
   }
-  const circuit::Circuit transpiled = circuit::transpile(input);
 
-  auto run_one = [&](const std::string& technique)
-      -> compiler::CompileResult {
-    if (technique == "parallax") {
-      compiler::CompilerOptions options;
-      options.assume_transpiled = true;
-      options.seed = cli.seed;
-      options.scheduler.return_home = cli.home_return;
-      options.discretize.spread_factor = cli.spread;
-      return compiler::compile(transpiled, config, options);
-    }
-    if (technique == "eldi") {
-      baselines::EldiOptions options;
-      options.assume_transpiled = true;
-      options.seed = cli.seed;
-      return baselines::eldi_compile(transpiled, config, options);
-    }
-    if (technique == "graphine") {
-      baselines::GraphineOptions options;
-      options.assume_transpiled = true;
-      options.seed = cli.seed;
-      options.placement.seed = cli.seed;
-      options.discretize.spread_factor = cli.spread;
-      return baselines::graphine_compile(transpiled, config, options);
-    }
-    usage(argv[0], "unknown technique");
-  };
+  // Ascending-quality order for "all", so with --export-qasm the last write
+  // (the file that survives) is Parallax's zero-SWAP circuit, as before.
+  const std::vector<std::string> techniques =
+      cli.technique == "all"
+          ? std::vector<std::string>{"static", "graphine", "eldi", "parallax"}
+          : std::vector<std::string>{cli.technique};
 
-  std::vector<std::string> techniques;
-  if (cli.technique == "all") {
-    techniques = {"graphine", "eldi", "parallax"};
-  } else {
-    techniques = {cli.technique};
+  sweep::Options options;
+  options.compile.seed = cli.seed;
+  options.compile.scheduler.return_home = cli.home_return;
+  options.compile.discretize.spread_factor = cli.spread;
+  options.n_threads = cli.threads;
+
+  sweep::Result swept;
+  try {
+    swept = sweep::run({spec}, techniques, {{cli.machine, config}}, options,
+                       registry);
+  } catch (const technique::UnknownTechniqueError& error) {
+    usage(argv[0], error.what());
   }
 
-  try {
-    for (const auto& technique : techniques) {
-      const auto result = run_one(technique);
-      if (cli.json) {
-        compiler::ReportOptions report_options;
-        report_options.include_layers = cli.layers;
-        std::printf("%s\n",
-                    compiler::report_json(result, config, report_options)
-                        .c_str());
-      } else {
-        print_text_summary(result, config);
-      }
-      if (cli.render) {
-        std::printf("%s", hardware::render_topology(result).c_str());
-      }
-      if (!cli.export_qasm.empty()) {
-        qasm::write_qasm_file(result.circuit, cli.export_qasm);
-        std::printf("compiled circuit written to %s\n",
-                    cli.export_qasm.c_str());
-      }
+  for (const auto& cell : swept.cells) {
+    if (!cell.ok()) {
+      std::fprintf(stderr, "compilation failed (%s): %s\n",
+                   cell.technique.c_str(), cell.error.c_str());
+      return 1;
     }
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "compilation failed: %s\n", error.what());
-    return 1;
+    if (cli.json) {
+      compiler::ReportOptions report_options;
+      report_options.include_layers = cli.layers;
+      std::printf("%s\n",
+                  compiler::report_json(cell.result, config, report_options)
+                      .c_str());
+    } else {
+      print_text_summary(cell);
+    }
+    if (cli.render) {
+      std::printf("%s", hardware::render_topology(cell.result).c_str());
+    }
+    if (!cli.export_qasm.empty()) {
+      qasm::write_qasm_file(cell.result.circuit, cli.export_qasm);
+      std::printf("compiled circuit written to %s\n",
+                  cli.export_qasm.c_str());
+    }
   }
   return 0;
 }
