@@ -9,6 +9,9 @@
 //                           reduced default.
 //   PARALLAX_SEED=<n>       master seed (default 42).
 //   PARALLAX_THREADS=<n>    sweep worker threads (default: hardware).
+//   PARALLAX_CACHE=1        persist placements/results in the compilation
+//                           cache (PARALLAX_CACHE_DIR or .parallax-cache),
+//                           so a bench rerun skips every anneal it has seen.
 #pragma once
 
 #include <cstdio>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "bench_circuits/registry.hpp"
+#include "cache/cache.hpp"
 #include "hardware/config.hpp"
 #include "sweep/sweep.hpp"
 #include "util/stopwatch.hpp"
@@ -62,12 +66,28 @@ inline bench_circuits::GenOptions gen_options() {
   return gen;
 }
 
+/// The shared persistent cache when PARALLAX_CACHE=1, else null. One
+/// instance per process so every sweep of a bench run shares its memory
+/// tier.
+inline std::shared_ptr<cache::CompilationCache> bench_cache() {
+  static const std::shared_ptr<cache::CompilationCache> instance = [] {
+    const char* env = std::getenv("PARALLAX_CACHE");
+    if (env == nullptr || env[0] != '1') {
+      return std::shared_ptr<cache::CompilationCache>();
+    }
+    return cache::CompilationCache::open({});
+  }();
+  return instance;
+}
+
 /// Base sweep options for every bench: master seed from the environment,
-/// thread count from PARALLAX_THREADS.
+/// thread count from PARALLAX_THREADS, persistent cache from
+/// PARALLAX_CACHE.
 inline sweep::Options sweep_options() {
   sweep::Options options;
   options.compile.seed = master_seed();
   options.n_threads = sweep_threads();
+  options.cache = bench_cache();
   return options;
 }
 

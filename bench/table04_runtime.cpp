@@ -53,6 +53,39 @@ int main() {
       "benchmarks —\nthe paper's scaling claim: more space -> near-optimal "
       "topology -> fewer trap changes.\n",
       faster_on_1225);
+
+  // Per-pass compile-time profile (ROADMAP item): where the compiler spends
+  // its wall clock, per Parallax pipeline stage on the 256-atom machine.
+  // "(c)" marks a stage whose product came from a cache — the in-sweep
+  // placement memo, or the persistent cache with PARALLAX_CACHE=1 (a whole
+  // row of (c) is a warm result-cache hit that ran no pass at all).
+  const auto& first_timings =
+      suite.at(pb::benchmark_names().front(), "parallax", quera.name)
+          .result.pass_timings;
+  std::vector<std::string> headers = {"Bench"};
+  for (const auto& timing : first_timings) headers.push_back(timing.pass);
+  headers.push_back("total");
+  pu::Table timing_table(headers);
+  const auto format_pass = [](double seconds, bool cached) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.1fms%s", seconds * 1e3,
+                  cached ? " (c)" : "");
+    return std::string(buffer);
+  };
+  for (const auto& name : pb::benchmark_names()) {
+    const auto& cell = suite.at(name, "parallax", quera.name);
+    std::vector<std::string> row = {name};
+    double total = 0.0;
+    for (const auto& timing : cell.result.pass_timings) {
+      row.push_back(format_pass(timing.seconds, timing.cached));
+      total += timing.seconds;
+    }
+    row.push_back(format_pass(total, cell.from_cache));
+    timing_table.add_row(row);
+  }
+  std::printf("\nParallax per-pass compile time on %s ((c) = cache hit):\n%s\n",
+              quera.name.c_str(), timing_table.to_string().c_str());
+
   std::printf("[table04 completed in %.1fs]\n", stopwatch.seconds());
   return 0;
 }

@@ -1,0 +1,90 @@
+#include "cache/cache.hpp"
+
+#include <cstdlib>
+
+namespace parallax::cache {
+
+std::string default_directory() {
+  const char* env = std::getenv("PARALLAX_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return ".parallax-cache";
+}
+
+namespace {
+
+StoreOptions store_options(CacheOptions options) {
+  StoreOptions store;
+  if (options.disk) {
+    store.directory =
+        options.directory.empty() ? default_directory() : options.directory;
+  }
+  store.max_memory_bytes = options.max_memory_bytes;
+  return store;
+}
+
+}  // namespace
+
+CompilationCache::CompilationCache(CacheOptions options)
+    : store_(store_options(std::move(options))) {}
+
+std::shared_ptr<CompilationCache> CompilationCache::open(
+    CacheOptions options) {
+  return std::make_shared<CompilationCache>(std::move(options));
+}
+
+std::optional<placement::Topology> CompilationCache::get_placement(
+    const Digest128& key) {
+  auto payload = store_.get(Kind::kPlacement, key);
+  if (payload) {
+    try {
+      auto topology = parse_topology(*payload);
+      std::lock_guard lock(mutex_);
+      ++stats_.placement_hits;
+      return topology;
+    } catch (const std::exception&) {
+      // Checksum passed but the payload doesn't parse: schema drift from a
+      // build that forgot to bump versions. Still a miss, never a crash.
+    }
+  }
+  std::lock_guard lock(mutex_);
+  ++stats_.placement_misses;
+  return std::nullopt;
+}
+
+void CompilationCache::put_placement(const Digest128& key,
+                                     const placement::Topology& topology) {
+  store_.put(Kind::kPlacement, key, serialize_topology(topology));
+}
+
+std::optional<CachedCell> CompilationCache::get_result(const Digest128& key) {
+  auto payload = store_.get(Kind::kResult, key);
+  if (payload) {
+    try {
+      auto cell = parse_cell(*payload);
+      std::lock_guard lock(mutex_);
+      ++stats_.result_hits;
+      return cell;
+    } catch (const std::exception&) {
+    }
+  }
+  std::lock_guard lock(mutex_);
+  ++stats_.result_misses;
+  return std::nullopt;
+}
+
+void CompilationCache::put_result(const Digest128& key,
+                                  const CachedCell& cell) {
+  store_.put(Kind::kResult, key, serialize_cell(cell));
+}
+
+CacheStats CompilationCache::stats() const {
+  CacheStats stats;
+  {
+    std::lock_guard lock(mutex_);
+    stats = stats_;
+  }
+  stats.store = store_.stats();
+  return stats;
+}
+
+}  // namespace parallax::cache

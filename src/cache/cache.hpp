@@ -1,0 +1,92 @@
+// The persistent compilation cache: a typed facade over the two-tier store
+// that persists annealed Graphine placements and whole compile results
+// across processes. This is the subsystem that makes sweeps incremental —
+// a rerun of a bench or figure script only re-anneals (O(q^5), paper
+// Sec. III) circuits whose fingerprints actually changed, and whole sweep
+// cells short-circuit on result hits with byte-identical payloads.
+//
+// Consumers:
+//   * sweep::run (sweep/sweep.hpp) consults it beneath the in-memory memos
+//     when sweep::Options::cache is set.
+//   * technique::Registry::compile has a cached overload for one-off
+//     compiles through the registry front door.
+//   * tools/parallax_cli.cpp exposes `cache stats|clear|prewarm` and
+//     --cache-dir/--no-cache flags.
+//
+// Failure philosophy: the cache must never turn a compile that would have
+// succeeded into a failure. Unreadable directories, corrupt or stale
+// entries, and version drift all degrade to misses; only programmer errors
+// throw.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/fingerprint.hpp"
+#include "cache/serialize.hpp"
+#include "cache/store.hpp"
+
+namespace parallax::cache {
+
+struct CacheOptions {
+  /// Cache root; empty resolves to default_directory() at construction.
+  std::string directory;
+  /// Disable the disk tier entirely (memory-only; useful in tests and for
+  /// PARALLAX-style "share within this process only" runs).
+  bool disk = true;
+  std::size_t max_memory_bytes = 64ull << 20;
+};
+
+/// $PARALLAX_CACHE_DIR when set and non-empty, else ".parallax-cache"
+/// (which is .gitignore'd).
+[[nodiscard]] std::string default_directory();
+
+struct CacheStats {
+  std::size_t placement_hits = 0;
+  std::size_t placement_misses = 0;
+  std::size_t result_hits = 0;
+  std::size_t result_misses = 0;
+  StoreStats store;
+};
+
+class CompilationCache {
+ public:
+  explicit CompilationCache(CacheOptions options = {});
+
+  /// Convenience for the common shared_ptr plumbing (sweep::Options::cache).
+  [[nodiscard]] static std::shared_ptr<CompilationCache> open(
+      CacheOptions options = {});
+
+  [[nodiscard]] std::optional<placement::Topology> get_placement(
+      const Digest128& key);
+  void put_placement(const Digest128& key,
+                     const placement::Topology& topology);
+
+  [[nodiscard]] std::optional<CachedCell> get_result(const Digest128& key);
+  void put_result(const Digest128& key, const CachedCell& cell);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::vector<Store::IndexEntry> entries() const {
+    return store_.entries();
+  }
+  /// Wipes both tiers; returns removed disk-entry count.
+  std::size_t clear() { return store_.clear(); }
+
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return store_.directory();
+  }
+  [[nodiscard]] bool has_disk_tier() const noexcept {
+    return store_.has_disk_tier();
+  }
+
+ private:
+  Store store_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+};
+
+}  // namespace parallax::cache

@@ -1,0 +1,224 @@
+#include "cache/fingerprint.hpp"
+
+#include <bit>
+
+#include "cache/serialize.hpp"
+
+namespace parallax::cache {
+
+void Fingerprinter::u32(std::uint32_t v) noexcept {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  hash_.update(bytes, sizeof(bytes));
+}
+
+void Fingerprinter::u64(std::uint64_t v) noexcept {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  hash_.update(bytes, sizeof(bytes));
+}
+
+void Fingerprinter::f64(double v) noexcept {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Fingerprinter::str(std::string_view s) noexcept {
+  u64(s.size());
+  hash_.update(s.data(), s.size());
+}
+
+void Fingerprinter::digest(const Digest128& d) noexcept {
+  u64(d.hi);
+  u64(d.lo);
+}
+
+namespace {
+
+// feed_* appends a component's canonical bytes to an ongoing fingerprint, so
+// composite keys hash one flat byte stream instead of nesting digests.
+
+// Circuits and topologies already have one canonical byte layout — the
+// serialization codec. Hashing those exact bytes (length-prefixed, so the
+// stream stays self-delimiting inside composite keys) keeps a single
+// definition of "the content" for both addressing and storage: a field
+// added to Gate or Topology lands in keys and payloads together.
+
+void feed(Fingerprinter& fp, const circuit::Circuit& circuit) {
+  Writer writer;
+  encode(writer, circuit);
+  fp.str(writer.bytes());
+}
+
+void feed(Fingerprinter& fp, const hardware::HardwareConfig& config) {
+  fp.i32(config.grid_side);
+  fp.f64(config.min_separation_um);
+  fp.f64(config.discretization_padding_um);
+  fp.i32(config.aod_rows);
+  fp.i32(config.aod_cols);
+  fp.f64(config.u3_time_us);
+  fp.f64(config.cz_time_us);
+  fp.f64(config.swap_time_us);
+  fp.f64(config.trap_switch_time_us);
+  fp.f64(config.aod_speed_um_per_us);
+  fp.f64(config.u3_error);
+  fp.f64(config.cz_error);
+  fp.f64(config.swap_error);
+  fp.f64(config.trap_switch_error);
+  fp.f64(config.movement_loss);
+  fp.f64(config.atom_loss_rate);
+  fp.f64(config.readout_error);
+  fp.f64(config.t1_seconds);
+  fp.f64(config.t2_seconds);
+}
+
+void feed(Fingerprinter& fp, const placement::GraphineOptions& options) {
+  fp.i32(options.anneal_iterations);
+  fp.i32(options.local_search_evaluations);
+  fp.f64(options.crowding_distance);
+  fp.f64(options.crowding_weight);
+  fp.boolean(options.warm_start);
+  fp.u64(options.seed);
+}
+
+void feed(Fingerprinter& fp, const placement::Topology& topology) {
+  Writer writer;
+  encode(writer, topology);
+  fp.str(writer.bytes());
+}
+
+void feed(Fingerprinter& fp, const circuit::TranspileOptions& options) {
+  fp.boolean(options.fuse_single_qubit);
+  fp.boolean(options.cancel_cz_pairs);
+  fp.boolean(options.drop_identities);
+  fp.f64(options.identity_tolerance);
+  fp.i32(options.max_iterations);
+}
+
+void feed(Fingerprinter& fp, const placement::DiscretizeOptions& options) {
+  fp.f64(options.spread_factor);
+}
+
+void feed(Fingerprinter& fp, const compiler::SchedulerOptions& options) {
+  fp.boolean(options.return_home);
+  fp.i32(options.max_move_iterations);
+  fp.u64(options.shuffle_seed);
+  fp.boolean(options.record_positions);
+}
+
+void feed(Fingerprinter& fp, const compiler::AodSelectionOptions& options) {
+  fp.f64(options.out_of_range_weight);
+  fp.f64(options.interference_weight);
+}
+
+void feed(Fingerprinter& fp, const pipeline::CompileOptions& options) {
+  feed(fp, options.transpile);
+  feed(fp, options.placement);
+  feed(fp, options.discretize);
+  feed(fp, options.scheduler);
+  feed(fp, options.aod_selection);
+  fp.boolean(options.assume_transpiled);
+  fp.boolean(options.preset_topology.has_value());
+  if (options.preset_topology) feed(fp, *options.preset_topology);
+  fp.u64(options.seed);
+}
+
+void feed(Fingerprinter& fp, const noise::NoiseOptions& options) {
+  fp.boolean(options.include_gate_errors);
+  fp.boolean(options.include_decoherence);
+  fp.boolean(options.include_operation_overheads);
+  fp.boolean(options.include_readout);
+  fp.boolean(options.include_atom_loss);
+  fp.boolean(options.per_qubit_decoherence);
+}
+
+void feed(Fingerprinter& fp, const shots::ShotOptions& options) {
+  fp.i64(options.logical_shots);
+  fp.f64(options.inter_shot_overhead_us);
+}
+
+/// Domain tags keep key spaces disjoint: a placement key can never equal a
+/// result key even for pathologically similar inputs.
+enum class Domain : std::uint8_t {
+  kCircuit = 1,
+  kHardware = 2,
+  kGraphineOptions = 3,
+  kTopology = 4,
+  kCompileOptions = 5,
+  kPlacementKey = 6,
+  kResultKey = 7,
+};
+
+Fingerprinter begin(Domain domain) {
+  Fingerprinter fp;
+  fp.u8(static_cast<std::uint8_t>(domain));
+  return fp;
+}
+
+}  // namespace
+
+Digest128 fingerprint(const circuit::Circuit& circuit) {
+  Fingerprinter fp = begin(Domain::kCircuit);
+  feed(fp, circuit);
+  return fp.finish();
+}
+
+Digest128 fingerprint(const hardware::HardwareConfig& config) {
+  Fingerprinter fp = begin(Domain::kHardware);
+  feed(fp, config);
+  return fp.finish();
+}
+
+Digest128 fingerprint(const placement::GraphineOptions& options) {
+  Fingerprinter fp = begin(Domain::kGraphineOptions);
+  feed(fp, options);
+  return fp.finish();
+}
+
+Digest128 fingerprint(const placement::Topology& topology) {
+  Fingerprinter fp = begin(Domain::kTopology);
+  feed(fp, topology);
+  return fp.finish();
+}
+
+Digest128 fingerprint(const pipeline::CompileOptions& options) {
+  Fingerprinter fp = begin(Domain::kCompileOptions);
+  feed(fp, options);
+  return fp.finish();
+}
+
+Digest128 placement_key(const Digest128& circuit_fingerprint,
+                        const placement::GraphineOptions& options) {
+  Fingerprinter fp = begin(Domain::kPlacementKey);
+  fp.digest(circuit_fingerprint);
+  feed(fp, options);
+  return fp.finish();
+}
+
+Digest128 result_key(const Digest128& circuit_fingerprint,
+                     std::string_view technique,
+                     const std::vector<std::string>& pass_names,
+                     const hardware::HardwareConfig& config,
+                     const pipeline::CompileOptions& options,
+                     const noise::NoiseOptions* noise,
+                     const shots::ShotOptions* shots) {
+  Fingerprinter fp = begin(Domain::kResultKey);
+  fp.digest(circuit_fingerprint);
+  fp.str(technique);
+  // The pass list, not just the name: a custom registry may rebind a name to
+  // a different pipeline, which must not hit the old entries.
+  fp.u64(pass_names.size());
+  for (const auto& name : pass_names) fp.str(name);
+  feed(fp, config);
+  feed(fp, options);
+  fp.boolean(noise != nullptr);
+  if (noise != nullptr) feed(fp, *noise);
+  fp.boolean(shots != nullptr);
+  if (shots != nullptr) feed(fp, *shots);
+  return fp.finish();
+}
+
+}  // namespace parallax::cache

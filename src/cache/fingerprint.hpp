@@ -1,0 +1,101 @@
+// Stable fingerprints for the persistent compilation cache: every cacheable
+// input (circuits, hardware configs, pass options) is canonically
+// byte-serialized — fixed-width little-endian fields, length-prefixed
+// strings, doubles as IEEE-754 bit patterns — and fed through the 128-bit
+// hash in util/hash.hpp. Equal inputs produce equal digests in every run and
+// process, which is what makes the on-disk cache content-addressed; any
+// field that can change a compile result is included, and nothing else
+// (labels like HardwareConfig::name are deliberately excluded).
+//
+// kFingerprintSchema seeds every digest, so widening a fingerprint (adding a
+// field) or changing the serialization bumps one constant and all stale
+// entries become silent misses instead of wrong hits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "parallax/aod_selection.hpp"
+#include "parallax/scheduler.hpp"
+#include "pipeline/pipeline.hpp"
+#include "placement/discretize.hpp"
+#include "placement/graphine.hpp"
+#include "shots/parallelize.hpp"
+#include "util/hash.hpp"
+
+namespace parallax::cache {
+
+using util::Digest128;
+
+/// Bump when any fingerprint gains/loses a field or changes encoding; old
+/// cache entries then miss by key instead of decoding garbage.
+inline constexpr std::uint64_t kFingerprintSchema = 1;
+
+/// Canonical byte feeder: typed values in, hash state forward. All integer
+/// widths are fixed and little-endian; strings are length-prefixed so
+/// ("ab","c") never collides with ("a","bc").
+class Fingerprinter {
+ public:
+  Fingerprinter() noexcept : hash_(kFingerprintSchema) {}
+
+  void u8(std::uint8_t v) noexcept { hash_.update(&v, 1); }
+  void u32(std::uint32_t v) noexcept;
+  void u64(std::uint64_t v) noexcept;
+  void i32(std::int32_t v) noexcept { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) noexcept;
+  void boolean(bool v) noexcept { u8(v ? 1 : 0); }
+  void str(std::string_view s) noexcept;
+  void digest(const Digest128& d) noexcept;
+
+  [[nodiscard]] Digest128 finish() const noexcept { return hash_.digest(); }
+
+ private:
+  util::Hash128 hash_;
+};
+
+// --- component fingerprints ---------------------------------------------------
+
+/// Gates, qubit count, and name (seeds derive from the name, so two
+/// identical gate lists with different names compile differently).
+[[nodiscard]] Digest128 fingerprint(const circuit::Circuit& circuit);
+
+/// Every numeric/geometry field; the display name is excluded (it never
+/// reaches a compile result).
+[[nodiscard]] Digest128 fingerprint(const hardware::HardwareConfig& config);
+
+[[nodiscard]] Digest128 fingerprint(const placement::GraphineOptions& options);
+[[nodiscard]] Digest128 fingerprint(const placement::Topology& topology);
+
+/// Full pipeline::CompileOptions: all per-stage options, the master seed,
+/// assume_transpiled, and (when set) the preset topology's content.
+[[nodiscard]] Digest128 fingerprint(const pipeline::CompileOptions& options);
+
+// --- cache keys ---------------------------------------------------------------
+
+/// Key for a cached annealed placement: the effective (transpiled) circuit's
+/// fingerprint plus the placement options with their derived seed.
+[[nodiscard]] Digest128 placement_key(
+    const Digest128& circuit_fingerprint,
+    const placement::GraphineOptions& options);
+
+/// Key for a cached whole compile result (a sweep cell or a registry
+/// compile). `noise` is non-null iff a success probability rides with the
+/// result; `shots` is non-null iff shot plans do — their option fields fold
+/// into the key so a sweep wanting different derived outputs never hits an
+/// entry that lacks them.
+[[nodiscard]] Digest128 result_key(
+    const Digest128& circuit_fingerprint, std::string_view technique,
+    const std::vector<std::string>& pass_names,
+    const hardware::HardwareConfig& config,
+    const pipeline::CompileOptions& options,
+    const noise::NoiseOptions* noise = nullptr,
+    const shots::ShotOptions* shots = nullptr);
+
+}  // namespace parallax::cache

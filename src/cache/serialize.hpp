@@ -1,0 +1,130 @@
+// Versioned binary serialization for cacheable compilation artifacts:
+// placement::Topology (the annealed Step-1 output) and full
+// compiler::CompileResult payloads (scheduled layers, stats, shot plans,
+// success probability). The encoding is fixed-width little-endian with
+// length-prefixed containers, so a round trip is bit-exact — including every
+// double — which is what lets a warm sweep return byte-identical results.
+//
+// Robustness contract: Reader never reads out of bounds and never allocates
+// more than the buffer could possibly describe; any malformed input throws
+// ReadError, which the store layer converts into a cache miss. Payload
+// versioning lives in the store's entry header (store.hpp); bumping
+// kPayloadVersion there retires old entries silently.
+//
+// Deliberately not serialized: CompileResult::pass_timings. Timings are
+// wall-clock observations, not results — they differ between the run that
+// wrote an entry and the run that reads it, and excluding them keeps the
+// byte-identity guarantee meaningful.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallax/result.hpp"
+#include "placement/discretize.hpp"
+#include "placement/graphine.hpp"
+#include "shots/parallelize.hpp"
+
+namespace parallax::cache {
+
+/// Thrown by Reader on truncated, corrupt, or over-long input. The store
+/// catches it and reports a miss; it never escapes to cache users.
+class ReadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends canonical little-endian bytes.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over a byte buffer (does not own it).
+class Reader {
+ public:
+  explicit Reader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::string str();
+
+  /// Reads a container length and validates that `count * min_element_bytes`
+  /// still fits in the remaining buffer, so corrupt lengths fail fast
+  /// instead of triggering gigabyte allocations.
+  [[nodiscard]] std::size_t length(std::size_t min_element_bytes);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  /// Throws ReadError unless the buffer was consumed exactly.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- artifact codecs ----------------------------------------------------------
+
+/// A whole cached compile: the result plus the sweep-level derived outputs
+/// that ride with it in a sweep cell.
+struct CachedCell {
+  compiler::CompileResult result;
+  bool has_success_probability = false;
+  double success_probability = 0.0;
+  bool has_shot_plans = false;
+  std::vector<shots::ParallelPlan> shot_plans;
+};
+
+void encode(Writer& writer, const placement::Topology& topology);
+[[nodiscard]] placement::Topology decode_topology(Reader& reader);
+
+void encode(Writer& writer, const placement::PhysicalTopology& topology);
+[[nodiscard]] placement::PhysicalTopology decode_physical_topology(
+    Reader& reader);
+
+void encode(Writer& writer, const circuit::Circuit& circuit);
+[[nodiscard]] circuit::Circuit decode_circuit(Reader& reader);
+
+void encode(Writer& writer, const compiler::CompileResult& result);
+[[nodiscard]] compiler::CompileResult decode_result(Reader& reader);
+
+void encode(Writer& writer, const CachedCell& cell);
+[[nodiscard]] CachedCell decode_cell(Reader& reader);
+
+// One-shot conveniences (serialize_* returns the payload bytes; parse_*
+// validates that the buffer holds exactly one artifact).
+[[nodiscard]] std::string serialize_topology(
+    const placement::Topology& topology);
+[[nodiscard]] placement::Topology parse_topology(std::string_view bytes);
+[[nodiscard]] std::string serialize_result(
+    const compiler::CompileResult& result);
+[[nodiscard]] compiler::CompileResult parse_result(std::string_view bytes);
+[[nodiscard]] std::string serialize_cell(const CachedCell& cell);
+[[nodiscard]] CachedCell parse_cell(std::string_view bytes);
+
+}  // namespace parallax::cache

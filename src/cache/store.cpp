@@ -1,0 +1,289 @@
+#include "cache/store.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "cache/serialize.hpp"
+
+namespace parallax::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x3145484341435850ULL;  // "PXCACHE1" LE
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+std::string encode_header(Kind kind, const std::string& payload) {
+  Writer writer;
+  writer.u64(kMagic);
+  writer.u32(kPayloadVersion);
+  writer.u32(static_cast<std::uint32_t>(kind));
+  writer.u64(payload.size());
+  writer.u64(util::checksum64(payload.data(), payload.size()));
+  return writer.take();
+}
+
+/// Validates a whole entry file; returns the payload or nullopt.
+std::optional<std::string> validate_entry(Kind kind, std::string contents) {
+  if (contents.size() < kHeaderBytes) return std::nullopt;
+  Reader reader(contents);
+  try {
+    if (reader.u64() != kMagic) return std::nullopt;
+    if (reader.u32() != kPayloadVersion) return std::nullopt;
+    if (reader.u32() != static_cast<std::uint32_t>(kind)) return std::nullopt;
+    const std::uint64_t size = reader.u64();
+    const std::uint64_t checksum = reader.u64();
+    if (size != contents.size() - kHeaderBytes) return std::nullopt;
+    std::string payload = contents.substr(kHeaderBytes);
+    if (util::checksum64(payload.data(), payload.size()) != checksum) {
+      return std::nullopt;
+    }
+    return payload;
+  } catch (const ReadError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+void remove_quietly(const fs::path& path) noexcept {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace
+
+const char* to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kPlacement:
+      return "placement";
+    case Kind::kResult:
+      return "result";
+  }
+  return "unknown";
+}
+
+Store::Store(StoreOptions options) : options_(std::move(options)) {
+  if (has_disk_tier()) {
+    std::error_code ec;
+    fs::create_directories(fs::path(options_.directory) / "objects", ec);
+    fs::create_directories(fs::path(options_.directory) / "tmp", ec);
+    // A read-only or unwritable location degrades to memory-only behavior;
+    // individual writes below fail quietly too.
+  }
+}
+
+std::string Store::object_path(const Digest128& key) const {
+  const std::string hex = key.hex();
+  return (fs::path(options_.directory) / "objects" / hex.substr(0, 2) /
+          (hex + ".bin"))
+      .string();
+}
+
+void Store::memory_insert_locked(const MemKey& key,
+                                 const std::string& payload) {
+  if (options_.max_memory_bytes == 0) return;
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    // Usually identical content (the address is the hash), but replace
+    // anyway: a stale-schema payload that disk-hit into this tier must not
+    // shadow the recomputed entry a later put() provides.
+    memory_bytes_ -= it->second->second.size();
+    it->second->second = payload;
+    memory_bytes_ += payload.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.emplace_front(key, payload);
+    by_key_[key] = lru_.begin();
+    memory_bytes_ += payload.size();
+  }
+  while (memory_bytes_ > options_.max_memory_bytes && lru_.size() > 1) {
+    memory_bytes_ -= lru_.back().second.size();
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Store::DiskRead Store::disk_read(Kind kind, const Digest128& key) {
+  DiskRead outcome;
+  const fs::path path = object_path(key);
+  auto contents = read_file(path);
+  if (!contents) return outcome;
+  outcome.bytes_read = contents->size();
+  outcome.payload = validate_entry(kind, std::move(*contents));
+  if (!outcome.payload) {
+    // Corrupt, truncated, stale-version, or wrong-kind entry: drop it so the
+    // next run rewrites a good one.
+    outcome.corrupt = true;
+    remove_quietly(path);
+  }
+  return outcome;
+}
+
+std::uint64_t Store::disk_write(Kind kind, const Digest128& key,
+                                const std::string& payload) {
+  const std::string hex = key.hex();
+  const fs::path final_path = object_path(key);
+  std::error_code ec;
+  fs::create_directories(final_path.parent_path(), ec);
+  const fs::path tmp_path =
+      fs::path(options_.directory) / "tmp" /
+      (hex + "." + std::to_string(static_cast<long long>(::getpid())) + "." +
+       std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed)) +
+       ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return 0;  // unwritable cache dir: skip persistence quietly
+    const std::string header = encode_header(kind, payload);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out.good()) {
+      out.close();
+      remove_quietly(tmp_path);
+      return 0;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    remove_quietly(tmp_path);
+    return 0;
+  }
+  {
+    std::lock_guard index_lock(index_mutex_);
+    std::ofstream index(fs::path(options_.directory) / "index.log",
+                        std::ios::app);
+    if (index) {
+      index << hex << ' ' << static_cast<std::uint32_t>(kind) << ' '
+            << payload.size() << '\n';
+    }
+  }
+  return kHeaderBytes + payload.size();
+}
+
+std::optional<std::string> Store::get(Kind kind, const Digest128& key) {
+  const MemKey mem_key{kind, key};
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = by_key_.find(mem_key); it != by_key_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.memory_hits;
+      return it->second->second;
+    }
+  }
+  if (has_disk_tier()) {
+    // IO outside the lock: concurrent readers of the same key just read the
+    // same immutable file twice.
+    DiskRead outcome = disk_read(kind, key);
+    std::lock_guard lock(mutex_);
+    stats_.bytes_read += outcome.bytes_read;
+    if (outcome.corrupt) ++stats_.corrupt;
+    if (outcome.payload) {
+      ++stats_.disk_hits;
+      memory_insert_locked(mem_key, *outcome.payload);
+      return outcome.payload;
+    }
+  }
+  std::lock_guard lock(mutex_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void Store::put(Kind kind, const Digest128& key, const std::string& payload) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.stores;
+    memory_insert_locked(MemKey{kind, key}, payload);
+  }
+  if (has_disk_tier()) {
+    const std::uint64_t written = disk_write(kind, key, payload);
+    std::lock_guard lock(mutex_);
+    stats_.bytes_written += written;
+  }
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::vector<Store::IndexEntry> Store::entries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<IndexEntry> result;
+  if (!has_disk_tier()) return result;
+  std::map<Digest128, IndexEntry> dedup;
+  const fs::path root(options_.directory);
+  std::ifstream index(root / "index.log");
+  if (index) {
+    std::string hex;
+    std::uint32_t kind = 0;
+    std::uint64_t bytes = 0;
+    while (index >> hex >> kind >> bytes) {
+      const auto key = Digest128::from_hex(hex);
+      if (!key) continue;  // malformed line: skip, don't fail
+      dedup[*key] = IndexEntry{*key, static_cast<Kind>(kind), bytes};
+    }
+  } else {
+    // Index lost (e.g. user deleted it): rebuild the listing from the
+    // object files themselves, reading each header for kind and size.
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root / "objects", ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string stem = it->path().stem().string();
+      const auto key = Digest128::from_hex(stem);
+      if (!key) continue;
+      const auto contents = read_file(it->path());
+      if (!contents || contents->size() < kHeaderBytes) continue;
+      Reader reader(*contents);
+      try {
+        if (reader.u64() != kMagic) continue;
+        if (reader.u32() != kPayloadVersion) continue;
+        const auto kind = static_cast<Kind>(reader.u32());
+        const std::uint64_t bytes = reader.u64();
+        dedup[*key] = IndexEntry{*key, kind, bytes};
+      } catch (const ReadError&) {
+        continue;
+      }
+    }
+  }
+  for (const auto& [key, entry] : dedup) {
+    std::error_code ec;
+    if (fs::exists(object_path(key), ec)) result.push_back(entry);
+  }
+  return result;
+}
+
+std::size_t Store::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  by_key_.clear();
+  memory_bytes_ = 0;
+  if (!has_disk_tier()) return 0;
+  std::size_t removed = 0;
+  const fs::path root(options_.directory);
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root / "objects", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++removed;
+  }
+  fs::remove_all(root / "objects", ec);
+  fs::remove_all(root / "tmp", ec);
+  remove_quietly(root / "index.log");
+  fs::create_directories(root / "objects", ec);
+  fs::create_directories(root / "tmp", ec);
+  return removed;
+}
+
+}  // namespace parallax::cache

@@ -1,0 +1,142 @@
+// Two-tier content-addressed byte store behind the compilation cache: an
+// in-memory LRU (bounded by bytes) in front of an on-disk directory of
+// entries named by their 128-bit key, plus an append-only index file.
+//
+// Disk layout under `directory`:
+//   objects/<hh>/<32-hex>.bin   one entry; <hh> = first two hex chars
+//   index.log                   one line per store: "<32-hex> <kind> <bytes>"
+//   tmp/                        staging for atomic writes
+//
+// Entry file format: a fixed header (magic, payload version, kind, payload
+// size, 64-bit payload checksum) followed by the payload. get() re-validates
+// everything; a truncated file, a flipped byte, a version from a newer or
+// older build, or a kind mismatch all degrade to a silent miss (and the bad
+// file is unlinked best-effort) — never an exception to the caller.
+//
+// Concurrency: every operation is safe to call from the sweep driver's
+// worker threads. The LRU/stats bookkeeping sits behind one mutex held only
+// for map operations; file reads and writes run outside it, so worker
+// threads' cache IO proceeds in parallel (the content address makes a
+// doubly-read or doubly-written entry harmless — identical bytes). Across
+// processes, object writes are write-to-tmp + rename (atomic on POSIX), so
+// readers never observe a partial entry; the worst cross-process race is a
+// duplicate index line, which the index reader dedups.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace parallax::cache {
+
+using util::Digest128;
+
+/// Payload kinds; folded into the entry header so a key collision across
+/// kinds (impossible by construction, cheap to double-check) misses.
+enum class Kind : std::uint32_t {
+  kPlacement = 1,
+  kResult = 2,
+};
+
+[[nodiscard]] const char* to_string(Kind kind) noexcept;
+
+/// Bump to retire every existing on-disk entry (serialization change).
+inline constexpr std::uint32_t kPayloadVersion = 1;
+
+struct StoreOptions {
+  /// On-disk root; empty disables the disk tier (memory-only cache).
+  std::string directory;
+  /// Memory-tier budget; entries beyond it are evicted least-recently-used
+  /// (they remain on disk). 0 disables the memory tier.
+  std::size_t max_memory_bytes = 64ull << 20;
+};
+
+struct StoreStats {
+  std::size_t memory_hits = 0;
+  std::size_t disk_hits = 0;
+  std::size_t misses = 0;
+  std::size_t stores = 0;
+  std::size_t evictions = 0;
+  /// Entries dropped because validation failed (truncation, checksum,
+  /// version, kind).
+  std::size_t corrupt = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class Store {
+ public:
+  explicit Store(StoreOptions options);
+
+  /// Payload bytes for `key`, or nullopt (absent or invalid).
+  [[nodiscard]] std::optional<std::string> get(Kind kind, const Digest128& key);
+
+  /// Stores a payload in both tiers. Overwrites are idempotent — the content
+  /// address guarantees identical bytes.
+  void put(Kind kind, const Digest128& key, const std::string& payload);
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return options_.directory;
+  }
+  [[nodiscard]] bool has_disk_tier() const noexcept {
+    return !options_.directory.empty();
+  }
+
+  /// One row per distinct on-disk entry (from the index, falling back to a
+  /// directory scan when the index is missing), existence-checked.
+  struct IndexEntry {
+    Digest128 key;
+    Kind kind = Kind::kPlacement;
+    std::uint64_t payload_bytes = 0;
+  };
+  [[nodiscard]] std::vector<IndexEntry> entries() const;
+
+  /// Drops both tiers; returns the number of disk entries removed.
+  std::size_t clear();
+
+ private:
+  struct MemKey {
+    Kind kind;
+    Digest128 key;
+    friend auto operator<=>(const MemKey&, const MemKey&) noexcept = default;
+  };
+  using LruList = std::list<std::pair<MemKey, std::string>>;
+
+  [[nodiscard]] std::string object_path(const Digest128& key) const;
+  /// Inserts or replaces; replacement matters when a stale-but-checksummed
+  /// payload was loaded before its entry was recomputed and re-put.
+  void memory_insert_locked(const MemKey& key, const std::string& payload);
+
+  /// Lock-free disk helpers: all shared state they touch is atomic or
+  /// guarded separately; callers fold the returned accounting into stats_
+  /// under the mutex.
+  struct DiskRead {
+    std::optional<std::string> payload;
+    std::uint64_t bytes_read = 0;
+    bool corrupt = false;
+  };
+  [[nodiscard]] DiskRead disk_read(Kind kind, const Digest128& key);
+  /// Returns bytes written (0 when the write was skipped or failed).
+  [[nodiscard]] std::uint64_t disk_write(Kind kind, const Digest128& key,
+                                         const std::string& payload);
+
+  StoreOptions options_;
+  mutable std::mutex mutex_;  // LRU + stats bookkeeping only, never IO
+  LruList lru_;  // front = most recently used
+  std::map<MemKey, LruList::iterator> by_key_;
+  std::size_t memory_bytes_ = 0;
+  std::atomic<std::uint64_t> tmp_counter_{0};
+  std::mutex index_mutex_;  // serializes in-process index.log appends
+  StoreStats stats_;
+};
+
+}  // namespace parallax::cache

@@ -45,6 +45,19 @@ struct CompileStats {
   double total_move_distance_um = 0.0;
 };
 
+/// Wall-clock of one pipeline pass. Observational metadata: it is excluded
+/// from the compilation cache's serialized payloads and from every
+/// determinism guarantee.
+struct PassTiming {
+  std::string pass;
+  double seconds = 0.0;
+  /// The pass's product was served from a cache instead of computed: the
+  /// sweep driver marks transpile/placement stages it satisfied from its
+  /// memos or the persistent cache, and a whole-result cache hit marks
+  /// every pass.
+  bool cached = false;
+};
+
 struct CompileResult {
   std::string technique;          // "parallax", "eldi", or "graphine"
   circuit::Circuit circuit;       // the gate stream actually scheduled
@@ -54,6 +67,9 @@ struct CompileResult {
   CompileStats stats;
   /// One logical shot's runtime (us) — the paper's Table IV metric.
   double runtime_us = 0.0;
+  /// Per-pass compile-time profile, in pipeline order (ROADMAP: O(q^5)
+  /// placement dominance without google-benchmark).
+  std::vector<PassTiming> pass_timings;
 
   [[nodiscard]] std::size_t aod_qubit_count() const {
     std::size_t n = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/stopwatch.hpp"
+
 namespace parallax::pipeline {
 
 bool Pipeline::contains(std::string_view pass_name) const {
@@ -28,8 +30,12 @@ compiler::CompileResult Pipeline::run(const circuit::Circuit& input,
   }
   CompileContext context(input, config, options);
   context.result.technique = technique_;
+  context.result.pass_timings.reserve(passes_.size());
   for (const auto& pass : passes_) {
+    const util::Stopwatch watch;
     pass.run(context);
+    context.result.pass_timings.push_back(
+        {pass.name(), watch.seconds(), false});
   }
   return std::move(context.result);
 }

@@ -1,6 +1,7 @@
 #include "placement/graphine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <deque>
@@ -136,8 +137,17 @@ std::vector<double> serpentine_seed(const circuit::InteractionGraph& graph) {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_annealing_invocations{0};
+}  // namespace
+
+std::uint64_t annealing_invocations() noexcept {
+  return g_annealing_invocations.load(std::memory_order_relaxed);
+}
+
 Topology graphine_place(const circuit::InteractionGraph& graph,
                         const GraphineOptions& options) {
+  g_annealing_invocations.fetch_add(1, std::memory_order_relaxed);
   const auto n = static_cast<std::size_t>(graph.n_qubits());
   Topology topology;
   topology.positions.resize(n);

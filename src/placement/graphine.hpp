@@ -52,4 +52,9 @@ struct Topology {
 [[nodiscard]] Topology graphine_place(const circuit::InteractionGraph& graph,
                                       const GraphineOptions& options = {});
 
+/// Process-wide count of graphine_place invocations (each is one O(q^5)
+/// annealing run). Diagnostic hook: the cache tests assert a warm sweep
+/// leaves it unchanged, and benches can report anneals avoided.
+[[nodiscard]] std::uint64_t annealing_invocations() noexcept;
+
 }  // namespace parallax::placement

@@ -19,12 +19,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_circuits/registry.hpp"
+#include "cache/cache.hpp"
 #include "hardware/config.hpp"
 #include "noise/model.hpp"
 #include "pipeline/pipeline.hpp"
@@ -74,6 +76,15 @@ struct Options {
                      const std::string& machine,
                      pipeline::CompileOptions& options)>
       customize;
+  /// Persistent compilation cache. When set, the in-run transpile/placement
+  /// memos consult and populate its disk tier (a rerun anneals nothing that
+  /// any earlier run annealed), and whole cells short-circuit on result
+  /// hits. Null (the default) keeps pure in-run memoization.
+  std::shared_ptr<cache::CompilationCache> cache;
+  /// With `cache` set, serve whole cells from cached CompileResults
+  /// (incremental sweeps: a rerun only recompiles cells whose fingerprints
+  /// changed). Disable to reuse only placements.
+  bool reuse_results = true;
 };
 
 /// One (circuit, technique, machine) result.
@@ -90,6 +101,9 @@ struct Cell {
   /// Fig. 11 series (only when Options::shots is set and the cell compiled).
   std::vector<shots::ParallelPlan> shot_plans;
   double compile_seconds = 0.0;
+  /// The whole cell (result, success probability, shot plans) was served
+  /// from the persistent cache; no pass ran.
+  bool from_cache = false;
   /// Non-empty if compilation threw; `result` is then default-constructed.
   std::string error;
 
@@ -106,6 +120,14 @@ struct Result {
   std::size_t placement_cache_misses = 0;
   std::size_t transpile_cache_hits = 0;
   std::size_t transpile_cache_misses = 0;
+  /// Persistent-cache accounting (all zero when Options::cache is null).
+  /// Placements loaded from the disk tier instead of annealed — a subset of
+  /// placement_cache_misses (the in-run memo missed, the store hit).
+  std::size_t placement_disk_hits = 0;
+  /// Cells served whole from cached CompileResults / cells compiled and
+  /// stored.
+  std::size_t result_cache_hits = 0;
+  std::size_t result_cache_misses = 0;
 
   /// Cell lookup by labels; empty `machine` matches the sole machine of a
   /// single-machine sweep (std::logic_error if the sweep had several).

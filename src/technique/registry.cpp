@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "cache/cache.hpp"
 #include "pipeline/passes.hpp"
 
 namespace parallax::technique {
@@ -118,6 +119,29 @@ compiler::CompileResult Registry::compile(
     const hardware::HardwareConfig& config,
     const pipeline::CompileOptions& options) const {
   return make_pipeline(name, options).run(input, config, options);
+}
+
+compiler::CompileResult Registry::compile(
+    std::string_view name, const circuit::Circuit& input,
+    const hardware::HardwareConfig& config,
+    const pipeline::CompileOptions& options,
+    cache::CompilationCache* cache) const {
+  const pipeline::Pipeline pipeline = make_pipeline(name, options);
+  if (cache == nullptr) return pipeline.run(input, config, options);
+  const cache::Digest128 key =
+      cache::result_key(cache::fingerprint(input), name,
+                        pipeline.pass_names(), config, options);
+  if (auto hit = cache->get_result(key)) {
+    for (const auto& pass : pipeline.pass_names()) {
+      hit->result.pass_timings.push_back({pass, 0.0, true});
+    }
+    return std::move(hit->result);
+  }
+  compiler::CompileResult result = pipeline.run(input, config, options);
+  cache::CachedCell stored;
+  stored.result = result;
+  cache->put_result(key, stored);
+  return result;
 }
 
 compiler::CompileResult compile(std::string_view name,

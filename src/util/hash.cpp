@@ -1,0 +1,121 @@
+#include "util/hash.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace parallax::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr std::uint64_t byteswap64(std::uint64_t v) noexcept {
+  v = ((v & 0x00ff00ff00ff00ffULL) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffULL);
+  v = ((v & 0x0000ffff0000ffffULL) << 16) |
+      ((v >> 16) & 0x0000ffff0000ffffULL);
+  return (v << 32) | (v >> 32);
+}
+
+/// SplitMix64 finalizer: full avalanche over one word.
+constexpr std::uint64_t avalanche(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(hi >> (4 * i)) & 0xF];
+    out[static_cast<std::size_t>(31 - i)] = kDigits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+std::optional<Digest128> Digest128::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  Digest128 digest;
+  for (int i = 0; i < 32; ++i) {
+    const int v = hex_value(hex[static_cast<std::size_t>(i)]);
+    if (v < 0) return std::nullopt;
+    auto& word = i < 16 ? digest.hi : digest.lo;
+    word = (word << 4) | static_cast<std::uint64_t>(v);
+  }
+  return digest;
+}
+
+void Hash128::mix_word(std::uint64_t word) noexcept {
+  a_ = rotl((a_ ^ word) * kMulA, 29) + b_;
+  b_ = rotl((b_ ^ word) * kMulB, 31) + a_;
+}
+
+void Hash128::update(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  length_ += size;
+  // Top up a partial word left by a previous chunk.
+  while (pending_bytes_ != 0 && pending_bytes_ < 8 && size != 0) {
+    pending_ |= static_cast<std::uint64_t>(*bytes++) << (8 * pending_bytes_++);
+    --size;
+  }
+  if (pending_bytes_ == 8) {
+    mix_word(pending_);
+    pending_ = 0;
+    pending_bytes_ = 0;
+  }
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    // Canonical little-endian words on every target, matching the
+    // byte-at-a-time pending_ path, so digests are platform-independent.
+    if constexpr (std::endian::native == std::endian::big) {
+      word = byteswap64(word);
+    }
+    mix_word(word);
+    bytes += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    pending_ |= static_cast<std::uint64_t>(bytes[i]) << (8 * pending_bytes_++);
+  }
+}
+
+Digest128 Hash128::digest() const noexcept {
+  std::uint64_t a = a_;
+  std::uint64_t b = b_;
+  // Fold in the trailing partial word tagged with its width, then the total
+  // length, so "abc" + "" and "ab" + "c" agree but "abc\0" and "abc" do not.
+  const std::uint64_t tail =
+      pending_ ^ (static_cast<std::uint64_t>(pending_bytes_) << 56);
+  a = rotl((a ^ tail) * kMulA, 29) + b;
+  b = rotl((b ^ tail) * kMulB, 31) + a;
+  a ^= length_;
+  b ^= rotl(length_, 32);
+  const std::uint64_t hi = avalanche(a + rotl(b, 27));
+  const std::uint64_t lo = avalanche(b + rotl(a, 25) + 0x38b34ae5a1e38b93ULL);
+  return {hi, lo};
+}
+
+Digest128 hash128(const void* data, std::size_t size,
+                  std::uint64_t seed) noexcept {
+  Hash128 hasher(seed);
+  hasher.update(data, size);
+  return hasher.digest();
+}
+
+std::uint64_t checksum64(const void* data, std::size_t size) noexcept {
+  return hash128(data, size, 0x5eedc0dedULL).lo;
+}
+
+}  // namespace parallax::util

@@ -4,6 +4,7 @@
 //   parallax_cli --benchmark QAOA [options]
 //   parallax_cli --circuit file.qasm [options]
 //   parallax_cli --list-techniques
+//   parallax_cli cache stats|clear|prewarm [options]
 //
 // Options:
 //   --machine quera256|atom1225   target machine preset (default quera256)
@@ -17,6 +18,17 @@
 //   --layers                      include the per-layer schedule in JSON
 //   --render                      print the ASCII topology
 //   --export-qasm FILE            write the compiled circuit as QASM 2.0
+//   --cache-dir DIR               persistent-cache root (default:
+//                                 $PARALLAX_CACHE_DIR or .parallax-cache)
+//   --no-cache                    disable the persistent compilation cache
+//
+// Cache subcommands (the paper's "load earlier results" option, automatic):
+//   cache stats    [--cache-dir DIR]           entry counts and sizes
+//   cache clear    [--cache-dir DIR]           delete every entry
+//   cache prewarm  [--cache-dir DIR] [--machine M] [--technique NAME|all]
+//                  [--benchmarks A,B,...] [--seed N] [--threads N]
+//                  compile the Table III suite into the cache so later runs
+//                  skip annealing entirely
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +36,7 @@
 #include <vector>
 
 #include "bench_circuits/registry.hpp"
+#include "cache/cache.hpp"
 #include "hardware/config.hpp"
 #include "hardware/render.hpp"
 #include "parallax/report.hpp"
@@ -49,6 +62,11 @@ struct CliOptions {
   bool render = false;
   bool list_techniques = false;
   std::string export_qasm;
+  bool use_cache = true;
+  std::string cache_dir;  // empty => cache::default_directory()
+  // cache subcommand state
+  std::string cache_command;  // "stats" | "clear" | "prewarm"
+  std::string benchmarks_csv;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -60,19 +78,34 @@ struct CliOptions {
                "[--aod-count N] [--no-home-return]\n"
                "          [--spread F] [--seed N] [--threads N] "
                "[--json [--layers]] [--render]\n"
-               "          [--export-qasm FILE]\n"
-               "       %s --list-techniques\n",
-               argv0, argv0);
+               "          [--export-qasm FILE] [--cache-dir DIR] "
+               "[--no-cache]\n"
+               "       %s --list-techniques\n"
+               "       %s cache (stats|clear|prewarm) [--cache-dir DIR]\n"
+               "               (prewarm also takes --machine --technique "
+               "--benchmarks A,B,... --seed --threads)\n",
+               argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions options;
+  int first = 1;
+  if (argc > 1 && !std::strcmp(argv[1], "cache")) {
+    if (argc < 3) usage(argv[0], "cache needs a subcommand");
+    options.cache_command = argv[2];
+    if (options.cache_command != "stats" && options.cache_command != "clear" &&
+        options.cache_command != "prewarm") {
+      usage(argv[0], "unknown cache subcommand (use stats, clear, prewarm)");
+    }
+    options.technique = "all";  // prewarm default: every technique
+    first = 3;
+  }
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for option");
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
     if (!std::strcmp(arg, "--benchmark")) {
       options.benchmark = need_value(i);
@@ -102,27 +135,170 @@ CliOptions parse_cli(int argc, char** argv) {
       options.list_techniques = true;
     } else if (!std::strcmp(arg, "--export-qasm")) {
       options.export_qasm = need_value(i);
+    } else if (!std::strcmp(arg, "--cache-dir")) {
+      options.cache_dir = need_value(i);
+    } else if (!std::strcmp(arg, "--no-cache")) {
+      options.use_cache = false;
+    } else if (!std::strcmp(arg, "--benchmarks")) {
+      options.benchmarks_csv = need_value(i);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(argv[0]);
     } else {
       usage(argv[0], (std::string("unknown option ") + arg).c_str());
     }
   }
-  if (!options.list_techniques &&
-      options.benchmark.empty() == options.circuit_file.empty()) {
-    usage(argv[0], "exactly one of --benchmark / --circuit is required");
+  if (!options.cache_command.empty()) {
+    // Reject main-mode flags the subcommands ignore: silently accepting
+    // e.g. `cache prewarm --benchmark WST` (prewarm's spelling is
+    // --benchmarks) would compile the full suite instead of surfacing the
+    // typo, and `cache stats --no-cache` is a contradiction.
+    if (!options.use_cache) {
+      usage(argv[0], "cache subcommands cannot run with --no-cache");
+    }
+    if (!options.benchmark.empty() || !options.circuit_file.empty() ||
+        !options.export_qasm.empty() || options.json || options.layers ||
+        options.render || options.list_techniques) {
+      usage(argv[0],
+            "cache subcommands take only --cache-dir (and, for prewarm, "
+            "--machine --technique --benchmarks A,B,... --seed --threads)");
+    }
+  } else {
+    if (!options.benchmarks_csv.empty()) {
+      usage(argv[0],
+            "--benchmarks is a `cache prewarm` flag; compile mode takes one "
+            "--benchmark NAME");
+    }
+    if (!options.list_techniques &&
+        options.benchmark.empty() == options.circuit_file.empty()) {
+      usage(argv[0], "exactly one of --benchmark / --circuit is required");
+    }
   }
   return options;
 }
 
 void print_text_summary(const parallax::sweep::Cell& cell) {
   std::printf("%-9s  CZ=%-6zu swaps=%-5zu effCZ=%-6zu layers=%-5zu "
-              "runtime=%.1fus  moves=%zu tc=%zu  P(success)=%.3e\n",
+              "runtime=%.1fus  moves=%zu tc=%zu  P(success)=%.3e%s\n",
               cell.technique.c_str(), cell.result.stats.cz_gates,
               cell.result.stats.swap_gates, cell.result.stats.effective_cz(),
               cell.result.stats.layers, cell.result.runtime_us,
               cell.result.stats.aod_moves, cell.result.stats.trap_changes,
-              cell.success_probability);
+              cell.success_probability, cell.from_cache ? "  [cached]" : "");
+}
+
+parallax::hardware::HardwareConfig machine_config(const CliOptions& cli,
+                                                  const char* argv0) {
+  parallax::hardware::HardwareConfig config;
+  if (cli.machine == "quera256") {
+    config = parallax::hardware::HardwareConfig::quera_aquila_256();
+  } else if (cli.machine == "atom1225") {
+    config = parallax::hardware::HardwareConfig::atom_computing_1225();
+  } else {
+    usage(argv0, "unknown machine (use quera256 or atom1225)");
+  }
+  config.aod_rows = config.aod_cols = cli.aod_count;
+  return config;
+}
+
+std::shared_ptr<parallax::cache::CompilationCache> open_cache(
+    const CliOptions& cli) {
+  if (!cli.use_cache) return nullptr;
+  parallax::cache::CacheOptions options;
+  options.directory = cli.cache_dir;
+  return parallax::cache::CompilationCache::open(options);
+}
+
+std::vector<std::string> technique_list(
+    const CliOptions& cli, const parallax::technique::Registry& registry) {
+  if (cli.technique != "all") return {cli.technique};
+  if (!cli.cache_command.empty()) return registry.names();
+  // Ascending-quality order for "all", so with --export-qasm the last write
+  // (the file that survives) is Parallax's zero-SWAP circuit, as before.
+  return {"static", "graphine", "eldi", "parallax"};
+}
+
+void report_cache_line(const parallax::sweep::Result& swept,
+                       const parallax::cache::CompilationCache& cache) {
+  std::fprintf(stderr,
+               "cache: %zu result hits, %zu result misses, %zu placements "
+               "from disk (%s)\n",
+               swept.result_cache_hits, swept.result_cache_misses,
+               swept.placement_disk_hits, cache.directory().c_str());
+}
+
+int run_cache_command(const CliOptions& cli, const char* argv0) {
+  namespace pc = parallax::cache;
+  const auto cache = open_cache(cli);  // use_cache is always true here
+  if (cli.cache_command == "stats") {
+    std::size_t placements = 0, results = 0;
+    std::uint64_t placement_bytes = 0, result_bytes = 0;
+    for (const auto& entry : cache->entries()) {
+      if (entry.kind == pc::Kind::kPlacement) {
+        ++placements;
+        placement_bytes += entry.payload_bytes;
+      } else {
+        ++results;
+        result_bytes += entry.payload_bytes;
+      }
+    }
+    std::printf("cache directory: %s\n", cache->directory().c_str());
+    std::printf("placements: %zu entries, %.1f KB\n", placements,
+                static_cast<double>(placement_bytes) / 1024.0);
+    std::printf("results:    %zu entries, %.1f KB\n", results,
+                static_cast<double>(result_bytes) / 1024.0);
+    std::printf("total:      %zu entries, %.1f KB\n", placements + results,
+                static_cast<double>(placement_bytes + result_bytes) / 1024.0);
+    return 0;
+  }
+  if (cli.cache_command == "clear") {
+    const std::size_t removed = cache->clear();
+    std::printf("removed %zu entries from %s\n", removed,
+                cache->directory().c_str());
+    return 0;
+  }
+  // prewarm: compile the benchmark suite into the cache.
+  const auto& registry = parallax::technique::Registry::global();
+  parallax::bench_circuits::GenOptions gen;
+  gen.seed = cli.seed;
+  std::vector<std::string> acronyms;
+  if (!cli.benchmarks_csv.empty()) {
+    std::string token;
+    for (const char c : cli.benchmarks_csv + ",") {
+      if (c == ',') {
+        if (!token.empty()) acronyms.push_back(token);
+        token.clear();
+      } else {
+        token.push_back(c);
+      }
+    }
+  } else {
+    for (const auto& info : parallax::bench_circuits::all_benchmarks()) {
+      acronyms.push_back(info.acronym);
+    }
+  }
+  parallax::sweep::Options options;
+  options.compile.seed = cli.seed;
+  options.compile.scheduler.return_home = cli.home_return;
+  options.compile.discretize.spread_factor = cli.spread;
+  options.n_threads = cli.threads;
+  options.cache = cache;
+  try {
+    const auto swept = parallax::sweep::run(
+        parallax::sweep::benchmark_circuits(acronyms, gen),
+        technique_list(cli, registry),
+        {{cli.machine, machine_config(cli, argv0)}}, options, registry);
+    std::size_t failed = 0;
+    for (const auto& cell : swept.cells) failed += cell.ok() ? 0 : 1;
+    std::printf(
+        "prewarmed %zu cells (%zu already cached, %zu failed) in %.1fs "
+        "into %s\n",
+        swept.cells.size(), swept.result_cache_hits, failed,
+        swept.wall_seconds, cache->directory().c_str());
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "prewarm failed: %s\n", error.what());
+    return 1;
+  }
 }
 
 }  // namespace
@@ -132,6 +308,8 @@ int main(int argc, char** argv) {
   const CliOptions cli = parse_cli(argc, argv);
   const technique::Registry& registry = technique::Registry::global();
 
+  if (!cli.cache_command.empty()) return run_cache_command(cli, argv[0]);
+
   if (cli.list_techniques) {
     for (const auto& name : registry.names()) {
       std::printf("%-9s  %s\n", name.c_str(),
@@ -140,15 +318,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  hardware::HardwareConfig config;
-  if (cli.machine == "quera256") {
-    config = hardware::HardwareConfig::quera_aquila_256();
-  } else if (cli.machine == "atom1225") {
-    config = hardware::HardwareConfig::atom_computing_1225();
-  } else {
-    usage(argv[0], "unknown machine (use quera256 or atom1225)");
-  }
-  config.aod_rows = config.aod_cols = cli.aod_count;
+  const hardware::HardwareConfig config = machine_config(cli, argv[0]);
 
   sweep::CircuitSpec spec;
   try {
@@ -164,18 +334,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Ascending-quality order for "all", so with --export-qasm the last write
-  // (the file that survives) is Parallax's zero-SWAP circuit, as before.
-  const std::vector<std::string> techniques =
-      cli.technique == "all"
-          ? std::vector<std::string>{"static", "graphine", "eldi", "parallax"}
-          : std::vector<std::string>{cli.technique};
+  const std::vector<std::string> techniques = technique_list(cli, registry);
 
   sweep::Options options;
   options.compile.seed = cli.seed;
   options.compile.scheduler.return_home = cli.home_return;
   options.compile.discretize.spread_factor = cli.spread;
   options.n_threads = cli.threads;
+  options.cache = open_cache(cli);
 
   sweep::Result swept;
   try {
@@ -184,6 +350,7 @@ int main(int argc, char** argv) {
   } catch (const technique::UnknownTechniqueError& error) {
     usage(argv[0], error.what());
   }
+  if (options.cache) report_cache_line(swept, *options.cache);
 
   for (const auto& cell : swept.cells) {
     if (!cell.ok()) {
