@@ -12,8 +12,19 @@
 //   PARALLAX_CACHE=1        persist placements/results in the compilation
 //                           cache (PARALLAX_CACHE_DIR or .parallax-cache),
 //                           so a bench rerun skips every anneal it has seen.
+//   PARALLAX_CACHE_MAX_DISK_BYTES=<n>
+//                           disk-tier budget for the cache; over-budget
+//                           entries are evicted LRU-by-index-order
+//                           (default 0 = unbounded).
+//   PARALLAX_SHARDS=<n>     partition every sweep into n shards and merge
+//                           them (shard/shard.hpp) instead of one
+//                           sweep::run — the paper matrix regenerated the
+//                           way a multi-host campaign would run it. Results
+//                           are byte-identical either way; this is the
+//                           harness-level exerciser of that guarantee.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,6 +33,7 @@
 #include "bench_circuits/registry.hpp"
 #include "cache/cache.hpp"
 #include "hardware/config.hpp"
+#include "shard/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -41,6 +53,17 @@ inline std::uint64_t master_seed() {
 inline std::size_t sweep_threads() {
   const char* env = std::getenv("PARALLAX_THREADS");
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+}
+
+/// PARALLAX_SHARDS, clamped to [1, 2^20] in 64 bits before narrowing so an
+/// absurd value can neither wrap to 0 nor spin millions of empty shards
+/// (1 = plain sweep::run).
+inline std::uint32_t sweep_shards() {
+  const char* env = std::getenv("PARALLAX_SHARDS");
+  const std::uint64_t n =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+  if (n == 0) return 1;
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 1u << 20));
 }
 
 /// Benchmarks that skip the slowest technique sweep when not in full-scale
@@ -75,7 +98,11 @@ inline std::shared_ptr<cache::CompilationCache> bench_cache() {
     if (env == nullptr || env[0] != '1') {
       return std::shared_ptr<cache::CompilationCache>();
     }
-    return cache::CompilationCache::open({});
+    cache::CacheOptions options;
+    if (const char* budget = std::getenv("PARALLAX_CACHE_MAX_DISK_BYTES")) {
+      options.max_disk_bytes = std::strtoull(budget, nullptr, 10);
+    }
+    return cache::CompilationCache::open(options);
   }();
   return instance;
 }
@@ -107,8 +134,15 @@ inline sweep::Result compile_suite(
     const std::vector<std::string>& techniques = paper_techniques(),
     const std::vector<std::string>& circuits = benchmark_names(),
     const sweep::Options& options = sweep_options()) {
-  return sweep::run(sweep::benchmark_circuits(circuits, gen_options()),
-                    techniques, machines, options);
+  const auto specs = sweep::benchmark_circuits(circuits, gen_options());
+  const std::uint32_t shards = sweep_shards();
+  if (shards > 1) {
+    // The multi-host campaign shape, in one process: partition the matrix,
+    // run each shard through its own sweep::run, merge. Byte-identical to
+    // the plain path by the shard layer's differential guarantee.
+    return shard::run_sharded(specs, techniques, machines, shards, options);
+  }
+  return sweep::run(specs, techniques, machines, options);
 }
 
 /// Aborts the bench with a clear message if any sweep cell failed — a bench

@@ -19,6 +19,7 @@ StoreOptions store_options(CacheOptions options) {
         options.directory.empty() ? default_directory() : options.directory;
   }
   store.max_memory_bytes = options.max_memory_bytes;
+  store.max_disk_bytes = options.max_disk_bytes;
   return store;
 }
 

@@ -39,6 +39,11 @@ struct CacheOptions {
   /// PARALLAX-style "share within this process only" runs).
   bool disk = true;
   std::size_t max_memory_bytes = 64ull << 20;
+  /// Disk-tier budget; 0 = unbounded. Over-budget entries are evicted
+  /// LRU-by-index-order (least recently written first) and degrade to clean
+  /// misses — the knob that keeps long sharded campaigns from growing a
+  /// shared cache directory without bound (StoreOptions::max_disk_bytes).
+  std::uint64_t max_disk_bytes = 0;
 };
 
 /// $PARALLAX_CACHE_DIR when set and non-empty, else ".parallax-cache"

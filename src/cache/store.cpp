@@ -82,7 +82,155 @@ Store::Store(StoreOptions options) : options_(std::move(options)) {
     fs::create_directories(fs::path(options_.directory) / "tmp", ec);
     // A read-only or unwritable location degrades to memory-only behavior;
     // individual writes below fail quietly too.
+    if (options_.max_disk_bytes > 0) load_disk_usage();
   }
+}
+
+void Store::load_disk_usage() {
+  // Rebuild the recency order from index.log: append order is write order,
+  // and a re-put appends again, so keeping the *last* occurrence of each key
+  // reproduces least-recently-written-first eviction across processes.
+  std::size_t evictions = 0;
+  std::uint64_t usage = 0;
+  bool rebuilt_from_scan = false;
+  {
+    std::lock_guard lock(index_mutex_);
+    disk_order_.clear();
+    disk_by_key_.clear();
+    disk_bytes_ = 0;
+    stale_index_lines_ = 0;
+    std::map<Digest128, DiskList::iterator> seen;
+    std::ifstream index(fs::path(options_.directory) / "index.log");
+    if (index) {
+      std::string hex;
+      std::uint32_t kind = 0;
+      std::uint64_t payload_bytes = 0;
+      while (index >> hex >> kind >> payload_bytes) {
+        const auto key = Digest128::from_hex(hex);
+        if (!key) continue;
+        if (const auto it = seen.find(*key); it != seen.end()) {
+          disk_order_.erase(it->second);  // re-put: refresh recency
+          seen.erase(it);
+        }
+        disk_order_.push_back(
+            {*key, static_cast<Kind>(kind), kHeaderBytes + payload_bytes});
+        seen[*key] = std::prev(disk_order_.end());
+      }
+    } else {
+      // Index lost (e.g. user deleted it): the budget must still bound the
+      // object files, so rebuild the listing from the files themselves and
+      // rewrite the index below — a later open must not lose track of the
+      // recovered entries again.
+      for (const IndexEntry& entry : scan_objects()) {
+        disk_order_.push_back(
+            {entry.key, entry.kind, kHeaderBytes + entry.payload_bytes});
+        seen[entry.key] = std::prev(disk_order_.end());
+      }
+      rebuilt_from_scan = true;
+    }
+    for (auto it = disk_order_.begin(); it != disk_order_.end();) {
+      std::error_code ec;
+      if (!fs::exists(object_path(it->key), ec)) {
+        it = disk_order_.erase(it);
+        ++stale_index_lines_;
+        continue;
+      }
+      disk_by_key_[it->key] = it;
+      disk_bytes_ += it->file_bytes;
+      ++it;
+    }
+    // Enforce the budget on whatever a previous (possibly unbounded) run
+    // left behind, so opening a directory with a budget immediately honors
+    // it.
+    evictions = evict_over_budget_locked();
+    if (rebuilt_from_scan) {
+      compact_index_locked();  // persist the recovered listing
+    } else {
+      maybe_compact_index_locked();
+    }
+    usage = disk_bytes_;
+  }
+  std::lock_guard stats_lock(mutex_);
+  stats_.disk_evictions += evictions;
+  stats_.disk_bytes = usage;
+}
+
+std::size_t Store::evict_over_budget_locked() {
+  std::size_t evictions = 0;
+  while (disk_bytes_ > options_.max_disk_bytes && !disk_order_.empty()) {
+    const DiskEntryInfo& victim = disk_order_.front();
+    remove_quietly(object_path(victim.key));
+    disk_bytes_ -= victim.file_bytes;
+    disk_by_key_.erase(victim.key);
+    disk_order_.pop_front();
+    ++evictions;
+    ++stale_index_lines_;
+  }
+  return evictions;
+}
+
+std::size_t Store::track_disk_entry_locked(const Digest128& key, Kind kind,
+                                           std::uint64_t file_bytes) {
+  if (const auto it = disk_by_key_.find(key); it != disk_by_key_.end()) {
+    disk_bytes_ -= it->second->file_bytes;
+    disk_order_.erase(it->second);
+    disk_by_key_.erase(it);
+    ++stale_index_lines_;  // the refreshed entry's old line is now dead
+  }
+  disk_order_.push_back({key, kind, file_bytes});
+  disk_by_key_[key] = std::prev(disk_order_.end());
+  disk_bytes_ += file_bytes;
+  const std::size_t evictions = evict_over_budget_locked();
+  maybe_compact_index_locked();
+  return evictions;
+}
+
+void Store::untrack_disk_entry(const Digest128& key) {
+  if (options_.max_disk_bytes == 0) return;
+  std::lock_guard lock(index_mutex_);
+  if (const auto it = disk_by_key_.find(key); it != disk_by_key_.end()) {
+    disk_bytes_ -= it->second->file_bytes;
+    disk_order_.erase(it->second);
+    disk_by_key_.erase(it);
+    ++stale_index_lines_;
+  }
+}
+
+void Store::maybe_compact_index_locked() {
+  // Compact once dead lines dominate live ones (with a floor so small
+  // caches never bother). The rewrite races benignly with concurrent
+  // processes: an append lost to the rename is an entry missing from the
+  // listing until its next put, never a wrong hit — get() reads by path.
+  if (stale_index_lines_ < disk_order_.size() + 64) return;
+  compact_index_locked();
+}
+
+void Store::compact_index_locked() {
+  const fs::path index_path = fs::path(options_.directory) / "index.log";
+  const fs::path tmp_path =
+      fs::path(options_.directory) / "tmp" /
+      ("index." + std::to_string(static_cast<long long>(::getpid())) +
+       ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return;  // unwritable: keep appending, try again later
+    for (const DiskEntryInfo& entry : disk_order_) {
+      out << entry.key.hex() << ' ' << static_cast<std::uint32_t>(entry.kind)
+          << ' ' << (entry.file_bytes - kHeaderBytes) << '\n';
+    }
+    if (!out.good()) {
+      out.close();
+      remove_quietly(tmp_path);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, index_path, ec);
+  if (ec) {
+    remove_quietly(tmp_path);
+    return;
+  }
+  stale_index_lines_ = 0;
 }
 
 std::string Store::object_path(const Digest128& key) const {
@@ -90,6 +238,34 @@ std::string Store::object_path(const Digest128& key) const {
   return (fs::path(options_.directory) / "objects" / hex.substr(0, 2) /
           (hex + ".bin"))
       .string();
+}
+
+std::vector<Store::IndexEntry> Store::scan_objects() const {
+  std::vector<IndexEntry> found;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator
+           it(fs::path(options_.directory) / "objects", ec),
+       end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const auto key = Digest128::from_hex(it->path().stem().string());
+    if (!key) continue;
+    char header[kHeaderBytes];
+    {
+      std::ifstream in(it->path(), std::ios::binary);
+      if (!in.read(header, kHeaderBytes)) continue;
+    }
+    Reader reader(std::string_view(header, kHeaderBytes));
+    try {
+      if (reader.u64() != kMagic) continue;
+      if (reader.u32() != kPayloadVersion) continue;
+      const auto kind = static_cast<Kind>(reader.u32());
+      found.push_back({*key, kind, reader.u64()});
+    } catch (const ReadError&) {
+      continue;
+    }
+  }
+  return found;
 }
 
 void Store::memory_insert_locked(const MemKey& key,
@@ -132,8 +308,9 @@ Store::DiskRead Store::disk_read(Kind kind, const Digest128& key) {
   return outcome;
 }
 
-std::uint64_t Store::disk_write(Kind kind, const Digest128& key,
-                                const std::string& payload) {
+Store::DiskWrite Store::disk_write(Kind kind, const Digest128& key,
+                                   const std::string& payload) {
+  DiskWrite outcome;
   const std::string hex = key.hex();
   const fs::path final_path = object_path(key);
   std::error_code ec;
@@ -145,20 +322,20 @@ std::uint64_t Store::disk_write(Kind kind, const Digest128& key,
        ".tmp");
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return 0;  // unwritable cache dir: skip persistence quietly
+    if (!out) return outcome;  // unwritable cache dir: skip quietly
     const std::string header = encode_header(kind, payload);
     out.write(header.data(), static_cast<std::streamsize>(header.size()));
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     if (!out.good()) {
       out.close();
       remove_quietly(tmp_path);
-      return 0;
+      return outcome;
     }
   }
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     remove_quietly(tmp_path);
-    return 0;
+    return outcome;
   }
   {
     std::lock_guard index_lock(index_mutex_);
@@ -168,8 +345,13 @@ std::uint64_t Store::disk_write(Kind kind, const Digest128& key,
       index << hex << ' ' << static_cast<std::uint32_t>(kind) << ' '
             << payload.size() << '\n';
     }
+    if (options_.max_disk_bytes > 0) {
+      outcome.evictions =
+          track_disk_entry_locked(key, kind, kHeaderBytes + payload.size());
+    }
   }
-  return kHeaderBytes + payload.size();
+  outcome.bytes_written = kHeaderBytes + payload.size();
+  return outcome;
 }
 
 std::optional<std::string> Store::get(Kind kind, const Digest128& key) {
@@ -186,6 +368,7 @@ std::optional<std::string> Store::get(Kind kind, const Digest128& key) {
     // IO outside the lock: concurrent readers of the same key just read the
     // same immutable file twice.
     DiskRead outcome = disk_read(kind, key);
+    if (outcome.corrupt) untrack_disk_entry(key);  // its file was unlinked
     std::lock_guard lock(mutex_);
     stats_.bytes_read += outcome.bytes_read;
     if (outcome.corrupt) ++stats_.corrupt;
@@ -207,15 +390,24 @@ void Store::put(Kind kind, const Digest128& key, const std::string& payload) {
     memory_insert_locked(MemKey{kind, key}, payload);
   }
   if (has_disk_tier()) {
-    const std::uint64_t written = disk_write(kind, key, payload);
+    const DiskWrite written = disk_write(kind, key, payload);
     std::lock_guard lock(mutex_);
-    stats_.bytes_written += written;
+    stats_.bytes_written += written.bytes_written;
+    stats_.disk_evictions += written.evictions;
   }
 }
 
 StoreStats Store::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  StoreStats stats;
+  {
+    std::lock_guard lock(mutex_);
+    stats = stats_;
+  }
+  if (options_.max_disk_bytes > 0) {
+    std::lock_guard lock(index_mutex_);
+    stats.disk_bytes = disk_bytes_;
+  }
+  return stats;
 }
 
 std::vector<Store::IndexEntry> Store::entries() const {
@@ -237,26 +429,7 @@ std::vector<Store::IndexEntry> Store::entries() const {
   } else {
     // Index lost (e.g. user deleted it): rebuild the listing from the
     // object files themselves, reading each header for kind and size.
-    std::error_code ec;
-    for (fs::recursive_directory_iterator it(root / "objects", ec), end;
-         !ec && it != end; it.increment(ec)) {
-      if (!it->is_regular_file(ec)) continue;
-      const std::string stem = it->path().stem().string();
-      const auto key = Digest128::from_hex(stem);
-      if (!key) continue;
-      const auto contents = read_file(it->path());
-      if (!contents || contents->size() < kHeaderBytes) continue;
-      Reader reader(*contents);
-      try {
-        if (reader.u64() != kMagic) continue;
-        if (reader.u32() != kPayloadVersion) continue;
-        const auto kind = static_cast<Kind>(reader.u32());
-        const std::uint64_t bytes = reader.u64();
-        dedup[*key] = IndexEntry{*key, kind, bytes};
-      } catch (const ReadError&) {
-        continue;
-      }
-    }
+    for (const IndexEntry& entry : scan_objects()) dedup[entry.key] = entry;
   }
   for (const auto& [key, entry] : dedup) {
     std::error_code ec;
@@ -270,6 +443,14 @@ std::size_t Store::clear() {
   lru_.clear();
   by_key_.clear();
   memory_bytes_ = 0;
+  {
+    std::lock_guard index_lock(index_mutex_);
+    disk_order_.clear();
+    disk_by_key_.clear();
+    disk_bytes_ = 0;
+    stale_index_lines_ = 0;
+  }
+  stats_.disk_bytes = 0;
   if (!has_disk_tier()) return 0;
   std::size_t removed = 0;
   const fs::path root(options_.directory);

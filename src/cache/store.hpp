@@ -57,6 +57,18 @@ struct StoreOptions {
   /// Memory-tier budget; entries beyond it are evicted least-recently-used
   /// (they remain on disk). 0 disables the memory tier.
   std::size_t max_memory_bytes = 64ull << 20;
+  /// Disk-tier budget (entry files including headers); 0 = unbounded.
+  /// When exceeded, entries are evicted LRU-by-index-order: index.log
+  /// append order is the recency order (a re-put moves an entry to the
+  /// back), so the least-recently-written entry goes first. Evicted entries
+  /// degrade to clean misses — exactly like an entry that was never
+  /// written. This is what keeps long sharded campaigns from growing a
+  /// shared cache directory without bound. The budget is enforced per
+  /// process over its open-time snapshot plus its own writes: N concurrent
+  /// writers can transiently overshoot toward N x budget, and the next
+  /// budgeted open trims the directory back. Sequential shard runs (the
+  /// common campaign shape) stay within budget throughout.
+  std::uint64_t max_disk_bytes = 0;
 };
 
 struct StoreStats {
@@ -65,6 +77,10 @@ struct StoreStats {
   std::size_t misses = 0;
   std::size_t stores = 0;
   std::size_t evictions = 0;
+  /// Disk-tier entries evicted to honor max_disk_bytes.
+  std::size_t disk_evictions = 0;
+  /// Current disk-tier usage (tracked only when max_disk_bytes > 0).
+  std::uint64_t disk_bytes = 0;
   /// Entries dropped because validation failed (truncation, checksum,
   /// version, kind).
   std::size_t corrupt = 0;
@@ -112,6 +128,10 @@ class Store {
   using LruList = std::list<std::pair<MemKey, std::string>>;
 
   [[nodiscard]] std::string object_path(const Digest128& key) const;
+  /// Lists object files by reading each header (32 bytes, never the
+  /// payload) — the index-less fallback shared by entries() and
+  /// load_disk_usage(). Scan order stands in for the lost recency order.
+  [[nodiscard]] std::vector<IndexEntry> scan_objects() const;
   /// Inserts or replaces; replacement matters when a stale-but-checksummed
   /// payload was loaded before its entry was recomputed and re-put.
   void memory_insert_locked(const MemKey& key, const std::string& payload);
@@ -125,9 +145,45 @@ class Store {
     bool corrupt = false;
   };
   [[nodiscard]] DiskRead disk_read(Kind kind, const Digest128& key);
-  /// Returns bytes written (0 when the write was skipped or failed).
-  [[nodiscard]] std::uint64_t disk_write(Kind kind, const Digest128& key,
-                                         const std::string& payload);
+  struct DiskWrite {
+    /// 0 when the write was skipped or failed.
+    std::uint64_t bytes_written = 0;
+    /// Entries unlinked to honor max_disk_bytes.
+    std::size_t evictions = 0;
+  };
+  [[nodiscard]] DiskWrite disk_write(Kind kind, const Digest128& key,
+                                     const std::string& payload);
+
+  // --- disk budget tracking (only active when max_disk_bytes > 0) ------------
+  struct DiskEntryInfo {
+    Digest128 key;
+    Kind kind = Kind::kPlacement;
+    std::uint64_t file_bytes = 0;
+  };
+  /// Entries in index-append order (front = least recently written); the
+  /// tracking members below are guarded by index_mutex_.
+  using DiskList = std::list<DiskEntryInfo>;
+  /// Rebuilds the tracking state from index.log (existence-checked), or
+  /// from an object-directory scan when the index is missing — a budget
+  /// must bound pre-existing files even if the user deleted the log.
+  void load_disk_usage();
+  /// Unlinks least-recently-written entries until within budget. Caller
+  /// holds index_mutex_. Returns the number of evictions.
+  std::size_t evict_over_budget_locked();
+  /// Records/refreshes an entry and evicts front entries while over budget.
+  /// Caller holds index_mutex_. Returns the number of evictions.
+  std::size_t track_disk_entry_locked(const Digest128& key, Kind kind,
+                                      std::uint64_t file_bytes);
+  /// Forgets an entry whose file was dropped outside eviction (corruption).
+  void untrack_disk_entry(const Digest128& key);
+  /// Rewrites index.log from disk_order_ once dead lines (evicted or
+  /// re-put entries) dominate, so a churning budgeted campaign keeps the
+  /// log bounded too, not just the objects. Caller holds index_mutex_.
+  void maybe_compact_index_locked();
+  /// Unconditional index.log rewrite from disk_order_ (atomic
+  /// write-to-tmp + rename, failures quietly keep the old log). Caller
+  /// holds index_mutex_.
+  void compact_index_locked();
 
   StoreOptions options_;
   mutable std::mutex mutex_;  // LRU + stats bookkeeping only, never IO
@@ -135,7 +191,11 @@ class Store {
   std::map<MemKey, LruList::iterator> by_key_;
   std::size_t memory_bytes_ = 0;
   std::atomic<std::uint64_t> tmp_counter_{0};
-  std::mutex index_mutex_;  // serializes in-process index.log appends
+  mutable std::mutex index_mutex_;  // index.log appends + disk tracking
+  DiskList disk_order_;
+  std::map<Digest128, DiskList::iterator> disk_by_key_;
+  std::uint64_t disk_bytes_ = 0;
+  std::uint64_t stale_index_lines_ = 0;
   StoreStats stats_;
 };
 

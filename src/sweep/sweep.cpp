@@ -196,6 +196,12 @@ Result run(const std::vector<CircuitSpec>& circuits,
     cell.technique_index = ti;
     cell.machine_index = mi;
 
+    if (options.cell_filter && !options.cell_filter(flat)) {
+      cell.skipped = true;
+      return;
+    }
+    cell.origin = options.provenance;
+
     const Stopwatch cell_watch;
     try {
       pipeline::CompileOptions opts = options.compile;

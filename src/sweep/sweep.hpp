@@ -85,6 +85,16 @@ struct Options {
   /// (incremental sweeps: a rerun only recompiles cells whose fingerprints
   /// changed). Disable to reuse only placements.
   bool reuse_results = true;
+  /// Cell ownership predicate over the flat circuit-major cell index. Cells
+  /// for which it returns false are labeled but never compiled (Cell::skipped
+  /// is set). This is the hook the shard layer (shard/shard.hpp) partitions
+  /// the matrix through; null runs everything.
+  std::function<bool(std::size_t flat_index)> cell_filter;
+  /// Free-form origin label stamped into every executed cell
+  /// (Cell::origin) — shard runners set "shard-K/N@host" so error cells in a
+  /// merged multi-host campaign say where they ran. Not part of a cell's
+  /// identity: canonical serializations exclude it, like pass timings.
+  std::string provenance;
 };
 
 /// One (circuit, technique, machine) result.
@@ -104,6 +114,12 @@ struct Cell {
   /// The whole cell (result, success probability, shot plans) was served
   /// from the persistent cache; no pass ran.
   bool from_cache = false;
+  /// Options::cell_filter excluded this cell: labels are set, nothing ran.
+  bool skipped = false;
+  /// Where the cell was computed (Options::provenance) — "" for plain
+  /// in-process sweeps, "shard-K/N@host" under the shard runner. Carried by
+  /// error cells too, so a failed cell of a merged campaign names its shard.
+  std::string origin;
   /// Non-empty if compilation threw; `result` is then default-constructed.
   std::string error;
 

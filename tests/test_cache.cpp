@@ -401,6 +401,177 @@ TEST(CompilationCache, EntriesAndClear) {
   EXPECT_FALSE(cache.get_placement(key0).has_value());
 }
 
+// --- disk-tier eviction (max_disk_bytes) --------------------------------------
+
+namespace {
+
+/// Distinct placement keys derived from a salt, plus a fixed payload.
+pc::Digest128 salted_key(std::uint64_t salt) {
+  ppl::GraphineOptions options;
+  options.seed = salt;
+  return pc::placement_key(pc::fingerprint(ghz(1, "g")), options);
+}
+
+ppl::Topology small_topology() {
+  ppl::Topology topology;
+  topology.positions = {{0.25, 0.75}};
+  topology.interaction_radius = 0.5;
+  return topology;
+}
+
+}  // namespace
+
+TEST(DiskEviction, MaxDiskBytesIsHonored) {
+  const std::string dir = fresh_dir("evict_budget");
+  const std::string payload =
+      pc::serialize_topology(small_topology());
+  // Room for roughly two entries (header is 32 bytes per entry file).
+  const std::uint64_t budget = 2 * (payload.size() + 40);
+  pc::CompilationCache cache(
+      {.directory = dir, .max_disk_bytes = budget});
+  for (std::uint64_t salt = 0; salt < 6; ++salt) {
+    cache.put_placement(salted_key(salt), small_topology());
+    EXPECT_LE(cache.stats().store.disk_bytes, budget) << "salt " << salt;
+  }
+  EXPECT_GT(cache.stats().store.disk_evictions, 0u);
+  // The survivors are on disk, everything else was unlinked.
+  std::size_t files = 0;
+  for (fs::recursive_directory_iterator it(fs::path(dir) / "objects"), end;
+       it != end; ++it) {
+    if (it->is_regular_file()) ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST(DiskEviction, EvictionOrderIsLruByIndexOrder) {
+  const std::string dir = fresh_dir("evict_order");
+  const std::string payload = pc::serialize_topology(small_topology());
+  const std::uint64_t entry_bytes = 32 + payload.size();
+  pc::CompilationCache cache(
+      {.directory = dir, .max_disk_bytes = 3 * entry_bytes});
+  cache.put_placement(salted_key(0), small_topology());
+  cache.put_placement(salted_key(1), small_topology());
+  cache.put_placement(salted_key(2), small_topology());
+  // Re-put entry 0: its index line is re-appended, moving it to the back of
+  // the eviction order.
+  cache.put_placement(salted_key(0), small_topology());
+  // One more entry evicts exactly the least recently written one — entry 1,
+  // not entry 0.
+  cache.put_placement(salted_key(3), small_topology());
+  EXPECT_TRUE(fs::exists(object_file(dir, salted_key(0))));
+  EXPECT_FALSE(fs::exists(object_file(dir, salted_key(1))));
+  EXPECT_TRUE(fs::exists(object_file(dir, salted_key(2))));
+  EXPECT_TRUE(fs::exists(object_file(dir, salted_key(3))));
+}
+
+TEST(DiskEviction, EvictedEntriesDegradeToCleanMisses) {
+  const std::string dir = fresh_dir("evict_miss");
+  const std::string payload = pc::serialize_topology(small_topology());
+  {
+    pc::CompilationCache cache(
+        {.directory = dir,
+         .max_memory_bytes = 1,  // keep the memory tier out of the picture
+         .max_disk_bytes = 32 + payload.size()});
+    cache.put_placement(salted_key(0), small_topology());
+    cache.put_placement(salted_key(1), small_topology());  // evicts 0
+    EXPECT_FALSE(cache.get_placement(salted_key(0)).has_value());
+    EXPECT_TRUE(cache.get_placement(salted_key(1)).has_value());
+    EXPECT_EQ(cache.stats().store.corrupt, 0u);  // a miss, not an error
+  }
+  // A fresh instance (new process) sees the same thing.
+  pc::CompilationCache cache({.directory = dir});
+  EXPECT_FALSE(cache.get_placement(salted_key(0)).has_value());
+  EXPECT_TRUE(cache.get_placement(salted_key(1)).has_value());
+}
+
+TEST(DiskEviction, BudgetIsEnforcedWhenOpeningAnOversizedDirectory) {
+  const std::string dir = fresh_dir("evict_open");
+  const std::string payload = pc::serialize_topology(small_topology());
+  {
+    pc::CompilationCache unbounded({.directory = dir});
+    for (std::uint64_t salt = 0; salt < 5; ++salt) {
+      unbounded.put_placement(salted_key(salt), small_topology());
+    }
+  }
+  // Reopening with a budget trims the directory immediately, oldest first.
+  pc::CompilationCache bounded(
+      {.directory = dir, .max_disk_bytes = 2 * (32 + payload.size())});
+  EXPECT_EQ(bounded.stats().store.disk_evictions, 3u);
+  EXPECT_FALSE(fs::exists(object_file(dir, salted_key(0))));
+  EXPECT_FALSE(fs::exists(object_file(dir, salted_key(2))));
+  EXPECT_TRUE(fs::exists(object_file(dir, salted_key(3))));
+  EXPECT_TRUE(fs::exists(object_file(dir, salted_key(4))));
+  EXPECT_LE(bounded.stats().store.disk_bytes, 2 * (32 + payload.size()));
+}
+
+TEST(DiskEviction, BudgetBoundsObjectsEvenWithoutIndexLog) {
+  // The index is the recency order, not the source of truth: deleting it
+  // must not let a budgeted open ignore the object files.
+  const std::string dir = fresh_dir("evict_noindex");
+  const std::string payload = pc::serialize_topology(small_topology());
+  {
+    pc::CompilationCache unbounded({.directory = dir});
+    for (std::uint64_t salt = 0; salt < 5; ++salt) {
+      unbounded.put_placement(salted_key(salt), small_topology());
+    }
+  }
+  fs::remove(fs::path(dir) / "index.log");
+  pc::CompilationCache bounded(
+      {.directory = dir, .max_disk_bytes = 2 * (32 + payload.size())});
+  EXPECT_EQ(bounded.stats().store.disk_evictions, 3u);
+  EXPECT_LE(bounded.stats().store.disk_bytes, 2 * (32 + payload.size()));
+  std::size_t files = 0;
+  for (fs::recursive_directory_iterator it(fs::path(dir) / "objects"), end;
+       it != end; ++it) {
+    if (it->is_regular_file()) ++files;
+  }
+  EXPECT_EQ(files, 2u);
+  // The recovered listing is persisted: the scan rewrote index.log, so a
+  // later budgeted open tracks the survivors without losing them again.
+  std::size_t lines = 0;
+  std::ifstream rebuilt(fs::path(dir) / "index.log");
+  ASSERT_TRUE(rebuilt.good());
+  for (std::string line; std::getline(rebuilt, line);) ++lines;
+  EXPECT_EQ(lines, 2u);
+  pc::CompilationCache reopened(
+      {.directory = dir, .max_disk_bytes = 32 + payload.size()});
+  EXPECT_EQ(reopened.stats().store.disk_evictions, 1u);
+}
+
+TEST(DiskEviction, IndexLogStaysBoundedUnderChurn) {
+  // A churning budgeted campaign must bound the log too, not just the
+  // objects: dead lines (evicted entries) are compacted away once they
+  // dominate.
+  const std::string dir = fresh_dir("evict_compact");
+  const std::string payload = pc::serialize_topology(small_topology());
+  pc::CompilationCache cache(
+      {.directory = dir, .max_disk_bytes = 2 * (32 + payload.size())});
+  for (std::uint64_t salt = 0; salt < 300; ++salt) {
+    cache.put_placement(salted_key(salt), small_topology());
+  }
+  std::size_t lines = 0;
+  std::ifstream index(fs::path(dir) / "index.log");
+  for (std::string line; std::getline(index, line);) ++lines;
+  EXPECT_LT(lines, 100u);  // 300 appends, compacted to live + recent churn
+  // Compaction never loses the live entries.
+  EXPECT_TRUE(cache.get_placement(salted_key(299)).has_value());
+  pc::CompilationCache reopened(
+      {.directory = dir, .max_disk_bytes = 2 * (32 + payload.size())});
+  EXPECT_TRUE(reopened.get_placement(salted_key(299)).has_value());
+}
+
+TEST(DiskEviction, UnboundedByDefault) {
+  const std::string dir = fresh_dir("evict_unbounded");
+  pc::CompilationCache cache({.directory = dir});
+  for (std::uint64_t salt = 0; salt < 20; ++salt) {
+    cache.put_placement(salted_key(salt), small_topology());
+  }
+  EXPECT_EQ(cache.stats().store.disk_evictions, 0u);
+  for (std::uint64_t salt = 0; salt < 20; ++salt) {
+    EXPECT_TRUE(cache.get_placement(salted_key(salt)).has_value());
+  }
+}
+
 TEST(CompilationCache, DefaultDirectoryRespectsEnvironment) {
   const char* saved = std::getenv("PARALLAX_CACHE_DIR");
   const std::string saved_value = saved != nullptr ? saved : "";

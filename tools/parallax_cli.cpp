@@ -5,6 +5,7 @@
 //   parallax_cli --circuit file.qasm [options]
 //   parallax_cli --list-techniques
 //   parallax_cli cache stats|clear|prewarm [options]
+//   parallax_cli shard plan|run|merge [options]
 //
 // Options:
 //   --machine quera256|atom1225   target machine preset (default quera256)
@@ -21,6 +22,9 @@
 //   --cache-dir DIR               persistent-cache root (default:
 //                                 $PARALLAX_CACHE_DIR or .parallax-cache)
 //   --no-cache                    disable the persistent compilation cache
+//   --max-disk-bytes N            cache disk-tier budget; over-budget
+//                                 entries are evicted LRU-by-index-order
+//                                 (default 0 = unbounded)
 //
 // Cache subcommands (the paper's "load earlier results" option, automatic):
 //   cache stats    [--cache-dir DIR]           entry counts and sizes
@@ -29,10 +33,29 @@
 //                  [--benchmarks A,B,...] [--seed N] [--threads N]
 //                  compile the Table III suite into the cache so later runs
 //                  skip annealing entirely
+//
+// Shard subcommands (deterministic multi-process/multi-host sweeps; see
+// src/shard/shard.hpp — merge output is byte-identical to an unsharded run):
+//   shard plan   --shards N --out-dir DIR [--benchmarks A,B,...]
+//                [--machine M] [--technique NAME|all] [--seed N]
+//                [--spread F] [--no-home-return] [--shots]
+//                write DIR/shard-K.spec for K in [0, N)
+//   shard run    --spec FILE --out FILE [--cache-dir DIR] [--no-cache]
+//                [--threads N] [--origin LABEL] [--max-disk-bytes N]
+//                execute one shard; point every host's --cache-dir at one
+//                shared directory and no placement is annealed twice
+//   shard merge  --out FILE RUN_FILE...
+//                recombine shard outputs; writes the canonical result bytes
+//                (diffable across campaigns) and rejects duplicate,
+//                missing, or conflicting cells
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_circuits/registry.hpp"
@@ -42,6 +65,7 @@
 #include "parallax/report.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
+#include "shard/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "technique/registry.hpp"
 
@@ -64,9 +88,19 @@ struct CliOptions {
   std::string export_qasm;
   bool use_cache = true;
   std::string cache_dir;  // empty => cache::default_directory()
+  std::uint64_t max_disk_bytes = 0;
   // cache subcommand state
   std::string cache_command;  // "stats" | "clear" | "prewarm"
   std::string benchmarks_csv;
+  // shard subcommand state
+  std::string shard_command;  // "plan" | "run" | "merge"
+  std::uint32_t shards = 0;
+  std::string out_dir;
+  std::string spec_file;
+  std::string out_file;
+  std::string origin;
+  bool shots = false;
+  std::vector<std::string> inputs;  // shard merge positional run files
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -83,8 +117,18 @@ struct CliOptions {
                "       %s --list-techniques\n"
                "       %s cache (stats|clear|prewarm) [--cache-dir DIR]\n"
                "               (prewarm also takes --machine --technique "
-               "--benchmarks A,B,... --seed --threads)\n",
-               argv0, argv0, argv0);
+               "--benchmarks A,B,... --seed --threads)\n"
+               "       %s shard plan --shards N --out-dir DIR "
+               "[--benchmarks A,B,...]\n"
+               "               [--machine M] [--technique NAME|all] "
+               "[--seed N] [--spread F]\n"
+               "               [--no-home-return] [--shots]\n"
+               "       %s shard run --spec FILE --out FILE "
+               "[--cache-dir DIR] [--no-cache]\n"
+               "               [--threads N] [--origin LABEL] "
+               "[--max-disk-bytes N]\n"
+               "       %s shard merge --out FILE RUN_FILE...\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -100,13 +144,27 @@ CliOptions parse_cli(int argc, char** argv) {
     }
     options.technique = "all";  // prewarm default: every technique
     first = 3;
+  } else if (argc > 1 && !std::strcmp(argv[1], "shard")) {
+    if (argc < 3) usage(argv[0], "shard needs a subcommand");
+    options.shard_command = argv[2];
+    if (options.shard_command != "plan" && options.shard_command != "run" &&
+        options.shard_command != "merge") {
+      usage(argv[0], "unknown shard subcommand (use plan, run, merge)");
+    }
+    options.technique = "all";  // plan default: every technique
+    first = 3;
   }
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for option");
     return argv[++i];
   };
+  // Every option flag seen, so subcommands can reject flags they would
+  // silently ignore (values are consumed by need_value and never land
+  // here).
+  std::vector<std::string> seen_flags;
   for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
+    if (arg[0] == '-') seen_flags.push_back(arg);
     if (!std::strcmp(arg, "--benchmark")) {
       options.benchmark = need_value(i);
     } else if (!std::strcmp(arg, "--circuit")) {
@@ -141,33 +199,103 @@ CliOptions parse_cli(int argc, char** argv) {
       options.use_cache = false;
     } else if (!std::strcmp(arg, "--benchmarks")) {
       options.benchmarks_csv = need_value(i);
+    } else if (!std::strcmp(arg, "--max-disk-bytes")) {
+      options.max_disk_bytes = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--shards")) {
+      const std::uint64_t n = std::strtoull(need_value(i), nullptr, 10);
+      if (n == 0 || n > (1u << 20)) {
+        usage(argv[0], "--shards must be in [1, 1048576]");
+      }
+      options.shards = static_cast<std::uint32_t>(n);
+    } else if (!std::strcmp(arg, "--out-dir")) {
+      options.out_dir = need_value(i);
+    } else if (!std::strcmp(arg, "--spec")) {
+      options.spec_file = need_value(i);
+    } else if (!std::strcmp(arg, "--out")) {
+      options.out_file = need_value(i);
+    } else if (!std::strcmp(arg, "--origin")) {
+      options.origin = need_value(i);
+    } else if (!std::strcmp(arg, "--shots")) {
+      options.shots = true;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(argv[0]);
+    } else if (arg[0] != '-' && options.shard_command == "merge") {
+      options.inputs.push_back(arg);
     } else {
       usage(argv[0], (std::string("unknown option ") + arg).c_str());
     }
   }
-  if (!options.cache_command.empty()) {
-    // Reject main-mode flags the subcommands ignore: silently accepting
-    // e.g. `cache prewarm --benchmark WST` (prewarm's spelling is
-    // --benchmarks) would compile the full suite instead of surfacing the
-    // typo, and `cache stats --no-cache` is a contradiction.
-    if (!options.use_cache) {
-      usage(argv[0], "cache subcommands cannot run with --no-cache");
+  // A flag a subcommand would silently ignore is a user error (e.g.
+  // `cache prewarm --benchmark WST` compiling the whole suite instead of
+  // surfacing the typo, `shard run --shards 3` not re-sharding a spec, or
+  // `cache stats --max-disk-bytes N` destructively evicting during a
+  // read-only query), so every subcommand rejects flags outside its
+  // allowlist.
+  const auto allow_only = [&](const std::string& command,
+                              std::initializer_list<std::string_view> allowed) {
+    for (const auto& flag : seen_flags) {
+      bool known = false;
+      for (const std::string_view candidate : allowed) {
+        if (flag == candidate) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        usage(argv[0], (command + " does not take " + flag).c_str());
+      }
     }
-    if (!options.benchmark.empty() || !options.circuit_file.empty() ||
-        !options.export_qasm.empty() || options.json || options.layers ||
-        options.render || options.list_techniques) {
-      usage(argv[0],
-            "cache subcommands take only --cache-dir (and, for prewarm, "
-            "--machine --technique --benchmarks A,B,... --seed --threads)");
+  };
+  if (!options.cache_command.empty()) {
+    if (options.cache_command == "prewarm") {
+      allow_only("cache prewarm",
+                 {"--cache-dir", "--max-disk-bytes", "--machine",
+                  "--technique", "--benchmarks", "--seed", "--threads",
+                  "--spread", "--no-home-return", "--aod-count"});
+    } else {
+      allow_only("cache " + options.cache_command, {"--cache-dir"});
+    }
+  } else if (!options.shard_command.empty()) {
+    if (options.shard_command == "plan") {
+      allow_only("shard plan",
+                 {"--shards", "--out-dir", "--benchmarks", "--machine",
+                  "--technique", "--seed", "--spread", "--no-home-return",
+                  "--shots", "--aod-count"});
+      if (options.shards == 0) usage(argv[0], "shard plan needs --shards N");
+      if (options.out_dir.empty()) {
+        usage(argv[0], "shard plan needs --out-dir DIR");
+      }
+    } else if (options.shard_command == "run") {
+      allow_only("shard run",
+                 {"--spec", "--out", "--cache-dir", "--no-cache",
+                  "--max-disk-bytes", "--threads", "--origin"});
+      if (!options.use_cache &&
+          (!options.cache_dir.empty() || options.max_disk_bytes != 0)) {
+        usage(argv[0],
+              "--no-cache contradicts --cache-dir/--max-disk-bytes (the "
+              "campaign's no-duplicate-anneal guarantee needs the cache)");
+      }
+      if (options.spec_file.empty()) {
+        usage(argv[0], "shard run needs --spec FILE");
+      }
+      if (options.out_file.empty()) usage(argv[0], "shard run needs --out FILE");
+    } else {  // merge
+      allow_only("shard merge", {"--out"});
+      if (options.out_file.empty()) {
+        usage(argv[0], "shard merge needs --out FILE");
+      }
+      if (options.inputs.empty()) {
+        usage(argv[0], "shard merge needs at least one shard run file");
+      }
     }
   } else {
-    if (!options.benchmarks_csv.empty()) {
-      usage(argv[0],
-            "--benchmarks is a `cache prewarm` flag; compile mode takes one "
-            "--benchmark NAME");
-    }
+    // Compile mode: reject the subcommand-only flags it would ignore.
+    allow_only("compile mode",
+               {"--benchmark", "--circuit", "--machine", "--technique",
+                "--aod-count", "--no-home-return", "--spread", "--seed",
+                "--threads", "--json", "--layers", "--render",
+                "--list-techniques", "--export-qasm", "--cache-dir",
+                "--no-cache", "--max-disk-bytes", "--help", "-h"});
     if (!options.list_techniques &&
         options.benchmark.empty() == options.circuit_file.empty()) {
       usage(argv[0], "exactly one of --benchmark / --circuit is required");
@@ -205,16 +333,40 @@ std::shared_ptr<parallax::cache::CompilationCache> open_cache(
   if (!cli.use_cache) return nullptr;
   parallax::cache::CacheOptions options;
   options.directory = cli.cache_dir;
+  options.max_disk_bytes = cli.max_disk_bytes;
   return parallax::cache::CompilationCache::open(options);
 }
 
 std::vector<std::string> technique_list(
     const CliOptions& cli, const parallax::technique::Registry& registry) {
   if (cli.technique != "all") return {cli.technique};
-  if (!cli.cache_command.empty()) return registry.names();
+  if (!cli.cache_command.empty() || !cli.shard_command.empty()) {
+    return registry.names();
+  }
   // Ascending-quality order for "all", so with --export-qasm the last write
   // (the file that survives) is Parallax's zero-SWAP circuit, as before.
   return {"static", "graphine", "eldi", "parallax"};
+}
+
+/// --benchmarks A,B,... when given, else the whole Table III suite.
+std::vector<std::string> benchmark_acronyms(const CliOptions& cli) {
+  std::vector<std::string> acronyms;
+  if (!cli.benchmarks_csv.empty()) {
+    std::string token;
+    for (const char c : cli.benchmarks_csv + ",") {
+      if (c == ',') {
+        if (!token.empty()) acronyms.push_back(token);
+        token.clear();
+      } else {
+        token.push_back(c);
+      }
+    }
+  } else {
+    for (const auto& info : parallax::bench_circuits::all_benchmarks()) {
+      acronyms.push_back(info.acronym);
+    }
+  }
+  return acronyms;
 }
 
 void report_cache_line(const parallax::sweep::Result& swept,
@@ -260,22 +412,7 @@ int run_cache_command(const CliOptions& cli, const char* argv0) {
   const auto& registry = parallax::technique::Registry::global();
   parallax::bench_circuits::GenOptions gen;
   gen.seed = cli.seed;
-  std::vector<std::string> acronyms;
-  if (!cli.benchmarks_csv.empty()) {
-    std::string token;
-    for (const char c : cli.benchmarks_csv + ",") {
-      if (c == ',') {
-        if (!token.empty()) acronyms.push_back(token);
-        token.clear();
-      } else {
-        token.push_back(c);
-      }
-    }
-  } else {
-    for (const auto& info : parallax::bench_circuits::all_benchmarks()) {
-      acronyms.push_back(info.acronym);
-    }
-  }
+  const std::vector<std::string> acronyms = benchmark_acronyms(cli);
   parallax::sweep::Options options;
   options.compile.seed = cli.seed;
   options.compile.scheduler.return_home = cli.home_return;
@@ -301,6 +438,147 @@ int run_cache_command(const CliOptions& cli, const char* argv0) {
   }
 }
 
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+bool read_file(const std::string& path, std::string& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  bytes = std::move(buffer).str();
+  return true;
+}
+
+int run_shard_plan(const CliOptions& cli, const char* argv0) {
+  namespace sh = parallax::shard;
+  const auto& registry = parallax::technique::Registry::global();
+  parallax::bench_circuits::GenOptions gen;
+  gen.seed = cli.seed;
+  sh::SweepSpec spec;
+  spec.circuits =
+      parallax::sweep::benchmark_circuits(benchmark_acronyms(cli), gen);
+  spec.techniques = technique_list(cli, registry);
+  spec.machines = {{cli.machine, machine_config(cli, argv0)}};
+  spec.options.compile.seed = cli.seed;
+  spec.options.compile.scheduler.return_home = cli.home_return;
+  spec.options.compile.discretize.spread_factor = cli.spread;
+  if (cli.shots) spec.options.shots = parallax::shots::ShotOptions{};
+
+  const auto shards = sh::plan(spec, cli.shards, registry);
+  std::error_code ec;
+  std::filesystem::create_directories(cli.out_dir, ec);
+  const std::size_t total = spec.total_cells();
+  std::printf("plan: %zu cells (%zu circuits x %zu techniques x %zu "
+              "machines), spec %s\n",
+              total, spec.circuits.size(), spec.techniques.size(),
+              spec.machines.size(), sh::spec_digest(spec).hex().c_str());
+  for (const auto& shard : shards) {
+    const auto range =
+        sh::shard_cell_range(total, shard.shard_count, shard.shard_index);
+    const std::string path =
+        (std::filesystem::path(cli.out_dir) /
+         ("shard-" + std::to_string(shard.shard_index) + ".spec"))
+            .string();
+    if (!write_file(path, sh::serialize_shard_spec(shard))) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("  %s  cells [%zu, %zu)\n", path.c_str(), range.begin,
+                range.end);
+  }
+  return 0;
+}
+
+int run_shard_run(const CliOptions& cli) {
+  namespace sh = parallax::shard;
+  std::string bytes;
+  if (!read_file(cli.spec_file, bytes)) {
+    std::fprintf(stderr, "cannot read shard spec %s\n",
+                 cli.spec_file.c_str());
+    return 1;
+  }
+  const sh::ShardSpec spec = sh::parse_shard_spec(bytes);
+  sh::RunnerOptions runner;
+  runner.n_threads = cli.threads;
+  runner.cache = open_cache(cli);
+  runner.provenance = cli.origin;
+  const sh::ShardRun executed = sh::run_shard(spec, runner);
+  std::size_t failed = 0;
+  for (const auto& cell : executed.cells) failed += cell.ok() ? 0 : 1;
+  if (!write_file(cli.out_file, sh::serialize_shard_run(executed))) {
+    std::fprintf(stderr, "cannot write %s\n", cli.out_file.c_str());
+    return 1;
+  }
+  std::printf("shard %u/%u: %zu cells (%zu failed) in %.1fs -> %s\n",
+              executed.shard_index, executed.shard_count,
+              executed.cells.size(), failed, executed.wall_seconds,
+              cli.out_file.c_str());
+  std::fprintf(stderr,
+               "anneals=%llu result_hits=%llu result_misses=%llu "
+               "placements_from_disk=%llu\n",
+               static_cast<unsigned long long>(executed.anneals),
+               static_cast<unsigned long long>(executed.result_cache_hits),
+               static_cast<unsigned long long>(executed.result_cache_misses),
+               static_cast<unsigned long long>(executed.placement_disk_hits));
+  return failed == 0 ? 0 : 1;
+}
+
+int run_shard_merge(const CliOptions& cli) {
+  namespace sh = parallax::shard;
+  std::vector<sh::ShardRun> runs;
+  runs.reserve(cli.inputs.size());
+  for (const auto& path : cli.inputs) {
+    std::string bytes;
+    if (!read_file(path, bytes)) {
+      std::fprintf(stderr, "cannot read shard run %s\n", path.c_str());
+      return 1;
+    }
+    runs.push_back(sh::parse_shard_run(bytes));
+  }
+  const std::size_t n_runs = runs.size();
+  const parallax::sweep::Result merged = sh::merge(std::move(runs));
+  std::size_t failed = 0;
+  std::size_t cached = 0;
+  for (const auto& cell : merged.cells) {
+    failed += cell.ok() ? 0 : 1;
+    cached += cell.from_cache ? 1 : 0;
+    if (!cell.ok()) {
+      std::fprintf(stderr, "failed cell %s/%s/%s (%s): %s\n",
+                   cell.circuit.c_str(), cell.technique.c_str(),
+                   cell.machine.c_str(),
+                   cell.origin.empty() ? "?" : cell.origin.c_str(),
+                   cell.error.c_str());
+    }
+  }
+  if (!write_file(cli.out_file, sh::canonical_bytes(merged))) {
+    std::fprintf(stderr, "cannot write %s\n", cli.out_file.c_str());
+    return 1;
+  }
+  std::printf("merged %zu cells from %zu shards (%zu failed, %zu served "
+              "from cache) -> %s\n",
+              merged.cells.size(), n_runs, failed, cached,
+              cli.out_file.c_str());
+  return failed == 0 ? 0 : 1;
+}
+
+int run_shard_command(const CliOptions& cli, const char* argv0) {
+  try {
+    if (cli.shard_command == "plan") return run_shard_plan(cli, argv0);
+    if (cli.shard_command == "run") return run_shard_run(cli);
+    return run_shard_merge(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "shard %s failed: %s\n", cli.shard_command.c_str(),
+                 error.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,6 +587,7 @@ int main(int argc, char** argv) {
   const technique::Registry& registry = technique::Registry::global();
 
   if (!cli.cache_command.empty()) return run_cache_command(cli, argv[0]);
+  if (!cli.shard_command.empty()) return run_shard_command(cli, argv[0]);
 
   if (cli.list_techniques) {
     for (const auto& name : registry.names()) {
