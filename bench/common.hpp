@@ -22,6 +22,15 @@
 //                           way a multi-host campaign would run it. Results
 //                           are byte-identical either way; this is the
 //                           harness-level exerciser of that guarantee.
+//   PARALLAX_SERVE=<path>   route every sweep to the long-lived
+//                           `parallax serve --socket <path>` service
+//                           instead of compiling in-process (serve/
+//                           client.hpp). The service's cache is the
+//                           session state, so every bench binary of a
+//                           warm session replays from result hits.
+//                           Sweeps with a per-cell customize hook cannot
+//                           be serialized and fall back to in-process
+//                           compilation (noted on stderr).
 #pragma once
 
 #include <algorithm>
@@ -33,6 +42,7 @@
 #include "bench_circuits/registry.hpp"
 #include "cache/cache.hpp"
 #include "hardware/config.hpp"
+#include "serve/client.hpp"
 #include "shard/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "util/stopwatch.hpp"
@@ -135,6 +145,32 @@ inline sweep::Result compile_suite(
     const std::vector<std::string>& circuits = benchmark_names(),
     const sweep::Options& options = sweep_options()) {
   const auto specs = sweep::benchmark_circuits(circuits, gen_options());
+  if (const char* socket = std::getenv("PARALLAX_SERVE");
+      socket != nullptr && socket[0] != '\0') {
+    if (options.customize) {
+      std::fprintf(stderr,
+                   "PARALLAX_SERVE: sweep has a process-local customize "
+                   "hook; compiling in-process instead\n");
+    } else {
+      // A misconfigured or dead service fails the bench loudly — silently
+      // compiling locally would misreport the session's warm-cache story.
+      try {
+        serve::Client client(socket);
+        shard::SweepSpec spec{specs, techniques, machines, options};
+        serve::ClientOutcome outcome = client.run(spec);
+        if (!outcome.summary.ok()) {
+          std::fprintf(stderr, "PARALLAX_SERVE request failed: %s\n",
+                       outcome.summary.error.c_str());
+          std::exit(1);
+        }
+        return std::move(outcome.result);
+      } catch (const serve::ServeError& error) {
+        std::fprintf(stderr, "PARALLAX_SERVE=%s: %s\n", socket,
+                     error.what());
+        std::exit(1);
+      }
+    }
+  }
   const std::uint32_t shards = sweep_shards();
   if (shards > 1) {
     // The multi-host campaign shape, in one process: partition the matrix,

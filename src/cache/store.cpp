@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "cache/serialize.hpp"
+#include "util/parse.hpp"
 
 namespace parallax::cache {
 
@@ -63,6 +64,33 @@ void remove_quietly(const fs::path& path) noexcept {
   fs::remove(path, ec);
 }
 
+struct IndexLine {
+  Digest128 key;
+  Kind kind = Kind::kPlacement;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Parses one "<32-hex> <kind> <payload_bytes>" index line, strictly.
+/// Returns nullopt for anything malformed — a torn line from an append that
+/// raced a concurrent process's compaction rename, hand-edited garbage, an
+/// unknown kind — so one bad line never discards the rest of the index.
+std::optional<IndexLine> parse_index_line(const std::string& line) {
+  std::istringstream in(line);
+  std::string hex, kind_token, bytes_token, extra;
+  if (!(in >> hex >> kind_token >> bytes_token) || (in >> extra)) {
+    return std::nullopt;
+  }
+  const auto key = Digest128::from_hex(hex);
+  const auto kind = util::parse_u32(kind_token);
+  const auto payload_bytes = util::parse_u64(bytes_token);
+  if (!key || !kind || !payload_bytes.has_value()) return std::nullopt;
+  if (*kind != static_cast<std::uint32_t>(Kind::kPlacement) &&
+      *kind != static_cast<std::uint32_t>(Kind::kResult)) {
+    return std::nullopt;
+  }
+  return IndexLine{*key, static_cast<Kind>(*kind), *payload_bytes};
+}
+
 }  // namespace
 
 const char* to_string(Kind kind) noexcept {
@@ -102,19 +130,20 @@ void Store::load_disk_usage() {
     std::map<Digest128, DiskList::iterator> seen;
     std::ifstream index(fs::path(options_.directory) / "index.log");
     if (index) {
-      std::string hex;
-      std::uint32_t kind = 0;
-      std::uint64_t payload_bytes = 0;
-      while (index >> hex >> kind >> payload_bytes) {
-        const auto key = Digest128::from_hex(hex);
-        if (!key) continue;
-        if (const auto it = seen.find(*key); it != seen.end()) {
+      // Line-by-line so one torn or malformed line (a concurrent process's
+      // append racing a compaction rename) skips that line only — a
+      // whole-stream parse would silently drop every entry after it.
+      std::string line;
+      while (std::getline(index, line)) {
+        const auto parsed = parse_index_line(line);
+        if (!parsed) continue;
+        if (const auto it = seen.find(parsed->key); it != seen.end()) {
           disk_order_.erase(it->second);  // re-put: refresh recency
           seen.erase(it);
         }
         disk_order_.push_back(
-            {*key, static_cast<Kind>(kind), kHeaderBytes + payload_bytes});
-        seen[*key] = std::prev(disk_order_.end());
+            {parsed->key, parsed->kind, kHeaderBytes + parsed->payload_bytes});
+        seen[parsed->key] = std::prev(disk_order_.end());
       }
     } else {
       // Index lost (e.g. user deleted it): the budget must still bound the
@@ -207,9 +236,15 @@ void Store::maybe_compact_index_locked() {
 
 void Store::compact_index_locked() {
   const fs::path index_path = fs::path(options_.directory) / "index.log";
+  // The tmp name carries pid AND a per-store counter: index_mutex_ is
+  // per-Store (in-process), so two Store instances on one directory — same
+  // pid, e.g. a serve session plus a CLI query — must not stage into the
+  // same tmp file and interleave their rewrites. The loser of the final
+  // rename race just leaves the winner's (equally valid) index in place.
   const fs::path tmp_path =
       fs::path(options_.directory) / "tmp" /
-      ("index." + std::to_string(static_cast<long long>(::getpid())) +
+      ("index." + std::to_string(static_cast<long long>(::getpid())) + "." +
+       std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed)) +
        ".tmp");
   {
     std::ofstream out(tmp_path, std::ios::trunc);
@@ -418,13 +453,12 @@ std::vector<Store::IndexEntry> Store::entries() const {
   const fs::path root(options_.directory);
   std::ifstream index(root / "index.log");
   if (index) {
-    std::string hex;
-    std::uint32_t kind = 0;
-    std::uint64_t bytes = 0;
-    while (index >> hex >> kind >> bytes) {
-      const auto key = Digest128::from_hex(hex);
-      if (!key) continue;  // malformed line: skip, don't fail
-      dedup[*key] = IndexEntry{*key, static_cast<Kind>(kind), bytes};
+    std::string line;
+    while (std::getline(index, line)) {
+      const auto parsed = parse_index_line(line);
+      if (!parsed) continue;  // malformed/torn line: skip, don't fail
+      dedup[parsed->key] =
+          IndexEntry{parsed->key, parsed->kind, parsed->payload_bytes};
     }
   } else {
     // Index lost (e.g. user deleted it): rebuild the listing from the

@@ -1,0 +1,59 @@
+// Client for a running `parallax serve` session. Submits a SweepSpec over
+// one connection, streams the cell frames back into a caller callback as
+// they arrive, and reassembles the flat circuit-major sweep::Result the
+// in-process sweep::run would have produced — for a fully-executed request
+// the reassembly is byte-identical under shard::canonical_bytes.
+//
+// This is what the bench harness speaks when PARALLAX_SERVE names a serve
+// socket, and what `parallax serve submit` wraps. One connection serves
+// many sequential run() calls (the warm-session pattern: the second run of
+// the same spec replays from the server's cache with zero anneals).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "shard/spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace parallax::serve {
+
+struct ClientOutcome {
+  /// Cells in flat circuit-major order. Cells the server never ran
+  /// (cancelled request) carry labels with Cell::cancelled set.
+  sweep::Result result;
+  Summary summary;
+};
+
+class Client {
+ public:
+  /// Connects to a serve unix socket (what PARALLAX_SERVE names). Throws
+  /// ServeError when the socket cannot be reached.
+  explicit Client(const std::string& socket_path);
+  /// Adopts an already-connected descriptor (tests hand in a socketpair
+  /// end; closed on destruction).
+  explicit Client(int connected_fd) noexcept : fd_(connected_fd) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submits `spec` and blocks until its kDone frame, invoking `on_cell`
+  /// (from this thread, in frame-arrival order) per streamed cell. Throws
+  /// ServeError on any connection or protocol failure, including a kError
+  /// response; a request-level failure the server completed politely is
+  /// returned in Summary::error instead.
+  ClientOutcome run(const shard::SweepSpec& spec,
+                    const std::function<void(const sweep::Cell&)>& on_cell = {});
+
+  /// Asks the server to stop this connection after in-flight work drains.
+  void quit();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t last_id_ = 0;
+};
+
+}  // namespace parallax::serve

@@ -1,0 +1,145 @@
+// Wire protocol for the sweep-serving layer.
+//
+// Requests travel client -> server as newline-terminated text lines, so a
+// request stream is greppable, scriptable (`printf ... | parallax serve`),
+// and trivially framed:
+//   SUBMIT <id> <hex>     submit a sweep; <hex> is the framed, checksummed
+//                         shard/spec.hpp sweep-spec serialization
+//                         (serialize_sweep_spec) in lowercase hex
+//   CANCEL <id>           cooperatively cancel an in-flight request
+//   QUIT                  stop after draining in-flight requests
+//
+// Responses travel server -> client as length-prefixed binary frames, each
+// a fixed 40-byte header (magic, version, type, request id, payload size,
+// 64-bit payload checksum) followed by the payload:
+//   kCell   one completed sweep cell (shard::encode_cell bytes), streamed
+//           as it finishes — completion order, not matrix order
+//   kDone   the request's completion summary; exactly one per request,
+//           after its last kCell frame
+//   kError  a rejected request line / unknown id / service failure; the
+//           connection survives (request id 0 when the line was too
+//           malformed to carry one)
+//
+// Malformed bytes in either direction throw ServeError (or cache::ReadError
+// from the nested codecs); the server converts per-line failures into
+// kError frames, while clients treat any response-side violation as fatal
+// for the connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "shard/spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace parallax::serve {
+
+/// Protocol-level failure: malformed frames, checksum mismatches, broken
+/// connections, or a server-reported request failure surfaced by a client.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bump to retire every peer speaking an older framing (encoding change).
+inline constexpr std::uint32_t kServeVersion = 1;
+
+enum class FrameType : std::uint32_t {
+  kCell = 1,
+  kDone = 2,
+  kError = 3,
+};
+
+/// Per-request completion summary — the kDone payload.
+struct Summary {
+  std::uint64_t total_cells = 0;
+  /// Cells that actually ran (cache hits and failed cells included).
+  std::uint64_t executed_cells = 0;
+  std::uint64_t failed_cells = 0;
+  /// Cells never started because the request was cancelled.
+  std::uint64_t cancelled_cells = 0;
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t result_cache_misses = 0;
+  std::uint64_t placement_disk_hits = 0;
+  /// Graphine anneals this request actually paid for — 0 for a request
+  /// fully served from the session cache.
+  std::uint64_t anneals = 0;
+  bool cancelled = false;
+  double wall_seconds = 0.0;
+  /// Non-empty when the request failed as a whole (unknown technique,
+  /// service shutdown) — per-cell compile errors live in the cells instead.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+// --- request lines (client -> server) -----------------------------------------
+
+struct RequestLine {
+  enum class Verb { kSubmit, kCancel, kQuit };
+  Verb verb = Verb::kQuit;
+  std::uint64_t id = 0;
+  /// kSubmit only.
+  shard::SweepSpec spec;
+};
+
+[[nodiscard]] std::string submit_line(std::uint64_t id,
+                                      const shard::SweepSpec& spec);
+[[nodiscard]] std::string cancel_line(std::uint64_t id);
+[[nodiscard]] std::string quit_line();
+
+/// Parses one request line (no trailing newline). Throws ServeError on an
+/// unknown verb, malformed id, or bad hex, and cache::ReadError /
+/// shard::ShardError from the spec payload itself.
+[[nodiscard]] RequestLine parse_request_line(std::string_view line);
+
+// --- response frames (server -> client) ---------------------------------------
+
+inline constexpr std::size_t kFrameHeaderBytes = 40;
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  std::uint64_t request_id = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// One decoded response frame; the payload field matching `type` is set.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint64_t request_id = 0;
+  sweep::Cell cell;     // kCell
+  Summary summary;      // kDone
+  std::string message;  // kError
+};
+
+[[nodiscard]] std::string cell_frame(std::uint64_t request_id,
+                                     const sweep::Cell& cell);
+[[nodiscard]] std::string done_frame(std::uint64_t request_id,
+                                     const Summary& summary);
+[[nodiscard]] std::string error_frame(std::uint64_t request_id,
+                                      std::string_view message);
+
+/// Parses exactly kFrameHeaderBytes of header. Throws ServeError on bad
+/// magic, version drift, an unknown type, or an implausible payload size.
+[[nodiscard]] FrameHeader parse_frame_header(std::string_view bytes);
+/// Validates the payload against its header (checksum) and decodes it.
+[[nodiscard]] Frame decode_frame(const FrameHeader& header,
+                                 std::string_view payload);
+
+// --- helpers ------------------------------------------------------------------
+
+[[nodiscard]] std::string hex_encode(std::string_view bytes);
+/// Strict: even length, hex digits only. nullopt otherwise.
+[[nodiscard]] std::optional<std::string> hex_decode(std::string_view hex);
+
+/// Full write with EINTR retry; uses send(MSG_NOSIGNAL) on sockets so a
+/// vanished peer is an error return, never a SIGPIPE kill.
+[[nodiscard]] bool write_all(int fd, std::string_view bytes);
+/// Appends exactly `n` bytes from fd to `out`; false on EOF or error.
+[[nodiscard]] bool read_exact(int fd, std::string& out, std::size_t n);
+
+}  // namespace parallax::serve

@@ -1,0 +1,256 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/parse.hpp"
+
+namespace parallax::serve {
+
+namespace {
+
+/// Shared sink for one connection's frames: worker threads (cell frames)
+/// and the dispatcher (done frames) interleave here, one frame at a time.
+/// The first failed write marks the peer dead; later frames are dropped and
+/// the injected on_dead hook cancels in-flight work exactly once.
+class FrameSink {
+ public:
+  explicit FrameSink(int fd) : fd_(fd) {}
+
+  void set_on_dead(std::function<void()> on_dead) {
+    on_dead_ = std::move(on_dead);
+  }
+
+  void write_frame(const std::string& frame) {
+    std::function<void()> notify;
+    {
+      std::lock_guard lock(mutex_);
+      if (dead_) return;
+      if (!write_all(fd_, frame)) {
+        dead_ = true;
+        notify = on_dead_;
+      }
+    }
+    if (notify) notify();
+  }
+
+  [[nodiscard]] bool dead() const {
+    std::lock_guard lock(mutex_);
+    return dead_;
+  }
+
+ private:
+  const int fd_;
+  mutable std::mutex mutex_;
+  bool dead_ = false;
+  std::function<void()> on_dead_;
+};
+
+/// Best-effort request id from a line that failed to parse, so the error
+/// frame still names the request when the id token itself was readable.
+std::uint64_t best_effort_id(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  std::string verb, id_token;
+  if (!(in >> verb >> id_token)) return 0;
+  return util::parse_u64(id_token).value_or(0);
+}
+
+}  // namespace
+
+std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
+                             const ServerOptions& options) {
+  FrameSink sink(out_fd);
+
+  // Tickets submitted on this connection: `inflight` powers CANCEL and
+  // duplicate-id rejection; `submitted` is what the teardown wait drains.
+  // `finished_early` closes the submit/on_done race: a request that
+  // completes before the submitting thread re-acquires the lock leaves a
+  // marker instead of an erase that found nothing, so the submitter knows
+  // not to park a completed ticket in `inflight` forever.
+  std::mutex tickets_mutex;
+  std::map<std::uint64_t, std::shared_ptr<Ticket>> inflight;
+  std::set<std::uint64_t> finished_early;
+  std::vector<std::shared_ptr<Ticket>> submitted;
+
+  sink.set_on_dead([&] {
+    // The peer stopped reading; nobody will see these cells. Cancel what
+    // is in flight so the session's pool goes back to idle.
+    std::lock_guard lock(tickets_mutex);
+    for (const auto& [id, ticket] : inflight) ticket->cancel();
+  });
+
+  const auto process_line = [&](const std::string& line) -> bool {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+    RequestLine request;
+    try {
+      request = parse_request_line(line);
+    } catch (const std::exception& error) {
+      sink.write_frame(error_frame(best_effort_id(line), error.what()));
+      return true;
+    }
+    switch (request.verb) {
+      case RequestLine::Verb::kQuit:
+        return false;
+      case RequestLine::Verb::kCancel: {
+        std::shared_ptr<Ticket> ticket;
+        {
+          std::lock_guard lock(tickets_mutex);
+          if (const auto it = inflight.find(request.id);
+              it != inflight.end()) {
+            ticket = it->second;
+          }
+        }
+        if (ticket) {
+          ticket->cancel();
+        } else {
+          sink.write_frame(error_frame(
+              request.id, "CANCEL names an unknown or completed request id"));
+        }
+        return true;
+      }
+      case RequestLine::Verb::kSubmit:
+        break;
+    }
+    const std::uint64_t id = request.id;
+    {
+      std::lock_guard lock(tickets_mutex);
+      if (inflight.count(id) != 0) {
+        sink.write_frame(
+            error_frame(id, "SUBMIT reuses an in-flight request id"));
+        return true;
+      }
+    }
+    auto ticket = service.submit(
+        std::move(request.spec),
+        [&sink, id](const sweep::Cell& cell) {
+          sink.write_frame(cell_frame(id, cell));
+        },
+        [&sink, &tickets_mutex, &inflight, &finished_early,
+         id](const Summary& summary) {
+          sink.write_frame(done_frame(id, summary));
+          std::lock_guard lock(tickets_mutex);
+          if (inflight.erase(id) == 0) finished_early.insert(id);
+        },
+        id);
+    {
+      std::lock_guard lock(tickets_mutex);
+      if (finished_early.erase(id) == 0) inflight[id] = ticket;
+      submitted.push_back(ticket);
+    }
+    if (sink.dead()) ticket->cancel();
+    return true;
+  };
+
+  std::string buffer;
+  char chunk[1 << 16];
+  bool discarding = false;  // inside an overlong line, dropping to newline
+  bool keep_reading = true;
+  while (keep_reading) {
+    for (;;) {
+      const std::size_t newline = buffer.find('\n');
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (discarding) {
+        discarding = false;  // the oversized line finally ended; drop it
+        continue;
+      }
+      if (!process_line(line)) {
+        keep_reading = false;
+        break;
+      }
+    }
+    if (!keep_reading) break;
+    if (discarding) {
+      // Still inside the oversized line: keep dropping so the buffer stays
+      // bounded no matter how much newline-free garbage streams in.
+      buffer.clear();
+    } else if (buffer.size() > options.max_line_bytes) {
+      // Only the first few tokens can matter for the error frame; never
+      // copy the oversized buffer to extract them.
+      sink.write_frame(
+          error_frame(best_effort_id(std::string_view(buffer).substr(0, 256)),
+                      "request line exceeds the size limit"));
+      buffer.clear();
+      discarding = true;
+    }
+    const ssize_t got = ::read(in_fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;  // EOF: drain outstanding work below, then return
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+
+  // Input is done (QUIT or EOF) but submitted requests may still be
+  // compiling; wait() returns only after each request's done frame was
+  // written, so returning from here cannot race a dangling sink.
+  std::vector<std::shared_ptr<Ticket>> to_drain;
+  {
+    std::lock_guard lock(tickets_mutex);
+    to_drain = submitted;
+  }
+  for (const auto& ticket : to_drain) (void)ticket->wait();
+  return to_drain.size();
+}
+
+bool serve_unix_socket(const std::string& path, SweepService& service,
+                       const ServerOptions& options) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return false;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    const int saved = errno;
+    ::close(listener);
+    errno = saved;
+    return false;
+  }
+  for (;;) {
+    const int connection = ::accept(listener, nullptr, nullptr);
+    if (connection < 0) {
+      if (errno == EINTR) continue;
+      // Surface the failure to the caller: a serve session that silently
+      // stopped accepting would strand the rest of a campaign.
+      const int saved = errno;
+      ::close(listener);
+      errno = saved;
+      return false;
+    }
+    // Bound every frame write: a connected-but-not-reading peer would
+    // otherwise block a worker in send() forever (the sink only detects
+    // peers whose writes FAIL), wedging this one-connection-at-a-time
+    // loop. With the timeout, a stalled send degrades into the handled
+    // dead-peer path and the session moves on.
+    if (options.write_timeout_seconds > 0) {
+      timeval timeout{};
+      timeout.tv_sec = static_cast<time_t>(options.write_timeout_seconds);
+      (void)::setsockopt(connection, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                         sizeof(timeout));
+    }
+    (void)serve_connection(connection, connection, service, options);
+    ::close(connection);
+  }
+}
+
+}  // namespace parallax::serve

@@ -1,0 +1,46 @@
+// The connection loop of `parallax serve`: line-framed requests in,
+// length-prefixed frames out, over any pair of file descriptors — stdio for
+// `parallax serve` in a pipeline, an accepted AF_UNIX connection for the
+// socket mode the bench harness targets through PARALLAX_SERVE.
+//
+// Fault containment: a malformed request line (bad verb, bad hex, corrupt
+// spec bytes, unknown cancel id, duplicate submit id, overlong line) is
+// answered with a kError frame and the connection keeps serving — only
+// QUIT, input EOF, or an unwritable output ends a connection. A client that
+// disappears mid-request (write failure) implicitly cancels its in-flight
+// work so the session's pool is not burned for a reader that is gone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace parallax::serve {
+
+struct ServerOptions {
+  /// Request lines longer than this are discarded (through the next
+  /// newline) with a kError frame; bounds the line buffer against a client
+  /// that streams garbage without newlines. The default comfortably fits a
+  /// paper-scale sweep spec in hex.
+  std::size_t max_line_bytes = 256ull << 20;
+  /// Socket mode only: SO_SNDTIMEO per frame write, so a connected peer
+  /// that stops reading stalls a worker for at most this long before the
+  /// write fails into the dead-peer path (in-flight work cancelled, next
+  /// connection accepted). 0 disables the bound.
+  std::size_t write_timeout_seconds = 60;
+};
+
+/// Serves one connection until QUIT, input EOF, or output failure; blocks
+/// until every request submitted on the connection has finished and its
+/// frames are written. Returns the number of requests submitted.
+std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
+                             const ServerOptions& options = {});
+
+/// Binds an AF_UNIX socket at `path` (replacing any stale socket file) and
+/// serves connections one at a time, forever. Returns false only when the
+/// socket cannot be created/bound/listened (errno describes why).
+bool serve_unix_socket(const std::string& path, SweepService& service,
+                       const ServerOptions& options = {});
+
+}  // namespace parallax::serve

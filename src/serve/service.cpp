@@ -1,0 +1,153 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "placement/graphine.hpp"
+
+namespace parallax::serve {
+
+Ticket::Ticket(std::uint64_t id, shard::SweepSpec spec,
+               std::function<void(const sweep::Cell&)> on_cell,
+               std::function<void(const Summary&)> on_done)
+    : id_(id),
+      spec_(std::move(spec)),
+      on_cell_(std::move(on_cell)),
+      on_done_(std::move(on_done)),
+      token_(std::make_shared<std::atomic<bool>>(false)) {}
+
+void Ticket::finish(Summary summary) {
+  {
+    std::lock_guard lock(mutex_);
+    summary_ = std::move(summary);
+  }
+  // on_done runs before wait() releases, so a waiter returning from wait()
+  // knows every frame/callback for this request has been written — the
+  // ordering the server relies on to tear a connection down safely.
+  if (on_done_) on_done_(summary_);
+  {
+    std::lock_guard lock(mutex_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+const Summary& Ticket::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return summary_;
+}
+
+bool Ticket::done() const {
+  std::lock_guard lock(mutex_);
+  return done_;
+}
+
+SweepService::SweepService(ServiceOptions options,
+                           const technique::Registry& registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      pool_(options_.n_threads) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+SweepService::~SweepService() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    // Queued and running requests finish as cancelled, fast — the
+    // dispatcher drains the queue before exiting, so every wait() releases.
+    for (const auto& ticket : queue_) ticket->cancel();
+    if (running_) running_->cancel();
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::shared_ptr<Ticket> SweepService::submit(
+    shard::SweepSpec spec, std::function<void(const sweep::Cell&)> on_cell,
+    std::function<void(const Summary&)> on_done, std::uint64_t id) {
+  std::shared_ptr<Ticket> ticket(new Ticket(
+      id, std::move(spec), std::move(on_cell), std::move(on_done)));
+  bool rejected = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      rejected = true;
+    } else {
+      queue_.push_back(ticket);
+    }
+  }
+  if (rejected) {
+    Summary summary;
+    summary.total_cells = ticket->spec_.total_cells();
+    summary.error = "sweep service is shutting down";
+    ticket->finish(std::move(summary));
+    return ticket;
+  }
+  cv_.notify_all();
+  return ticket;
+}
+
+void SweepService::dispatch_loop() {
+  for (;;) {
+    std::shared_ptr<Ticket> ticket;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      ticket = queue_.front();
+      queue_.pop_front();
+      running_ = ticket;
+    }
+    Summary summary = execute(*ticket);
+    {
+      std::lock_guard lock(mutex_);
+      running_.reset();
+    }
+    ticket->finish(std::move(summary));
+  }
+}
+
+Summary SweepService::execute(Ticket& ticket) {
+  Summary summary;
+  summary.total_cells = ticket.spec_.total_cells();
+  if (ticket.token_->load(std::memory_order_relaxed)) {
+    // Cancelled while queued: never touch the matrix.
+    summary.cancelled = true;
+    summary.cancelled_cells = summary.total_cells;
+    return summary;
+  }
+
+  sweep::Options options = ticket.spec_.options;
+  options.pool = &pool_;
+  options.cache = options_.cache;
+  options.on_cell = ticket.on_cell_;
+  options.cancel = ticket.token_;
+
+  const std::uint64_t anneals_before = placement::annealing_invocations();
+  try {
+    const sweep::Result result =
+        sweep::run(ticket.spec_.circuits, ticket.spec_.techniques,
+                   ticket.spec_.machines, options, registry_);
+    summary.anneals = placement::annealing_invocations() - anneals_before;
+    summary.cancelled = result.cancelled;
+    summary.result_cache_hits = result.result_cache_hits;
+    summary.result_cache_misses = result.result_cache_misses;
+    summary.placement_disk_hits = result.placement_disk_hits;
+    summary.wall_seconds = result.wall_seconds;
+    for (const auto& cell : result.cells) {
+      if (cell.cancelled) {
+        ++summary.cancelled_cells;
+      } else if (!cell.skipped) {
+        ++summary.executed_cells;
+        if (!cell.ok()) ++summary.failed_cells;
+      }
+    }
+  } catch (const std::exception& error) {
+    summary.anneals = placement::annealing_invocations() - anneals_before;
+    summary.error = error.what();
+  }
+  return summary;
+}
+
+}  // namespace parallax::serve

@@ -1,0 +1,127 @@
+// The long-lived sweep-serving session: one SweepService owns one
+// cache::CompilationCache (the session state) and one persistent
+// util::ThreadPool, and executes submitted SweepSpecs through sweep::run,
+// streaming each Cell to the submitter's callback as it completes.
+//
+// Why a service beats a batch job: the cache makes requests incremental
+// across the session (and across restarts, through its disk tier). A
+// request that overlaps an earlier one is served from whole-cell result
+// hits — zero anneals, byte-identical cells — and the cache's in-memory LRU
+// doubles as the hot working set. Cancellation is cooperative and cheap:
+// cells not yet started never run, so aborting an in-flight request costs
+// at most one cell's compile time.
+//
+// Execution model: requests run one at a time, FIFO, on a dedicated
+// dispatcher thread; each request's cells fan out across the shared pool.
+// Serializing requests is deliberate — overlapping sweeps would fight for
+// the same cores, and the second of two overlapping requests is exactly the
+// case the result cache turns into a no-compute replay.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "cache/cache.hpp"
+#include "serve/protocol.hpp"
+#include "shard/spec.hpp"
+#include "sweep/sweep.hpp"
+#include "technique/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parallax::serve {
+
+struct ServiceOptions {
+  /// Persistent worker threads; 0 selects hardware concurrency.
+  std::size_t n_threads = 0;
+  /// The session state. Null serves every request cold (still correct —
+  /// only the overlap-replay property is lost).
+  std::shared_ptr<cache::CompilationCache> cache;
+};
+
+/// Handle to one submitted request. Thread-safe.
+class Ticket {
+ public:
+  /// Requests cooperative cancellation: cells not yet started are skipped;
+  /// the in-flight cell (if any) completes. Idempotent, callable from any
+  /// thread, including from the request's own on_cell callback.
+  void cancel() noexcept { token_->store(true, std::memory_order_relaxed); }
+
+  /// Blocks until the request finished (completed, failed, or cancelled).
+  /// By then every on_cell/on_done callback has returned.
+  const Summary& wait();
+
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class SweepService;
+
+  Ticket(std::uint64_t id, shard::SweepSpec spec,
+         std::function<void(const sweep::Cell&)> on_cell,
+         std::function<void(const Summary&)> on_done);
+  /// Publishes the summary: runs on_done, then releases wait()ers.
+  void finish(Summary summary);
+
+  const std::uint64_t id_;
+  shard::SweepSpec spec_;
+  std::function<void(const sweep::Cell&)> on_cell_;
+  std::function<void(const Summary&)> on_done_;
+  std::shared_ptr<std::atomic<bool>> token_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Summary summary_;
+};
+
+class SweepService {
+ public:
+  explicit SweepService(
+      ServiceOptions options = {},
+      const technique::Registry& registry = technique::Registry::global());
+  /// Cancels the in-flight request and the queue (their waiters all
+  /// release, summaries marked cancelled), then joins the dispatcher.
+  ~SweepService();
+
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Enqueues a request. Never blocks on compilation. `on_cell` fires once
+  /// per executed cell from worker threads (see sweep::Options::on_cell for
+  /// the concurrency contract); `on_done` fires exactly once, from the
+  /// dispatcher thread, after the last on_cell and before wait() releases.
+  /// `id` is an opaque caller label carried into Ticket::id().
+  std::shared_ptr<Ticket> submit(
+      shard::SweepSpec spec,
+      std::function<void(const sweep::Cell&)> on_cell = {},
+      std::function<void(const Summary&)> on_done = {}, std::uint64_t id = 0);
+
+  [[nodiscard]] const std::shared_ptr<cache::CompilationCache>& cache()
+      const noexcept {
+    return options_.cache;
+  }
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+
+ private:
+  void dispatch_loop();
+  [[nodiscard]] Summary execute(Ticket& ticket);
+
+  ServiceOptions options_;
+  const technique::Registry& registry_;
+  util::ThreadPool pool_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Ticket>> queue_;
+  std::shared_ptr<Ticket> running_;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace parallax::serve

@@ -115,6 +115,21 @@ void fold_sweep_accounting(ShardRun& run, const sweep::Result& swept) {
 
 }  // namespace
 
+void encode_cell(Writer& writer, const sweep::Cell& cell) {
+  encode_cell_canonical(writer, cell);
+  writer.str(cell.origin);
+  writer.boolean(cell.from_cache);
+  writer.f64(cell.compile_seconds);
+}
+
+sweep::Cell decode_cell(Reader& reader) {
+  sweep::Cell cell = decode_cell_canonical(reader);
+  cell.origin = reader.str();
+  cell.from_cache = reader.boolean();
+  cell.compile_seconds = reader.f64();
+  return cell;
+}
+
 CellRange shard_cell_range(std::size_t total_cells, std::uint32_t shard_count,
                            std::uint32_t shard_index) {
   if (shard_count == 0) throw ShardError("shard_count must be at least 1");
@@ -327,12 +342,7 @@ std::string serialize_shard_run(const ShardRun& run) {
   writer.u64(run.n_techniques);
   writer.u64(run.n_machines);
   writer.u64(run.cells.size());
-  for (const auto& cell : run.cells) {
-    encode_cell_canonical(writer, cell);
-    writer.str(cell.origin);
-    writer.boolean(cell.from_cache);
-    writer.f64(cell.compile_seconds);
-  }
+  for (const auto& cell : run.cells) encode_cell(writer, cell);
   writer.f64(run.wall_seconds);
   writer.u64(run.threads_used);
   writer.u64(run.placement_cache_hits);
@@ -365,10 +375,9 @@ ShardRun parse_shard_run(std::string_view bytes) {
   }
   run.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
-    sweep::Cell cell = decode_cell_canonical(reader);
-    cell.origin = reader.str();
-    cell.from_cache = reader.boolean();
-    cell.compile_seconds = reader.f64();
+    // Qualified: ADL on cache::Reader would also find cache::decode_cell
+    // (the CachedCell codec) and make the call ambiguous.
+    sweep::Cell cell = shard::decode_cell(reader);
     if (cell.circuit_index >= run.n_circuits ||
         cell.technique_index >= run.n_techniques ||
         cell.machine_index >= run.n_machines) {

@@ -149,6 +149,17 @@ struct ShardRun {
 /// observations, cache accounting, and provenance.
 [[nodiscard]] std::string canonical_bytes(const sweep::Result& result);
 
+// --- per-cell wire codec ------------------------------------------------------
+
+/// One executed cell on the wire: the canonical content (labels, indices,
+/// error, result, success probability, shot plans) plus execution metadata
+/// (origin, from_cache, compile_seconds). This is the per-cell record of
+/// shard-run files and of the serve layer's streamed cell frames.
+void encode_cell(cache::Writer& writer, const sweep::Cell& cell);
+/// Throws cache::ReadError on malformed bytes. Index plausibility is the
+/// caller's job (the decoded indices are file-supplied).
+[[nodiscard]] sweep::Cell decode_cell(cache::Reader& reader);
+
 // --- shard-run file round trip (what `parallax shard run` writes) -------------
 
 [[nodiscard]] std::string serialize_shard_run(const ShardRun& run);

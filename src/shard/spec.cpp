@@ -294,6 +294,22 @@ std::string unframe_payload(FileKind kind, std::string_view bytes) {
   return payload;
 }
 
+std::string serialize_sweep_spec(const SweepSpec& spec) {
+  return frame_payload(FileKind::kSweepSpec, sweep_spec_payload(spec));
+}
+
+SweepSpec parse_sweep_spec(std::string_view bytes) {
+  const std::string payload = unframe_payload(FileKind::kSweepSpec, bytes);
+  Reader reader(payload);
+  SweepSpec spec = decode_sweep_spec(reader);
+  reader.expect_end();
+  if (spec.circuits.empty() || spec.techniques.empty() ||
+      spec.machines.empty()) {
+    throw ShardError("sweep spec has an empty matrix axis");
+  }
+  return spec;
+}
+
 std::string serialize_shard_spec(const ShardSpec& spec) {
   if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
     throw ShardError("shard spec has shard_index outside [0, shard_count)");

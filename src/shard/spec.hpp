@@ -97,7 +97,20 @@ void encode_machine(cache::Writer& writer, const sweep::MachineSpec& machine);
 enum class FileKind : std::uint32_t {
   kShardSpec = 1,
   kShardRun = 2,
+  /// A whole (unsharded) sweep spec: the serve layer's request payload and
+  /// what `parallax serve spec` writes.
+  kSweepSpec = 3,
 };
+
+/// Framed, checksummed whole-sweep spec bytes — the request format the
+/// serve layer accepts (and the `parallax serve spec` file format). Same
+/// integrity contract as shard specs: any truncation, bit flip, or version
+/// drift throws cache::ReadError on parse. Throws ShardError for
+/// non-serializable options (customize / cell_filter).
+[[nodiscard]] std::string serialize_sweep_spec(const SweepSpec& spec);
+/// Parses and validates framed sweep-spec bytes; throws cache::ReadError on
+/// corruption and ShardError on an empty matrix axis.
+[[nodiscard]] SweepSpec parse_sweep_spec(std::string_view bytes);
 
 /// Wraps payload bytes in the shard file header (magic, version, kind,
 /// size, checksum64).

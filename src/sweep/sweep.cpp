@@ -6,6 +6,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -177,33 +178,19 @@ Result run(const std::vector<CircuitSpec>& circuits,
   std::atomic<std::size_t> result_cache_hits{0};
   std::atomic<std::size_t> result_cache_misses{0};
 
-  util::ThreadPool pool(options.n_threads);
-  sweep_result.threads_used = pool.size();
+  // The serve layer lends its persistent pool across requests; everyone
+  // else gets a private pool for this run.
+  std::optional<util::ThreadPool> owned_pool;
+  util::ThreadPool* const pool = options.pool != nullptr
+                                     ? options.pool
+                                     : &owned_pool.emplace(options.n_threads);
+  sweep_result.threads_used = pool->size();
 
-  const auto run_cell = [&](std::size_t flat) {
-    const std::size_t per_circuit = techniques.size() * machines.size();
-    const std::size_t ci = flat / per_circuit;
-    const std::size_t ti = (flat % per_circuit) / machines.size();
-    const std::size_t mi = flat % machines.size();
-    const CircuitSpec& spec = circuits[ci];
-    const MachineSpec& machine = machines[mi];
-
-    Cell& cell = sweep_result.cells[flat];
-    cell.circuit = spec.name;
-    cell.technique = techniques[ti];
-    cell.machine = machine.name;
-    cell.circuit_index = ci;
-    cell.technique_index = ti;
-    cell.machine_index = mi;
-
-    if (options.cell_filter && !options.cell_filter(flat)) {
-      cell.skipped = true;
-      return;
-    }
-    cell.origin = options.provenance;
-
-    const Stopwatch cell_watch;
-    try {
+  // The compile body proper, minus the per-cell bookkeeping that must also
+  // run on its early returns (timing, the on_cell streaming hook).
+  const auto compile_cell = [&](Cell& cell, std::size_t ci,
+                                const CircuitSpec& spec,
+                                const MachineSpec& machine) {
       pipeline::CompileOptions opts = options.compile;
       if (options.customize) {
         options.customize(cell.circuit, cell.technique, cell.machine, opts);
@@ -268,7 +255,6 @@ Result run(const std::vector<CircuitSpec>& circuits,
             cell.result.pass_timings.push_back({pass, 0.0, true});
           }
           result_cache_hits.fetch_add(1, std::memory_order_relaxed);
-          cell.compile_seconds = cell_watch.seconds();
           return;
         }
         result_cache_misses.fetch_add(1, std::memory_order_relaxed);
@@ -343,13 +329,51 @@ Result run(const std::vector<CircuitSpec>& circuits,
         stored.shot_plans = cell.shot_plans;
         persistent->put_result(cell_key, stored);
       }
+  };
+
+  const auto run_cell = [&](std::size_t flat) {
+    const std::size_t per_circuit = techniques.size() * machines.size();
+    const std::size_t ci = flat / per_circuit;
+    const std::size_t ti = (flat % per_circuit) / machines.size();
+    const std::size_t mi = flat % machines.size();
+    const CircuitSpec& spec = circuits[ci];
+    const MachineSpec& machine = machines[mi];
+
+    Cell& cell = sweep_result.cells[flat];
+    cell.circuit = spec.name;
+    cell.technique = techniques[ti];
+    cell.machine = machine.name;
+    cell.circuit_index = ci;
+    cell.technique_index = ti;
+    cell.machine_index = mi;
+
+    if (options.cell_filter && !options.cell_filter(flat)) {
+      cell.skipped = true;
+      return;
+    }
+    if (options.cancel && options.cancel->load(std::memory_order_relaxed)) {
+      cell.cancelled = true;
+      return;
+    }
+    cell.origin = options.provenance;
+
+    const Stopwatch cell_watch;
+    try {
+      compile_cell(cell, ci, spec, machine);
     } catch (const std::exception& error) {
       cell.error = error.what();
     }
     cell.compile_seconds = cell_watch.seconds();
+    if (options.on_cell) options.on_cell(cell);
   };
 
-  pool.parallel_for(sweep_result.cells.size(), run_cell);
+  pool->parallel_for(sweep_result.cells.size(), run_cell);
+  for (const Cell& cell : sweep_result.cells) {
+    if (cell.cancelled) {
+      sweep_result.cancelled = true;
+      break;
+    }
+  }
   sweep_result.placement_disk_hits = placement_disk_hits.load();
   sweep_result.result_cache_hits = result_cache_hits.load();
   sweep_result.result_cache_misses = result_cache_misses.load();

@@ -17,6 +17,7 @@
 //     the rest of the sweep completes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,7 +34,13 @@
 #include "shots/parallelize.hpp"
 #include "technique/registry.hpp"
 
+namespace parallax::util {
+class ThreadPool;
+}  // namespace parallax::util
+
 namespace parallax::sweep {
+
+struct Cell;
 
 /// One circuit of the sweep matrix, with the label results are keyed by.
 struct CircuitSpec {
@@ -95,6 +102,27 @@ struct Options {
   /// merged multi-host campaign say where they ran. Not part of a cell's
   /// identity: canonical serializations exclude it, like pass timings.
   std::string provenance;
+  /// Streaming hook: invoked once per executed cell (cache hits and error
+  /// cells included; filtered/cancelled cells excluded) as the cell
+  /// completes, from whichever worker thread ran it — callbacks for
+  /// different cells may overlap, so the callee serializes its own output.
+  /// The referenced Cell is fully populated and lives in the Result this
+  /// run() eventually returns. Must not throw. Runtime-only: never part of
+  /// a serialized spec, never part of a cell's identity.
+  std::function<void(const Cell& cell)> on_cell;
+  /// Cooperative cancellation token. Checked once before each cell starts:
+  /// when set to true, cells not yet started are marked Cell::cancelled and
+  /// skipped, in-flight cells run to completion, and run() returns the
+  /// partial Result with Result::cancelled set — so cancelling an in-flight
+  /// sweep costs at most one cell's compile time. Runtime-only, like
+  /// on_cell.
+  std::shared_ptr<std::atomic<bool>> cancel;
+  /// Borrowed worker pool. When set, run() fans cells across it instead of
+  /// constructing a private pool (n_threads is then ignored) — the serve
+  /// layer keeps one persistent pool across requests. Must not be called
+  /// from one of the pool's own worker threads (the fan-out blocks its
+  /// caller). Runtime-only.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// One (circuit, technique, machine) result.
@@ -116,6 +144,9 @@ struct Cell {
   bool from_cache = false;
   /// Options::cell_filter excluded this cell: labels are set, nothing ran.
   bool skipped = false;
+  /// Options::cancel fired before this cell started: labels are set,
+  /// nothing ran, and Options::on_cell was not invoked for it.
+  bool cancelled = false;
   /// Where the cell was computed (Options::provenance) — "" for plain
   /// in-process sweeps, "shard-K/N@host" under the shard runner. Carried by
   /// error cells too, so a failed cell of a merged campaign names its shard.
@@ -132,6 +163,9 @@ struct Result {
   std::vector<Cell> cells;
   double wall_seconds = 0.0;
   std::size_t threads_used = 0;
+  /// Options::cancel fired before every cell completed; cells carry
+  /// per-cell `cancelled` flags.
+  bool cancelled = false;
   std::size_t placement_cache_hits = 0;
   std::size_t placement_cache_misses = 0;
   std::size_t transpile_cache_hits = 0;

@@ -1,0 +1,51 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+
+namespace parallax::util {
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_whole(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* const begin = text.data();
+  const char* const end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  // Signs are rejected up front (from_chars already refuses '+', and '-'
+  // must never wrap into a huge unsigned value).
+  if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+    return std::nullopt;
+  }
+  return parse_whole<std::uint64_t>(text);
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view text) {
+  const auto wide = parse_u64(text);
+  if (!wide || *wide > 0xffffffffull) return std::nullopt;
+  return static_cast<std::uint32_t>(*wide);
+}
+
+std::optional<std::int32_t> parse_i32(std::string_view text) {
+  return parse_whole<std::int32_t>(text);
+}
+
+std::optional<double> parse_f64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* const begin = text.data();
+  const char* const end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace parallax::util

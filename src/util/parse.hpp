@@ -1,0 +1,28 @@
+// Strict numeric parsing for untrusted text (CLI flag values, request
+// lines). Unlike std::atoi/std::strtoull — which silently yield 0 for
+// garbage and accept trailing junk — these helpers succeed only when the
+// whole string is one well-formed number in range, so `--aod-count banana`
+// is a reported error, never a silent 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace parallax::util {
+
+/// Whole-string decimal unsigned parse; nullopt on empty input, sign,
+/// non-digits, trailing garbage, or overflow.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// parse_u64 narrowed; nullopt when the value exceeds uint32.
+[[nodiscard]] std::optional<std::uint32_t> parse_u32(std::string_view text);
+
+/// Whole-string decimal signed parse; nullopt outside int32 or on garbage.
+[[nodiscard]] std::optional<std::int32_t> parse_i32(std::string_view text);
+
+/// Whole-string floating-point parse (fixed or scientific); nullopt on
+/// garbage, trailing characters, or values that do not fit a double.
+[[nodiscard]] std::optional<double> parse_f64(std::string_view text);
+
+}  // namespace parallax::util

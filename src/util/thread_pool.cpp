@@ -46,7 +46,19 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&f, i] { f(i); }));
   }
-  for (auto& fut : futures) fut.get();
+  // Drain every future before rethrowing: the queued tasks capture `f` by
+  // reference, so propagating the first exception while later tasks are
+  // still queued/running would let them race a dangling reference (and a
+  // caller's frame). The first failure wins; later ones are swallowed.
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace parallax::util

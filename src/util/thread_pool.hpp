@@ -39,6 +39,9 @@ class ThreadPool {
   }
 
   /// Runs `f(i)` for i in [0, n) across the pool and blocks until all done.
+  /// If any invocation throws, every task still runs to completion (or
+  /// throws itself) before the first exception is rethrown here — `f` is
+  /// never referenced after parallel_for returns.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }

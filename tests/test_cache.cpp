@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/fingerprint.hpp"
@@ -735,4 +736,69 @@ TEST(SweepCache, PassTimingsSurfacedInCells) {
     }
   }
   EXPECT_EQ(cached_placements, 1);
+}
+
+// --- index.log robustness (concurrent writers) --------------------------------
+
+TEST(StoreIndex, MalformedAndTornLinesAreSkippedNotFatal) {
+  const std::string dir = fresh_dir("index_torn");
+  {
+    pc::CompilationCache cache({.directory = dir});
+    cache.put_placement(salted_key(0), small_topology());
+    cache.put_placement(salted_key(1), small_topology());
+  }
+  // Inject junk between the two real lines: a torn append (a writer that
+  // raced another process's compaction rename), free-form garbage, and a
+  // line whose numeric fields do not parse. A whole-stream `>>` parse used
+  // to go into a fail state at the first bad token and silently drop every
+  // entry after it.
+  const fs::path index_path = fs::path(dir) / "index.log";
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(index_path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  {
+    std::ofstream out(index_path, std::ios::trunc);
+    out << lines[0] << '\n';
+    out << "deadbeef\n";                          // torn mid-append
+    out << "this is not an index line at all\n";  // free-form garbage
+    out << salted_key(0).hex() << " banana 12\n";  // unparseable kind
+    out << salted_key(0).hex() << " 1 -5\n";       // negative size
+    out << lines[1] << '\n';
+  }
+  pc::CompilationCache cache({.directory = dir});
+  EXPECT_EQ(cache.entries().size(), 2u);
+  EXPECT_TRUE(cache.get_placement(salted_key(0)).has_value());
+  EXPECT_TRUE(cache.get_placement(salted_key(1)).has_value());
+}
+
+TEST(StoreIndex, BudgetedReloadTracksEntriesPastATornLine) {
+  const std::string dir = fresh_dir("index_torn_budget");
+  const std::string payload = pc::serialize_topology(small_topology());
+  {
+    pc::CompilationCache cache({.directory = dir});
+    cache.put_placement(salted_key(0), small_topology());
+    cache.put_placement(salted_key(1), small_topology());
+  }
+  const fs::path index_path = fs::path(dir) / "index.log";
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(index_path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  {
+    std::ofstream out(index_path, std::ios::trunc);
+    out << lines[0] << '\n' << "garbage line\n" << lines[1] << '\n';
+  }
+  // A budgeted open must account for BOTH files: losing the entry behind
+  // the torn line would under-count usage and let the directory outgrow
+  // its budget.
+  pc::CompilationCache cache(
+      {.directory = dir, .max_disk_bytes = 10 * (32 + payload.size())});
+  EXPECT_EQ(cache.stats().store.disk_bytes, 2 * (32 + payload.size()));
 }

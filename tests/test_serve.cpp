@@ -1,0 +1,588 @@
+// Serve-layer tests. The acceptance core: a repeated SweepSpec submitted to
+// a warm SweepService streams cells that reassemble byte-identically (under
+// shard::canonical_bytes) to the plain in-process sweep::run output, with
+// zero annealing invocations; cancelling an in-flight request stops before
+// completing all cells. Around it: request-line and frame codec round trips
+// with corruption rejection, the sweep core's on_cell/cancel/pool hooks,
+// and the connection loop's fault containment (malformed frames answered
+// with kError, the service keeps serving).
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/serialize.hpp"
+#include "hardware/config.hpp"
+#include "placement/graphine.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "shard/shard.hpp"
+#include "shard/spec.hpp"
+#include "sweep/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fs = std::filesystem;
+namespace pc = parallax::cache;
+namespace pcir = parallax::circuit;
+namespace ph = parallax::hardware;
+namespace ppl = parallax::placement;
+namespace pu = parallax::util;
+namespace sh = parallax::shard;
+namespace sv = parallax::serve;
+namespace sw = parallax::sweep;
+
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("parallax_serve_" + tag + "_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+pcir::Circuit ghz(std::int32_t n, const std::string& name) {
+  pcir::Circuit c(n, name);
+  c.h(0);
+  for (std::int32_t q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  return c;
+}
+
+/// 3 circuits x 2 techniques x 1 machine = 6 cells, annealing kept cheap.
+sh::SweepSpec small_spec() {
+  sh::SweepSpec spec;
+  spec.circuits = {{"ghz8", ghz(8, "ghz8")},
+                   {"ghz6", ghz(6, "ghz6")},
+                   {"ghz5", ghz(5, "ghz5")}};
+  spec.techniques = {"parallax", "static"};
+  const auto config = ph::HardwareConfig::quera_aquila_256();
+  spec.machines = {{config.name, config}};
+  spec.options.compile.placement.anneal_iterations = 120;
+  spec.options.compile.placement.local_search_evaluations = 80;
+  return spec;
+}
+
+/// Reassembles streamed cells into the flat circuit-major Result shape
+/// (what the client does), for canonical-bytes comparison.
+sw::Result assemble(const sh::SweepSpec& spec,
+                    const std::vector<sw::Cell>& cells) {
+  sw::Result result;
+  result.cells.resize(spec.total_cells());
+  for (const auto& cell : cells) {
+    const std::size_t flat =
+        (cell.circuit_index * spec.techniques.size() + cell.technique_index) *
+            spec.machines.size() +
+        cell.machine_index;
+    result.cells.at(flat) = cell;
+  }
+  return result;
+}
+
+/// Thread-safe on_cell collector.
+struct CellCollector {
+  std::mutex mutex;
+  std::vector<sw::Cell> cells;
+  std::function<void(const sw::Cell&)> callback() {
+    return [this](const sw::Cell& cell) {
+      std::lock_guard lock(mutex);
+      cells.push_back(cell);
+    };
+  }
+};
+
+/// Reads one response frame from fd (blocking).
+sv::Frame read_frame(int fd) {
+  std::string header_bytes;
+  EXPECT_TRUE(sv::read_exact(fd, header_bytes, sv::kFrameHeaderBytes));
+  const sv::FrameHeader header = sv::parse_frame_header(header_bytes);
+  std::string payload;
+  EXPECT_TRUE(sv::read_exact(fd, payload,
+                             static_cast<std::size_t>(header.payload_size)));
+  return sv::decode_frame(header, payload);
+}
+
+}  // namespace
+
+// --- protocol: request lines --------------------------------------------------
+
+TEST(ServeProtocol, SubmitLineRoundTrips) {
+  const sh::SweepSpec spec = small_spec();
+  std::string line = sv::submit_line(42, spec);
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  const sv::RequestLine parsed = sv::parse_request_line(line);
+  EXPECT_EQ(parsed.verb, sv::RequestLine::Verb::kSubmit);
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(sh::spec_digest(parsed.spec), sh::spec_digest(spec));
+}
+
+TEST(ServeProtocol, CancelAndQuitLinesRoundTrip) {
+  EXPECT_EQ(sv::parse_request_line("CANCEL 7").verb,
+            sv::RequestLine::Verb::kCancel);
+  EXPECT_EQ(sv::parse_request_line("CANCEL 7").id, 7u);
+  EXPECT_EQ(sv::parse_request_line("QUIT").verb, sv::RequestLine::Verb::kQuit);
+}
+
+TEST(ServeProtocol, MalformedRequestLinesAreRejected) {
+  EXPECT_THROW((void)sv::parse_request_line(""), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("FROBNICATE 1 aa"),
+               sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("SUBMIT banana aa"),
+               sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("SUBMIT -3 aa"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("SUBMIT 1 nothex!"),
+               sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("SUBMIT 1 abc"),  // odd length
+               sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("SUBMIT 1"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("CANCEL"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("CANCEL 1 2"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("QUIT now"), sv::ServeError);
+  // Well-formed hex, corrupt payload underneath.
+  EXPECT_THROW((void)sv::parse_request_line("SUBMIT 1 deadbeef"),
+               pc::ReadError);
+}
+
+TEST(ServeProtocol, CorruptSpecPayloadIsRejectedNotDecoded) {
+  const sh::SweepSpec spec = small_spec();
+  std::string bytes = sh::serialize_sweep_spec(spec);
+  EXPECT_EQ(sh::spec_digest(sh::parse_sweep_spec(bytes)),
+            sh::spec_digest(spec));
+  // Any single flipped byte must fail parse, never decode garbage.
+  for (const std::size_t pos :
+       {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    EXPECT_THROW((void)sh::parse_sweep_spec(corrupt), pc::ReadError);
+  }
+  // Truncation.
+  EXPECT_THROW((void)sh::parse_sweep_spec(
+                   std::string_view(bytes).substr(0, bytes.size() - 3)),
+               pc::ReadError);
+  // A shard spec is not a sweep spec (kind mismatch).
+  EXPECT_THROW(
+      (void)sh::parse_sweep_spec(sh::serialize_shard_spec({spec, 0, 2})),
+      pc::ReadError);
+}
+
+TEST(ServeProtocol, HexRoundTrips) {
+  const std::string bytes("\x00\x7f\xff\x10 hello", 9);
+  const auto decoded = sv::hex_decode(sv::hex_encode(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bytes);
+  EXPECT_FALSE(sv::hex_decode("abc").has_value());
+  EXPECT_FALSE(sv::hex_decode("zz").has_value());
+  EXPECT_TRUE(sv::hex_decode("AbCd").has_value());
+}
+
+// --- protocol: response frames ------------------------------------------------
+
+TEST(ServeProtocol, FramesRoundTrip) {
+  sw::Cell cell;
+  cell.circuit = "ghz8";
+  cell.technique = "parallax";
+  cell.machine = "quera-256";
+  cell.circuit_index = 2;
+  cell.technique_index = 1;
+  cell.origin = "serve-test";
+  cell.from_cache = true;
+  cell.compile_seconds = 0.25;
+  const std::string bytes = sv::cell_frame(9, cell);
+  const auto header = sv::parse_frame_header(
+      std::string_view(bytes).substr(0, sv::kFrameHeaderBytes));
+  const sv::Frame frame = sv::decode_frame(
+      header, std::string_view(bytes).substr(sv::kFrameHeaderBytes));
+  EXPECT_EQ(frame.type, sv::FrameType::kCell);
+  EXPECT_EQ(frame.request_id, 9u);
+  EXPECT_EQ(frame.cell.circuit, "ghz8");
+  EXPECT_EQ(frame.cell.circuit_index, 2u);
+  EXPECT_TRUE(frame.cell.from_cache);
+  EXPECT_EQ(frame.cell.origin, "serve-test");
+
+  sv::Summary summary;
+  summary.total_cells = 6;
+  summary.executed_cells = 4;
+  summary.cancelled_cells = 2;
+  summary.result_cache_hits = 3;
+  summary.anneals = 1;
+  summary.cancelled = true;
+  summary.wall_seconds = 1.5;
+  summary.error = "nope";
+  const std::string done = sv::done_frame(9, summary);
+  const sv::Frame done_parsed = sv::decode_frame(
+      sv::parse_frame_header(
+          std::string_view(done).substr(0, sv::kFrameHeaderBytes)),
+      std::string_view(done).substr(sv::kFrameHeaderBytes));
+  EXPECT_EQ(done_parsed.type, sv::FrameType::kDone);
+  EXPECT_EQ(done_parsed.summary.total_cells, 6u);
+  EXPECT_EQ(done_parsed.summary.cancelled_cells, 2u);
+  EXPECT_TRUE(done_parsed.summary.cancelled);
+  EXPECT_EQ(done_parsed.summary.error, "nope");
+
+  const std::string error = sv::error_frame(0, "bad line");
+  const sv::Frame error_parsed = sv::decode_frame(
+      sv::parse_frame_header(
+          std::string_view(error).substr(0, sv::kFrameHeaderBytes)),
+      std::string_view(error).substr(sv::kFrameHeaderBytes));
+  EXPECT_EQ(error_parsed.type, sv::FrameType::kError);
+  EXPECT_EQ(error_parsed.message, "bad line");
+}
+
+TEST(ServeProtocol, CorruptFramesAreRejected) {
+  const std::string bytes = sv::error_frame(1, "hello");
+  // Bad magic.
+  {
+    std::string corrupt = bytes;
+    corrupt[0] = static_cast<char>(corrupt[0] ^ 1);
+    EXPECT_THROW((void)sv::parse_frame_header(std::string_view(corrupt).substr(
+                     0, sv::kFrameHeaderBytes)),
+                 sv::ServeError);
+  }
+  // Payload checksum mismatch.
+  {
+    std::string corrupt = bytes;
+    corrupt.back() = static_cast<char>(corrupt.back() ^ 1);
+    const auto header = sv::parse_frame_header(
+        std::string_view(corrupt).substr(0, sv::kFrameHeaderBytes));
+    EXPECT_THROW(
+        (void)sv::decode_frame(
+            header, std::string_view(corrupt).substr(sv::kFrameHeaderBytes)),
+        sv::ServeError);
+  }
+  // Wrong header size.
+  EXPECT_THROW((void)sv::parse_frame_header("short"), sv::ServeError);
+}
+
+// --- sweep core hooks ---------------------------------------------------------
+
+TEST(SweepHooks, OnCellFiresOncePerExecutedCellOnExternalPool) {
+  const sh::SweepSpec spec = small_spec();
+  pu::ThreadPool pool(2);
+  sw::Options options = spec.options;
+  options.pool = &pool;
+  CellCollector collector;
+  options.on_cell = collector.callback();
+  const sw::Result result =
+      sw::run(spec.circuits, spec.techniques, spec.machines, options);
+  EXPECT_EQ(result.threads_used, 2u);
+  EXPECT_FALSE(result.cancelled);
+  ASSERT_EQ(collector.cells.size(), spec.total_cells());
+  EXPECT_EQ(sh::canonical_bytes(assemble(spec, collector.cells)),
+            sh::canonical_bytes(result));
+}
+
+TEST(SweepHooks, PreCancelledTokenRunsNothing) {
+  const sh::SweepSpec spec = small_spec();
+  sw::Options options = spec.options;
+  options.cancel = std::make_shared<std::atomic<bool>>(true);
+  std::atomic<std::size_t> streamed{0};
+  options.on_cell = [&](const sw::Cell&) { ++streamed; };
+  const std::uint64_t anneals_before = ppl::annealing_invocations();
+  const sw::Result result =
+      sw::run(spec.circuits, spec.techniques, spec.machines, options);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(streamed.load(), 0u);
+  EXPECT_EQ(ppl::annealing_invocations(), anneals_before);
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.cancelled);
+    EXPECT_EQ(cell.circuit, spec.circuits[cell.circuit_index].name);
+  }
+}
+
+// --- service ------------------------------------------------------------------
+
+TEST(SweepService, StreamedCellsMatchInProcessSweepByteForByte) {
+  const sh::SweepSpec spec = small_spec();
+  const sw::Result reference =
+      sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  CellCollector collector;
+  const auto ticket = service.submit(spec, collector.callback());
+  const sv::Summary& summary = ticket->wait();
+  ASSERT_TRUE(summary.ok()) << summary.error;
+  EXPECT_EQ(summary.total_cells, spec.total_cells());
+  EXPECT_EQ(summary.executed_cells, spec.total_cells());
+  EXPECT_EQ(summary.failed_cells, 0u);
+  EXPECT_EQ(sh::canonical_bytes(assemble(spec, collector.cells)),
+            sh::canonical_bytes(reference));
+}
+
+TEST(SweepService, WarmRepeatStreamsIdenticalCellsWithZeroAnneals) {
+  const sh::SweepSpec spec = small_spec();
+  const sw::Result reference =
+      sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("warm")});
+  sv::SweepService service(service_options);
+
+  const sv::Summary& cold = service.submit(spec)->wait();
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_GT(cold.anneals, 0u);
+  EXPECT_EQ(cold.result_cache_hits, 0u);
+
+  CellCollector collector;
+  const sv::Summary& warm =
+      service.submit(spec, collector.callback())->wait();
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.anneals, 0u);  // the acceptance criterion
+  EXPECT_EQ(warm.result_cache_hits, spec.total_cells());
+  EXPECT_EQ(warm.result_cache_misses, 0u);
+  EXPECT_EQ(sh::canonical_bytes(assemble(spec, collector.cells)),
+            sh::canonical_bytes(reference));
+  for (const auto& cell : collector.cells) EXPECT_TRUE(cell.from_cache);
+}
+
+TEST(SweepService, OverlappingSubmissionsShareOneColdCompile) {
+  const sh::SweepSpec spec = small_spec();
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("overlap")});
+  sv::SweepService service(service_options);
+
+  // Both enqueued before either runs: FIFO execution + the session cache
+  // must make the second a pure replay.
+  const auto first = service.submit(spec);
+  const auto second = service.submit(spec);
+  const sv::Summary& s1 = first->wait();
+  const sv::Summary& s2 = second->wait();
+  ASSERT_TRUE(s1.ok()) << s1.error;
+  ASSERT_TRUE(s2.ok()) << s2.error;
+  EXPECT_GT(s1.anneals, 0u);
+  EXPECT_EQ(s2.anneals, 0u);
+  EXPECT_EQ(s2.result_cache_hits, spec.total_cells());
+}
+
+TEST(SweepService, CancellationStopsBeforeCompletingAllCells) {
+  const sh::SweepSpec spec = small_spec();  // 6 cells
+  // One worker: cells run strictly one at a time, so cancelling from the
+  // first completion deterministically leaves the rest unstarted.
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::shared_ptr<sv::Ticket> ticket;
+  std::atomic<std::size_t> streamed{0};
+  const auto on_cell = [&](const sw::Cell&) {
+    ++streamed;
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return ticket != nullptr; });
+    ticket->cancel();
+  };
+  auto submitted = service.submit(spec, on_cell);
+  {
+    std::lock_guard lock(mutex);
+    ticket = submitted;
+  }
+  cv.notify_all();
+  const sv::Summary& summary = submitted->wait();
+  EXPECT_TRUE(summary.cancelled);
+  EXPECT_EQ(summary.executed_cells, 1u);
+  EXPECT_EQ(summary.cancelled_cells, spec.total_cells() - 1);
+  EXPECT_EQ(streamed.load(), 1u);
+}
+
+TEST(SweepService, CancellingAQueuedRequestRunsNothing) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  const auto running = service.submit(spec);
+  const auto queued = service.submit(spec);
+  queued->cancel();
+  const sv::Summary& queued_summary = queued->wait();
+  EXPECT_TRUE(queued_summary.cancelled);
+  EXPECT_EQ(queued_summary.executed_cells, 0u);
+  EXPECT_EQ(queued_summary.cancelled_cells, spec.total_cells());
+  EXPECT_TRUE(running->wait().ok());
+}
+
+TEST(SweepService, UnknownTechniqueFailsTheRequestNotTheService) {
+  sh::SweepSpec bad = small_spec();
+  bad.techniques.push_back("nope");
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  const sv::Summary& failed = service.submit(bad)->wait();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.error.find("nope"), std::string::npos);
+  // The service survives and serves the next request.
+  const sv::Summary& good = service.submit(small_spec())->wait();
+  EXPECT_TRUE(good.ok()) << good.error;
+}
+
+// --- connection loop ----------------------------------------------------------
+
+namespace {
+
+struct PipePair {
+  int in[2];   // test writes requests -> server reads
+  int out[2];  // server writes frames -> test reads
+  PipePair() {
+    EXPECT_EQ(::pipe(in), 0);
+    EXPECT_EQ(::pipe(out), 0);
+  }
+  ~PipePair() {
+    for (const int fd : {in[0], in[1], out[0], out[1]}) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  void close_request_end() {
+    ::close(in[1]);
+    in[1] = -1;
+  }
+};
+
+}  // namespace
+
+TEST(ServeConnection, MalformedLinesGetErrorFramesAndServiceSurvives) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  PipePair pipes;
+  std::thread server([&] {
+    (void)sv::serve_connection(pipes.in[0], pipes.out[1], service);
+    ::close(pipes.out[1]);
+    pipes.out[1] = -1;
+  });
+
+  // Garbage verb, bad hex, and an unknown CANCEL id: three error frames,
+  // connection stays up.
+  ASSERT_TRUE(sv::write_all(pipes.in[1], "FROBNICATE 1 aa\n"));
+  sv::Frame frame = read_frame(pipes.out[0]);
+  EXPECT_EQ(frame.type, sv::FrameType::kError);
+  EXPECT_EQ(frame.request_id, 1u);
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], "SUBMIT 7 nothex!\n"));
+  frame = read_frame(pipes.out[0]);
+  EXPECT_EQ(frame.type, sv::FrameType::kError);
+  EXPECT_EQ(frame.request_id, 7u);
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], "CANCEL 99\n"));
+  frame = read_frame(pipes.out[0]);
+  EXPECT_EQ(frame.type, sv::FrameType::kError);
+  EXPECT_EQ(frame.request_id, 99u);
+
+  // A corrupt spec payload (valid hex, flipped byte) is rejected per-line.
+  std::string corrupt_spec = sh::serialize_sweep_spec(spec);
+  corrupt_spec[corrupt_spec.size() / 2] ^= 0x20;
+  ASSERT_TRUE(sv::write_all(
+      pipes.in[1], "SUBMIT 8 " + sv::hex_encode(corrupt_spec) + "\n"));
+  frame = read_frame(pipes.out[0]);
+  EXPECT_EQ(frame.type, sv::FrameType::kError);
+  EXPECT_EQ(frame.request_id, 8u);
+
+  // After all that abuse, a valid request is served: N cells + done.
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::submit_line(9, spec)));
+  std::size_t cells = 0;
+  for (;;) {
+    frame = read_frame(pipes.out[0]);
+    ASSERT_EQ(frame.request_id, 9u);
+    if (frame.type == sv::FrameType::kDone) break;
+    ASSERT_EQ(frame.type, sv::FrameType::kCell);
+    ++cells;
+  }
+  EXPECT_EQ(cells, spec.total_cells());
+  EXPECT_TRUE(frame.summary.ok());
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::quit_line()));
+  server.join();
+}
+
+TEST(ServeConnection, EofDrainsInFlightRequestsBeforeReturning) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  PipePair pipes;
+  std::thread server([&] {
+    EXPECT_EQ(sv::serve_connection(pipes.in[0], pipes.out[1], service), 1u);
+    ::close(pipes.out[1]);
+    pipes.out[1] = -1;
+  });
+  // Batch shape: submit, close input immediately, then consume the frames.
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::submit_line(1, spec)));
+  pipes.close_request_end();
+  std::size_t cells = 0;
+  sv::Frame frame;
+  for (;;) {
+    frame = read_frame(pipes.out[0]);
+    if (frame.type == sv::FrameType::kDone) break;
+    ++cells;
+  }
+  EXPECT_EQ(cells, spec.total_cells());
+  EXPECT_TRUE(frame.summary.ok());
+  server.join();
+}
+
+// --- client + server end to end -----------------------------------------------
+
+TEST(ServeEndToEnd, ClientReassemblyIsByteIdenticalAndWarmRepeatIsFree) {
+  const sh::SweepSpec spec = small_spec();
+  const sw::Result reference =
+      sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("e2e")});
+  sv::SweepService service(service_options);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&] {
+    (void)sv::serve_connection(fds[0], fds[0], service);
+    ::close(fds[0]);
+  });
+  {
+    sv::Client client(fds[1]);  // adopts + closes fds[1]
+
+    std::atomic<std::size_t> streamed{0};
+    const sv::ClientOutcome cold =
+        client.run(spec, [&](const sw::Cell&) { ++streamed; });
+    ASSERT_TRUE(cold.summary.ok()) << cold.summary.error;
+    EXPECT_EQ(streamed.load(), spec.total_cells());
+    EXPECT_GT(cold.summary.anneals, 0u);
+    EXPECT_EQ(sh::canonical_bytes(cold.result),
+              sh::canonical_bytes(reference));
+
+    // Same connection, same spec: the session serves it without compiling.
+    const sv::ClientOutcome warm = client.run(spec);
+    ASSERT_TRUE(warm.summary.ok()) << warm.summary.error;
+    EXPECT_EQ(warm.summary.anneals, 0u);
+    EXPECT_EQ(warm.summary.result_cache_hits, spec.total_cells());
+    EXPECT_EQ(sh::canonical_bytes(warm.result),
+              sh::canonical_bytes(reference));
+    EXPECT_EQ(warm.result.at("ghz8", "parallax").result.stats.cz_gates,
+              reference.at("ghz8", "parallax").result.stats.cz_gates);
+
+    client.quit();
+  }
+  server.join();
+}
+
+TEST(ServeEndToEnd, ServiceShutdownReleasesWaitersAsCancelled) {
+  const sh::SweepSpec spec = small_spec();
+  std::shared_ptr<sv::Ticket> running;
+  std::shared_ptr<sv::Ticket> queued;
+  {
+    sv::SweepService service({.n_threads = 1, .cache = nullptr});
+    running = service.submit(spec);
+    queued = service.submit(spec);
+    // Destructor cancels both and drains the queue.
+  }
+  EXPECT_TRUE(running->done());
+  EXPECT_TRUE(queued->done());
+  EXPECT_TRUE(queued->wait().cancelled);
+}

@@ -1,13 +1,16 @@
 // Tests for util: RNG determinism/statistics, table/CSV formatting, pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -164,4 +167,80 @@ TEST(ThreadPool, SubmitReturnsResults) {
 TEST(ThreadPool, ZeroTasksIsNoop) {
   pu::ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+// Regression: parallel_for used to rethrow from the first failed future
+// while later queued tasks still held a (by-reference) capture of `f` — a
+// mid-batch throw could leave workers racing a dangling reference. The
+// contract now: every task runs to completion, then the first exception is
+// rethrown.
+TEST(ThreadPool, ParallelForDrainsEveryTaskBeforeRethrowing) {
+  pu::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  bool threw = false;
+  try {
+    pool.parallel_for(200, [&](std::size_t i) {
+      ++executed;
+      if (i == 3) throw std::runtime_error("boom at 3");
+    });
+  } catch (const std::runtime_error& error) {
+    threw = true;
+    EXPECT_STREQ(error.what(), "boom at 3");
+  }
+  EXPECT_TRUE(threw);
+  // Every task ran — the throw at i=3 must not abandon the tail of the
+  // batch (those tasks reference `f`, alive only until parallel_for exits).
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheFirstOfManyExceptions) {
+  pu::ThreadPool pool(2);
+  // Futures are drained in index order, so index 5 wins deterministically
+  // even if another thrower finished first.
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i >= 5 && i % 7 == 5) {
+        throw std::runtime_error("boom at " + std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom at 5");
+  }
+}
+
+// --- util/parse (strict CLI numeric parsing) ----------------------------------
+
+TEST(Parse, U64AcceptsWholeDecimalOnly) {
+  EXPECT_EQ(pu::parse_u64("0"), 0u);
+  EXPECT_EQ(pu::parse_u64("42"), 42u);
+  EXPECT_EQ(pu::parse_u64("18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_FALSE(pu::parse_u64("").has_value());
+  EXPECT_FALSE(pu::parse_u64("banana").has_value());
+  EXPECT_FALSE(pu::parse_u64("42banana").has_value());  // trailing garbage
+  EXPECT_FALSE(pu::parse_u64("42 ").has_value());
+  EXPECT_FALSE(pu::parse_u64(" 42").has_value());
+  EXPECT_FALSE(pu::parse_u64("-1").has_value());
+  EXPECT_FALSE(pu::parse_u64("+1").has_value());
+  EXPECT_FALSE(pu::parse_u64("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(pu::parse_u64("0x10").has_value());
+}
+
+TEST(Parse, U32AndI32RespectRanges) {
+  EXPECT_EQ(pu::parse_u32("4294967295"), 4294967295u);
+  EXPECT_FALSE(pu::parse_u32("4294967296").has_value());
+  EXPECT_EQ(pu::parse_i32("-20"), -20);
+  EXPECT_EQ(pu::parse_i32("2147483647"), 2147483647);
+  EXPECT_FALSE(pu::parse_i32("2147483648").has_value());
+  EXPECT_FALSE(pu::parse_i32("1e3").has_value());
+}
+
+TEST(Parse, F64AcceptsFixedAndScientific) {
+  EXPECT_DOUBLE_EQ(*pu::parse_f64("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*pu::parse_f64("-1e-3"), -1e-3);
+  EXPECT_DOUBLE_EQ(*pu::parse_f64("3"), 3.0);
+  EXPECT_FALSE(pu::parse_f64("").has_value());
+  EXPECT_FALSE(pu::parse_f64("2.5x").has_value());
+  EXPECT_FALSE(pu::parse_f64("spread").has_value());
 }

@@ -6,6 +6,7 @@
 //   parallax_cli --list-techniques
 //   parallax_cli cache stats|clear|prewarm [options]
 //   parallax_cli shard plan|run|merge [options]
+//   parallax_cli serve [start|spec|submit] [options]
 //
 // Options:
 //   --machine quera256|atom1225   target machine preset (default quera256)
@@ -48,6 +49,24 @@
 //                recombine shard outputs; writes the canonical result bytes
 //                (diffable across campaigns) and rejects duplicate,
 //                missing, or conflicting cells
+//
+// Serve subcommands (the long-lived sweep service; see src/serve/ — the
+// CompilationCache is the session state, so repeated/overlapping requests
+// replay from result hits with zero anneals):
+//   serve [start] [--socket PATH] [--cache-dir DIR] [--no-cache]
+//                 [--threads N] [--max-disk-bytes N]
+//                 serve line-framed requests (SUBMIT/CANCEL/QUIT) from
+//                 stdin, streaming length-prefixed cell frames to stdout;
+//                 --socket serves an AF_UNIX socket instead (what
+//                 PARALLAX_SERVE points the bench harness at)
+//   serve spec    --out FILE [--benchmarks A,B,...] [--machine M]
+//                 [--technique NAME|all] [--seed N] [--spread F]
+//                 [--no-home-return] [--shots] [--aod-count N]
+//                 write a framed sweep-spec request payload
+//   serve submit  --socket PATH --spec FILE [--out FILE]
+//                 submit a spec to a running service, wait for the
+//                 streamed cells, and write the canonical result bytes
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,9 +84,13 @@
 #include "parallax/report.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "shard/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "technique/registry.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -101,6 +124,9 @@ struct CliOptions {
   std::string origin;
   bool shots = false;
   std::vector<std::string> inputs;  // shard merge positional run files
+  // serve subcommand state
+  std::string serve_command;  // "start" | "spec" | "submit"
+  std::string socket_path;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -127,9 +153,55 @@ struct CliOptions {
                "[--cache-dir DIR] [--no-cache]\n"
                "               [--threads N] [--origin LABEL] "
                "[--max-disk-bytes N]\n"
-               "       %s shard merge --out FILE RUN_FILE...\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "       %s shard merge --out FILE RUN_FILE...\n"
+               "       %s serve [start] [--socket PATH] [--cache-dir DIR] "
+               "[--no-cache]\n"
+               "               [--threads N] [--max-disk-bytes N]\n"
+               "       %s serve spec --out FILE [--benchmarks A,B,...] "
+               "[--machine M]\n"
+               "               [--technique NAME|all] [--seed N] [--spread F]"
+               " [--shots]\n"
+               "       %s serve submit --socket PATH --spec FILE "
+               "[--out FILE]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   std::exit(error != nullptr ? 2 : 0);
+}
+
+// Strict flag-value parsing (util/parse.hpp): `--aod-count banana` must be
+// a reported error naming the flag, never std::atoi's silent 0.
+std::uint64_t u64_flag(const char* argv0, const char* flag,
+                       const char* value) {
+  const auto parsed = parallax::util::parse_u64(value);
+  if (!parsed) {
+    usage(argv0, (std::string(flag) + " expects a non-negative integer, "
+                                      "got '" +
+                  value + "'")
+                     .c_str());
+  }
+  return *parsed;
+}
+
+std::int32_t positive_i32_flag(const char* argv0, const char* flag,
+                               const char* value) {
+  const auto parsed = parallax::util::parse_i32(value);
+  if (!parsed || *parsed <= 0) {
+    usage(argv0, (std::string(flag) + " expects a positive integer, got '" +
+                  value + "'")
+                     .c_str());
+  }
+  return *parsed;
+}
+
+double positive_f64_flag(const char* argv0, const char* flag,
+                         const char* value) {
+  const auto parsed = parallax::util::parse_f64(value);
+  if (!parsed || !(*parsed > 0.0)) {
+    usage(argv0, (std::string(flag) + " expects a positive number, got '" +
+                  value + "'")
+                     .c_str());
+  }
+  return *parsed;
 }
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -153,6 +225,21 @@ CliOptions parse_cli(int argc, char** argv) {
     }
     options.technique = "all";  // plan default: every technique
     first = 3;
+  } else if (argc > 1 && !std::strcmp(argv[1], "serve")) {
+    // Bare `serve` (or `serve --socket ...`) starts the service; a word
+    // after it selects the spec/submit helpers.
+    if (argc > 2 && argv[2][0] != '-') {
+      options.serve_command = argv[2];
+      first = 3;
+    } else {
+      options.serve_command = "start";
+      first = 2;
+    }
+    if (options.serve_command != "start" && options.serve_command != "spec" &&
+        options.serve_command != "submit") {
+      usage(argv[0], "unknown serve subcommand (use start, spec, submit)");
+    }
+    options.technique = "all";  // spec default: every technique
   }
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for option");
@@ -174,15 +261,16 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--technique")) {
       options.technique = need_value(i);
     } else if (!std::strcmp(arg, "--aod-count")) {
-      options.aod_count = std::atoi(need_value(i));
+      options.aod_count =
+          positive_i32_flag(argv[0], "--aod-count", need_value(i));
     } else if (!std::strcmp(arg, "--no-home-return")) {
       options.home_return = false;
     } else if (!std::strcmp(arg, "--spread")) {
-      options.spread = std::atof(need_value(i));
+      options.spread = positive_f64_flag(argv[0], "--spread", need_value(i));
     } else if (!std::strcmp(arg, "--seed")) {
-      options.seed = std::strtoull(need_value(i), nullptr, 10);
+      options.seed = u64_flag(argv[0], "--seed", need_value(i));
     } else if (!std::strcmp(arg, "--threads")) {
-      options.threads = std::strtoull(need_value(i), nullptr, 10);
+      options.threads = u64_flag(argv[0], "--threads", need_value(i));
     } else if (!std::strcmp(arg, "--json")) {
       options.json = true;
     } else if (!std::strcmp(arg, "--layers")) {
@@ -200,13 +288,16 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--benchmarks")) {
       options.benchmarks_csv = need_value(i);
     } else if (!std::strcmp(arg, "--max-disk-bytes")) {
-      options.max_disk_bytes = std::strtoull(need_value(i), nullptr, 10);
+      options.max_disk_bytes =
+          u64_flag(argv[0], "--max-disk-bytes", need_value(i));
     } else if (!std::strcmp(arg, "--shards")) {
-      const std::uint64_t n = std::strtoull(need_value(i), nullptr, 10);
+      const std::uint64_t n = u64_flag(argv[0], "--shards", need_value(i));
       if (n == 0 || n > (1u << 20)) {
         usage(argv[0], "--shards must be in [1, 1048576]");
       }
       options.shards = static_cast<std::uint32_t>(n);
+    } else if (!std::strcmp(arg, "--socket")) {
+      options.socket_path = need_value(i);
     } else if (!std::strcmp(arg, "--out-dir")) {
       options.out_dir = need_value(i);
     } else if (!std::strcmp(arg, "--spec")) {
@@ -288,6 +379,33 @@ CliOptions parse_cli(int argc, char** argv) {
         usage(argv[0], "shard merge needs at least one shard run file");
       }
     }
+  } else if (!options.serve_command.empty()) {
+    if (options.serve_command == "start") {
+      allow_only("serve start", {"--socket", "--cache-dir", "--no-cache",
+                                 "--threads", "--max-disk-bytes"});
+      if (!options.use_cache &&
+          (!options.cache_dir.empty() || options.max_disk_bytes != 0)) {
+        usage(argv[0],
+              "--no-cache contradicts --cache-dir/--max-disk-bytes (the "
+              "service's warm-replay guarantee needs the cache)");
+      }
+    } else if (options.serve_command == "spec") {
+      allow_only("serve spec",
+                 {"--out", "--benchmarks", "--machine", "--technique",
+                  "--seed", "--spread", "--no-home-return", "--shots",
+                  "--aod-count"});
+      if (options.out_file.empty()) {
+        usage(argv[0], "serve spec needs --out FILE");
+      }
+    } else {  // submit
+      allow_only("serve submit", {"--socket", "--spec", "--out"});
+      if (options.socket_path.empty()) {
+        usage(argv[0], "serve submit needs --socket PATH");
+      }
+      if (options.spec_file.empty()) {
+        usage(argv[0], "serve submit needs --spec FILE");
+      }
+    }
   } else {
     // Compile mode: reject the subcommand-only flags it would ignore.
     allow_only("compile mode",
@@ -340,7 +458,8 @@ std::shared_ptr<parallax::cache::CompilationCache> open_cache(
 std::vector<std::string> technique_list(
     const CliOptions& cli, const parallax::technique::Registry& registry) {
   if (cli.technique != "all") return {cli.technique};
-  if (!cli.cache_command.empty() || !cli.shard_command.empty()) {
+  if (!cli.cache_command.empty() || !cli.shard_command.empty() ||
+      !cli.serve_command.empty()) {
     return registry.names();
   }
   // Ascending-quality order for "all", so with --export-qasm the last write
@@ -455,12 +574,14 @@ bool read_file(const std::string& path, std::string& bytes) {
   return true;
 }
 
-int run_shard_plan(const CliOptions& cli, const char* argv0) {
-  namespace sh = parallax::shard;
+/// The benchmark-suite sweep spec the matrix flags describe — shared by
+/// `shard plan` and `serve spec`.
+parallax::shard::SweepSpec build_sweep_spec(const CliOptions& cli,
+                                            const char* argv0) {
   const auto& registry = parallax::technique::Registry::global();
   parallax::bench_circuits::GenOptions gen;
   gen.seed = cli.seed;
-  sh::SweepSpec spec;
+  parallax::shard::SweepSpec spec;
   spec.circuits =
       parallax::sweep::benchmark_circuits(benchmark_acronyms(cli), gen);
   spec.techniques = technique_list(cli, registry);
@@ -469,6 +590,13 @@ int run_shard_plan(const CliOptions& cli, const char* argv0) {
   spec.options.compile.scheduler.return_home = cli.home_return;
   spec.options.compile.discretize.spread_factor = cli.spread;
   if (cli.shots) spec.options.shots = parallax::shots::ShotOptions{};
+  return spec;
+}
+
+int run_shard_plan(const CliOptions& cli, const char* argv0) {
+  namespace sh = parallax::shard;
+  const auto& registry = parallax::technique::Registry::global();
+  const sh::SweepSpec spec = build_sweep_spec(cli, argv0);
 
   const auto shards = sh::plan(spec, cli.shards, registry);
   std::error_code ec;
@@ -579,6 +707,98 @@ int run_shard_command(const CliOptions& cli, const char* argv0) {
   }
 }
 
+int run_serve_start(const CliOptions& cli) {
+  namespace sv = parallax::serve;
+  sv::ServiceOptions service_options;
+  service_options.n_threads = cli.threads;
+  service_options.cache = open_cache(cli);
+  sv::SweepService service(service_options);
+  if (service_options.cache) {
+    std::fprintf(stderr, "serve: session cache at %s\n",
+                 service_options.cache->directory().c_str());
+  }
+  if (cli.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "serve: reading requests from stdin (%zu worker threads)\n",
+                 service.threads());
+    const std::size_t served = sv::serve_connection(0, 1, service);
+    std::fprintf(stderr, "serve: connection closed after %zu requests\n",
+                 served);
+    return 0;
+  }
+  std::fprintf(stderr, "serve: listening on %s (%zu worker threads)\n",
+               cli.socket_path.c_str(), service.threads());
+  if (!sv::serve_unix_socket(cli.socket_path, service)) {
+    std::fprintf(stderr, "serve: cannot listen on %s: %s\n",
+                 cli.socket_path.c_str(), std::strerror(errno));
+    return 1;
+  }
+  return 0;
+}
+
+int run_serve_spec(const CliOptions& cli, const char* argv0) {
+  namespace sh = parallax::shard;
+  const sh::SweepSpec spec = build_sweep_spec(cli, argv0);
+  if (!write_file(cli.out_file, sh::serialize_sweep_spec(spec))) {
+    std::fprintf(stderr, "cannot write %s\n", cli.out_file.c_str());
+    return 1;
+  }
+  std::printf("spec: %zu cells (%zu circuits x %zu techniques x %zu "
+              "machines), digest %s -> %s\n",
+              spec.total_cells(), spec.circuits.size(),
+              spec.techniques.size(), spec.machines.size(),
+              sh::spec_digest(spec).hex().c_str(), cli.out_file.c_str());
+  return 0;
+}
+
+int run_serve_submit(const CliOptions& cli) {
+  namespace sh = parallax::shard;
+  namespace sv = parallax::serve;
+  std::string bytes;
+  if (!read_file(cli.spec_file, bytes)) {
+    std::fprintf(stderr, "cannot read sweep spec %s\n",
+                 cli.spec_file.c_str());
+    return 1;
+  }
+  const sh::SweepSpec spec = sh::parse_sweep_spec(bytes);
+  sv::Client client(cli.socket_path);
+  const sv::ClientOutcome outcome = client.run(spec);
+  const sv::Summary& summary = outcome.summary;
+  if (!summary.ok()) {
+    std::fprintf(stderr, "serve request failed: %s\n", summary.error.c_str());
+    return 1;
+  }
+  if (!cli.out_file.empty() &&
+      !write_file(cli.out_file, sh::canonical_bytes(outcome.result))) {
+    std::fprintf(stderr, "cannot write %s\n", cli.out_file.c_str());
+    return 1;
+  }
+  std::printf(
+      "serve: %llu cells (%llu executed, %llu failed, %llu cancelled), "
+      "%llu result hits, %llu result misses, anneals=%llu in %.1fs\n",
+      static_cast<unsigned long long>(summary.total_cells),
+      static_cast<unsigned long long>(summary.executed_cells),
+      static_cast<unsigned long long>(summary.failed_cells),
+      static_cast<unsigned long long>(summary.cancelled_cells),
+      static_cast<unsigned long long>(summary.result_cache_hits),
+      static_cast<unsigned long long>(summary.result_cache_misses),
+      static_cast<unsigned long long>(summary.anneals),
+      summary.wall_seconds);
+  return summary.failed_cells == 0 && !summary.cancelled ? 0 : 1;
+}
+
+int run_serve_command(const CliOptions& cli, const char* argv0) {
+  try {
+    if (cli.serve_command == "start") return run_serve_start(cli);
+    if (cli.serve_command == "spec") return run_serve_spec(cli, argv0);
+    return run_serve_submit(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "serve %s failed: %s\n", cli.serve_command.c_str(),
+                 error.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -588,6 +808,7 @@ int main(int argc, char** argv) {
 
   if (!cli.cache_command.empty()) return run_cache_command(cli, argv[0]);
   if (!cli.shard_command.empty()) return run_shard_command(cli, argv[0]);
+  if (!cli.serve_command.empty()) return run_serve_command(cli, argv[0]);
 
   if (cli.list_techniques) {
     for (const auto& name : registry.names()) {
