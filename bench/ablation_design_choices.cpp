@@ -1,101 +1,10 @@
-// Design-choice ablations beyond the paper's own (Figs. 12/13): this bench
-// quantifies two choices DESIGN.md calls out —
-//   (a) the 0.99 / 0.01 AOD-selection weight split (paper Sec. II-C): what
-//       happens if the tie-breaker dominates, or if selection is unweighted;
-//   (b) the discretization spread factor (footprint sizing): compact vs
-//       roomy initial topologies.
-// Reported on a representative subset spanning low/high connectivity. Each
-// variant is one parallax-only sweep with the knob changed in the base
-// compile options.
-#include "common.hpp"
+// Thin shim over the artifact registry's "ablation" entry (extra design-choice ablations).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench ablation --serve off
+#include "report/orchestrator.hpp"
 
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble(
-      "Ablation (extra)",
-      "Design-choice ablations: AOD-selection weights and discretization "
-      "spread, 256-qubit machine");
-
-  pb::Stopwatch stopwatch;
-  const auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
-  const std::vector<std::string> circuits{"HLF", "QAOA", "QFT", "KNN", "QV",
-                                          "TFIM"};
-
-  const auto run_variant = [&](const auto& tweak) {
-    auto options = pb::sweep_options();
-    tweak(options.compile);
-    auto suite =
-        pb::compile_suite(pb::machine(config), {"parallax"}, circuits, options);
-    pb::require_all_ok(suite);
-    return suite;
-  };
-  const auto cell_text = [](const parallax::sweep::Cell& cell) {
-    return pu::format_compact(cell.result.runtime_us) + " / " +
-           std::to_string(cell.result.stats.trap_changes);
-  };
-
-  // --- (a) AOD selection weights ---------------------------------------------
-  struct WeightVariant {
-    const char* label;
-    double oor;
-    double intf;
-  };
-  const std::vector<WeightVariant> weight_variants{
-      {"paper 0.99/0.01", 0.99, 0.01},
-      {"inverted 0.01/0.99", 0.01, 0.99},
-      {"oor only 1.0/0.0", 1.0, 0.0},
-      {"uniform 0.5/0.5", 0.5, 0.5},
-  };
-  std::printf("(a) AOD selection weight split — runtime (us) / trap "
-              "changes:\n");
-  pu::Table weight_table({"Bench", "paper 0.99/0.01", "inverted 0.01/0.99",
-                          "oor only 1.0/0.0", "uniform 0.5/0.5"});
-  {
-    std::vector<parallax::sweep::Result> suites;
-    for (const auto& variant : weight_variants) {
-      suites.push_back(run_variant([&](parallax::pipeline::CompileOptions& c) {
-        c.aod_selection.out_of_range_weight = variant.oor;
-        c.aod_selection.interference_weight = variant.intf;
-      }));
-    }
-    for (const auto& name : circuits) {
-      std::vector<std::string> row{name};
-      for (const auto& suite : suites) {
-        row.push_back(cell_text(suite.at(name, "parallax")));
-      }
-      weight_table.add_row(std::move(row));
-    }
-  }
-  std::printf("%s\n", weight_table.to_string().c_str());
-
-  // --- (b) discretization spread factor ---------------------------------------
-  const std::vector<double> spreads{1.0, 1.5, 2.0, 3.0};
-  std::printf("(b) Discretization spread factor — runtime (us) / trap "
-              "changes (2.0 is the default):\n");
-  pu::Table spread_table(
-      {"Bench", "spread 1.0", "spread 1.5", "spread 2.0", "spread 3.0"});
-  {
-    std::vector<parallax::sweep::Result> suites;
-    for (const double spread : spreads) {
-      suites.push_back(run_variant([&](parallax::pipeline::CompileOptions& c) {
-        c.discretize.spread_factor = spread;
-      }));
-    }
-    for (const auto& name : circuits) {
-      std::vector<std::string> row{name};
-      for (const auto& suite : suites) {
-        row.push_back(cell_text(suite.at(name, "parallax")));
-      }
-      spread_table.add_row(std::move(row));
-    }
-  }
-  std::printf("%s\n", spread_table.to_string().c_str());
-  std::printf(
-      "Takeaways: the out-of-range criterion must dominate (inverting the "
-      "split strands\nout-of-range pairs without mobile endpoints); compact "
-      "footprints (spread 1.0) trade\nruntime for parallelizability, which "
-      "is exactly the Fig. 11 configuration.\n");
-  std::printf("[ablation completed in %.1fs]\n", stopwatch.seconds());
-  return 0;
-}
+int main() { return parallax::report::bench_main("ablation"); }

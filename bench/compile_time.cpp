@@ -1,10 +1,10 @@
-// Thin shim over the artifact registry's "fig10" entry (Fig. 10 probability of success).
+// Thin shim over the artifact registry's "compile-time" entry (compile-time scaling).
 // Spec construction and rendering live once in src/report
 // (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
 // documented in report/env.hpp, runs the artifact in-process (or against
 // the serve session PARALLAX_SERVE names), prints the rendered table on
 // stdout, and the session accounting epilogue on stderr. Equivalent to:
-//   parallax_cli bench fig10 --serve off
+//   parallax_cli bench compile-time --serve off
 #include "report/orchestrator.hpp"
 
-int main() { return parallax::report::bench_main("fig10"); }
+int main() { return parallax::report::bench_main("compile-time"); }

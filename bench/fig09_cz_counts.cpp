@@ -1,58 +1,10 @@
-// Fig. 9: number of CZ gates per technique on the 256-qubit machine (SWAPs
-// count as 3 CZs). The paper's headline: Parallax has the fewest CZs for
-// every algorithm — zero SWAPs by construction — averaging 39% fewer than
-// GRAPHINE and 25% fewer than ELDI.
-#include "common.hpp"
+// Thin shim over the artifact registry's "fig09" entry (Fig. 9 CZ gate counts).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench fig09 --serve off
+#include "report/orchestrator.hpp"
 
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble(
-      "Figure 9",
-      "CZ gate counts (incl. 3 per SWAP), QuEra 256-qubit machine; lower is "
-      "better");
-
-  pb::Stopwatch stopwatch;
-  const auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
-  const auto suite = pb::compile_suite(pb::machine(config));
-  pb::require_all_ok(suite);
-
-  pu::Table table({"Bench", "Graphine", "Eldi", "Parallax", "P vs G", "P vs E",
-                   "P swaps"});
-  double geo_vs_g = 0.0, geo_vs_e = 0.0;
-  int count_g = 0, count_e = 0;
-  for (const auto& name : pb::benchmark_names()) {
-    const auto g = suite.at(name, "graphine").result.stats.effective_cz();
-    const auto e = suite.at(name, "eldi").result.stats.effective_cz();
-    const auto& parallax_cell = suite.at(name, "parallax");
-    const auto p = parallax_cell.result.stats.effective_cz();
-    auto reduction = [](std::size_t baseline, std::size_t ours) {
-      return baseline == 0
-                 ? 0.0
-                 : 1.0 - static_cast<double>(ours) /
-                             static_cast<double>(baseline);
-    };
-    if (g > 0) {
-      geo_vs_g += reduction(g, p);
-      ++count_g;
-    }
-    if (e > 0) {
-      geo_vs_e += reduction(e, p);
-      ++count_e;
-    }
-    table.add_row({name, std::to_string(g), std::to_string(e),
-                   std::to_string(p), pu::format_percent(reduction(g, p)),
-                   pu::format_percent(reduction(e, p)),
-                   std::to_string(parallax_cell.result.stats.swap_gates)});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf(
-      "Average CZ reduction: %s vs Graphine (paper: 39%%), %s vs Eldi "
-      "(paper: 25%%)\n",
-      pu::format_percent(geo_vs_g / std::max(1, count_g)).c_str(),
-      pu::format_percent(geo_vs_e / std::max(1, count_e)).c_str());
-  std::printf("Parallax SWAP count is zero for every circuit (zero-SWAP "
-              "guarantee).\n");
-  std::printf("[fig09 completed in %.1fs]\n", stopwatch.seconds());
-  return 0;
-}
+int main() { return parallax::report::bench_main("fig09"); }

@@ -1,134 +1,10 @@
-// Fig. 11: total execution time of 8,000 logical shots vs parallelization
-// factor on the 1,225-qubit machine, for the paper's six showcased
-// benchmarks (ADV, KNN, QV, SECA, SQRT, WST). All three techniques are
-// parallelized, as in the paper.
-//
-// Copies share the machine's 20 AOD rows/columns (paper Sec. II-E: one row
-// holds one atom per copy), so at parallelization factor k x k each copy
-// may use at most floor(20 / k) row/column pairs — Parallax is recompiled
-// per factor under that budget. The per-factor configs are machine specs of
-// one sweep, so every recompile of a circuit reuses its memoized Graphine
-// placement instead of re-annealing. Circuits are laid out compactly
-// (spread_factor 1.2) so copies tile the grid.
-#include <algorithm>
-#include <map>
+// Thin shim over the artifact registry's "fig11" entry (Fig. 11 parallel-shot execution times).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench fig11 --serve off
+#include "report/orchestrator.hpp"
 
-#include "common.hpp"
-#include "shots/parallelize.hpp"
-
-namespace {
-
-std::string k_label(std::int32_t k) { return "k" + std::to_string(k); }
-
-}  // namespace
-
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  namespace ps = parallax::sweep;
-  pb::print_preamble(
-      "Figure 11",
-      "Total execution time (s) of 8,000 logical shots vs parallelization "
-      "factor,\nAtom 1,225-qubit machine (log-log in the paper); lower is "
-      "better");
-
-  pb::Stopwatch stopwatch;
-  const auto base_config =
-      parallax::hardware::HardwareConfig::atom_computing_1225();
-  const std::vector<std::string> circuits{"ADV", "KNN", "QV",
-                                          "SECA", "SQRT", "WST"};
-
-  auto options = pb::sweep_options();
-  options.compile.discretize.spread_factor = 1.2;
-  options.compute_success_probability = false;  // fig11 reads runtimes only
-
-  // Baselines have static atoms: compile once on the base machine and
-  // parallelize by tiling.
-  const auto baselines = pb::compile_suite(
-      pb::machine(base_config), {"eldi", "graphine"}, circuits, options);
-  pb::require_all_ok(baselines);
-
-  // Parallax is recompiled per factor k under the shared-AOD budget of
-  // floor(20 / k) row/column pairs per copy. The footprint is independent
-  // of the AOD budget (it is fixed by placement + discretization), so the
-  // k=1 compile bounds the feasible factors exactly and the budget axis
-  // stops there instead of running to the machine limit.
-  const std::int32_t max_k =
-      std::min(base_config.aod_rows, base_config.grid_side);
-  const auto budget_for = [&](std::int32_t k) {
-    auto config = base_config;
-    config.aod_rows = config.aod_cols = std::max(1, base_config.aod_rows / k);
-    return ps::MachineSpec{k_label(k), config};
-  };
-  const auto serial_suite =
-      pb::compile_suite({budget_for(1)}, {"parallax"}, circuits, options);
-  pb::require_all_ok(serial_suite);
-
-  std::map<std::string, std::int32_t> feasible_k;
-  std::map<std::string, ps::Result> parallel_suites;
-  for (const auto& name : circuits) {
-    const std::int32_t side = parallax::shots::footprint_side(
-        serial_suite.at(name, "parallax").result);
-    const std::int32_t circuit_max_k = std::max(
-        1, std::min(max_k, base_config.grid_side / std::max(1, side)));
-    feasible_k[name] = circuit_max_k;
-    std::vector<ps::MachineSpec> budgets;
-    for (std::int32_t k = 2; k <= circuit_max_k; ++k) {
-      budgets.push_back(budget_for(k));
-    }
-    if (!budgets.empty()) {
-      parallel_suites[name] =
-          pb::compile_suite(budgets, {"parallax"}, {name}, options);
-      pb::require_all_ok(parallel_suites[name]);
-    }
-  }
-  const auto parallax_cell = [&](const std::string& name, std::int32_t k)
-      -> const ps::Cell& {
-    return k == 1 ? serial_suite.at(name, "parallax")
-                  : parallel_suites.at(name).at(name, "parallax", k_label(k));
-  };
-
-  parallax::shots::ShotOptions shot_options;
-  for (const auto& name : circuits) {
-    const auto& eldi_result = baselines.at(name, "eldi").result;
-    const auto& graphine_result = baselines.at(name, "graphine").result;
-
-    pu::Table table({"Factor (copies)", "AOD/copy", "Graphine (s)", "Eldi (s)",
-                     "Parallax (s)"});
-    double parallax_serial = 0.0, parallax_best = 0.0;
-    int printed = 0;
-    for (std::int32_t k = 1; k <= feasible_k.at(name); ++k) {
-      const auto& parallax_result = parallax_cell(name, k).result;
-
-      // Feasibility is judged against the full machine: the per-copy AOD
-      // budget (20/k lines) already guarantees k bands of copies fit the 20
-      // shared physical lines.
-      const auto pp = parallax::shots::plan_parallel_shots(
-          parallax_result, base_config, k, shot_options);
-      const auto pe = parallax::shots::plan_parallel_shots(eldi_result,
-                                                           base_config, k,
-                                                           shot_options);
-      const auto pg = parallax::shots::plan_parallel_shots(graphine_result,
-                                                           base_config, k,
-                                                           shot_options);
-      if (k == 1) parallax_serial = pp.total_execution_time_us;
-      parallax_best = pp.total_execution_time_us;
-      table.add_row({std::to_string(k * k),
-                     std::to_string(std::max(1, base_config.aod_rows / k)),
-                     pu::format_fixed(pg.total_execution_time_us * 1e-6, 4),
-                     pu::format_fixed(pe.total_execution_time_us * 1e-6, 4),
-                     pu::format_fixed(pp.total_execution_time_us * 1e-6, 4)});
-      ++printed;
-    }
-    std::printf("%s:\n%s", name.c_str(), table.to_string().c_str());
-    if (parallax_serial > 0 && printed > 1) {
-      std::printf("Parallax total-time reduction at max parallelism: %s "
-                  "(paper: 97%% average)\n",
-                  pu::format_percent(1.0 - parallax_best / parallax_serial)
-                      .c_str());
-    }
-    std::printf("\n");
-  }
-  std::printf("[fig11 completed in %.1fs]\n", stopwatch.seconds());
-  return 0;
-}
+int main() { return parallax::report::bench_main("fig11"); }

@@ -1,55 +1,10 @@
-// Fig. 12 (ablation): circuit runtime with vs without AOD atoms returning
-// to their home configuration after each move, on the 1,225-qubit machine
-// (the configuration whose runtimes the figure reports). Paper: returning
-// home is 40% faster on average and does not change the CZ count.
-#include "common.hpp"
+// Thin shim over the artifact registry's "fig12" entry (Fig. 12 home-return ablation).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench fig12 --serve off
+#include "report/orchestrator.hpp"
 
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble(
-      "Figure 12",
-      "Ablation: AOD home-return vs no-return runtimes (us), 1,225-qubit "
-      "machine; lower is better");
-
-  pb::Stopwatch stopwatch;
-  const auto config = parallax::hardware::HardwareConfig::atom_computing_1225();
-
-  // Two parallax-only sweeps differing in one scheduler flag; the annealed
-  // placement is identical (same seed derivation), so the comparison
-  // isolates the home-return step.
-  const auto with_home =
-      pb::compile_suite(pb::machine(config), {"parallax"});
-  auto options = pb::sweep_options();
-  options.compile.scheduler.return_home = false;
-  const auto without_home = pb::compile_suite(
-      pb::machine(config), {"parallax"}, pb::benchmark_names(), options);
-  pb::require_all_ok(with_home);
-  pb::require_all_ok(without_home);
-
-  pu::Table table({"Bench", "No home return", "With home return (Parallax)",
-                   "Change", "CZ equal?"});
-  double sum_change = 0.0;
-  int n = 0;
-  for (const auto& name : pb::benchmark_names()) {
-    const auto& a = with_home.at(name, "parallax").result;
-    const auto& b = without_home.at(name, "parallax").result;
-    const double change = b.runtime_us > 0
-                              ? (a.runtime_us - b.runtime_us) / b.runtime_us
-                              : 0.0;
-    sum_change += change;
-    ++n;
-    table.add_row({name, pu::format_compact(b.runtime_us),
-                   pu::format_compact(a.runtime_us),
-                   pu::format_percent(change),
-                   a.stats.cz_gates == b.stats.cz_gates ? "yes" : "NO"});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf(
-      "Average runtime change from home-return: %+.0f%% (paper: -40%% — "
-      "home-return is faster).\nCZ counts are identical in both modes, so "
-      "success probability is negligibly affected.\n",
-      100.0 * sum_change / std::max(1, n));
-  std::printf("[fig12 completed in %.1fs]\n", stopwatch.seconds());
-  return 0;
-}
+int main() { return parallax::report::bench_main("fig12"); }

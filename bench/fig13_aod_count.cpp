@@ -1,61 +1,10 @@
-// Fig. 13 (ablation): Parallax circuit runtime with 1, 5, 10, 20, 40 AOD
-// rows/columns, on the 256-qubit machine. Paper: 20 (the default) has the
-// lowest average runtime; 1 is clearly worst; 40 is not better than 20.
-//
-// The AOD variants are machine specs of one sweep, so all five compile runs
-// of a circuit share one memoized Graphine placement.
-#include <map>
+// Thin shim over the artifact registry's "fig13" entry (Fig. 13 AOD-count ablation).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench fig13 --serve off
+#include "report/orchestrator.hpp"
 
-#include "common.hpp"
-
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble(
-      "Figure 13",
-      "Ablation: Parallax runtime (us) vs AOD row/column count, 256-qubit "
-      "machine; lower is better");
-
-  pb::Stopwatch stopwatch;
-  const std::vector<std::int32_t> aod_counts{1, 5, 10, 20, 40};
-
-  std::vector<parallax::sweep::MachineSpec> machines;
-  for (const auto count : aod_counts) {
-    auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
-    config.aod_rows = config.aod_cols = count;
-    machines.push_back({"aod" + std::to_string(count), config});
-  }
-  const auto suite = pb::compile_suite(machines, {"parallax"});
-  pb::require_all_ok(suite);
-
-  pu::Table table({"Bench", "AOD 1", "AOD 5", "AOD 10", "AOD 20 (Parallax)",
-                   "AOD 40"});
-  std::map<std::int32_t, double> sum_normalized;
-  for (const auto& name : pb::benchmark_names()) {
-    std::vector<std::string> row{name};
-    std::map<std::int32_t, double> runtime;
-    double worst = 0.0;
-    for (const auto count : aod_counts) {
-      const auto& cell =
-          suite.at(name, "parallax", "aod" + std::to_string(count));
-      runtime[count] = cell.result.runtime_us;
-      worst = std::max(worst, cell.result.runtime_us);
-      row.push_back(pu::format_compact(cell.result.runtime_us));
-    }
-    for (const auto count : aod_counts) {
-      if (worst > 0) sum_normalized[count] += runtime[count] / worst;
-    }
-    table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf("Average runtime as %% of each benchmark's worst case (paper: "
-              "1-count 91%%, 5-count 71%%,\n10-count 68%%, 20-count 64%%, "
-              "40-count 68%%):\n");
-  const double n = static_cast<double>(pb::benchmark_names().size());
-  for (const auto count : aod_counts) {
-    std::printf("  AOD count %2d: %s\n", count,
-                pu::format_percent(sum_normalized[count] / n).c_str());
-  }
-  std::printf("[fig13 completed in %.1fs]\n", stopwatch.seconds());
-  return 0;
-}
+int main() { return parallax::report::bench_main("fig13"); }

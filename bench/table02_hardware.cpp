@@ -1,51 +1,10 @@
-// Table II: hardware parameters used for the evaluation. Prints the
-// simulator's defaults so every other bench's context is on record.
-#include "common.hpp"
+// Thin shim over the artifact registry's "table02" entry (Table II hardware parameters).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench table02 --serve off
+#include "report/orchestrator.hpp"
 
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble("Table II", "Hardware parameters used for evaluation");
-
-  const auto quera = parallax::hardware::HardwareConfig::quera_aquila_256();
-  const auto atom = parallax::hardware::HardwareConfig::atom_computing_1225();
-
-  pu::Table table({"Parameter", "Value", "Paper value"});
-  table.add_row({"Number of qubits",
-                 std::to_string(quera.n_atoms()) + " & " +
-                     std::to_string(atom.n_atoms()),
-                 "256 & 1,225"});
-  table.add_row({"Time to switch traps (us)",
-                 pu::format_fixed(quera.trap_switch_time_us, 0), "100"});
-  table.add_row({"AOD movement speed (um/us)",
-                 pu::format_fixed(quera.aod_speed_um_per_us, 0), "55"});
-  table.add_row({"T1 coherence time (s)", pu::format_fixed(quera.t1_seconds, 2),
-                 "4.0"});
-  table.add_row({"T2 coherence time (s)", pu::format_fixed(quera.t2_seconds, 2),
-                 "1.49"});
-  table.add_row({"SWAP gate error", pu::format_percent(quera.swap_error),
-                 "1.43%"});
-  table.add_row({"Atom loss rate", pu::format_percent(quera.atom_loss_rate),
-                 "0.7%"});
-  table.add_row({"U3 gate error", pu::format_percent(quera.u3_error),
-                 "0.0127%"});
-  table.add_row({"U3 gate time (us)", pu::format_fixed(quera.u3_time_us, 1),
-                 "2"});
-  table.add_row({"CZ gate error", pu::format_percent(quera.cz_error),
-                 "0.48%"});
-  table.add_row({"CZ gate time (us)", pu::format_fixed(quera.cz_time_us, 1),
-                 "0.8"});
-  table.add_row({"Readout error", pu::format_percent(quera.readout_error),
-                 "5%"});
-  table.add_row({"AOD rows x cols",
-                 std::to_string(quera.aod_rows) + " x " +
-                     std::to_string(quera.aod_cols),
-                 "20 x 20"});
-  table.add_row({"Min separation (um)",
-                 pu::format_fixed(quera.min_separation_um, 1),
-                 "(not stated)"});
-  table.add_row({"Site pitch = 2*sep + pad (um)",
-                 pu::format_fixed(quera.pitch_um(), 1), "(derived)"});
-  std::printf("%s\n", table.to_string().c_str());
-  return 0;
-}
+int main() { return parallax::report::bench_main("table02"); }

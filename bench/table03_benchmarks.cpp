@@ -1,27 +1,10 @@
-// Table III: the benchmark suite. Prints per-circuit statistics of the
-// generated circuits (qubits as in the paper; gate counts from our
-// generators after transpilation to the {U3, CZ} basis).
-#include "common.hpp"
+// Thin shim over the artifact registry's "table03" entry (Table III benchmark suite).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench table03 --serve off
+#include "report/orchestrator.hpp"
 
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble("Table III",
-                     "Algorithms and benchmarks used for evaluation");
-
-  pu::Table table({"Acronym", "Qubits", "U3 gates", "CZ gates", "Depth",
-                   "Description"});
-  parallax::bench_circuits::GenOptions gen;
-  gen.seed = pb::master_seed();
-  gen.full_scale = pb::full_scale();
-  for (const auto& info : parallax::bench_circuits::all_benchmarks()) {
-    const auto circuit = info.make(gen);
-    const auto transpiled = parallax::circuit::transpile(circuit);
-    table.add_row({info.acronym, std::to_string(info.qubits),
-                   std::to_string(transpiled.u3_count()),
-                   std::to_string(transpiled.cz_count()),
-                   std::to_string(transpiled.depth()), info.description});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  return 0;
-}
+int main() { return parallax::report::bench_main("table03"); }

@@ -1,91 +1,10 @@
-// Table IV: single-shot circuit runtime (us) per technique on the 256-qubit
-// and 1,225-qubit machines. The paper's shape: Parallax can be slower on
-// the cramped 256-atom machine (trap changes against static atoms dominate)
-// and the differential shrinks — often reverses — at 1,225 atoms, where the
-// initial topology has room to be near-optimal.
-//
-// Both machines ride in one sweep; the memoized Graphine placement is shared
-// across all four (technique, machine) cells of each circuit that start from
-// Step 1.
-#include "common.hpp"
+// Thin shim over the artifact registry's "table04" entry (Table IV single-shot runtimes).
+// Spec construction and rendering live once in src/report
+// (report/artifacts.cpp); report::bench_main reads the PARALLAX_* knobs
+// documented in report/env.hpp, runs the artifact in-process (or against
+// the serve session PARALLAX_SERVE names), prints the rendered table on
+// stdout, and the session accounting epilogue on stderr. Equivalent to:
+//   parallax_cli bench table04 --serve off
+#include "report/orchestrator.hpp"
 
-int main() {
-  namespace pb = parallax::bench;
-  namespace pu = parallax::util;
-  pb::print_preamble(
-      "Table IV",
-      "Circuit runtime (us) on 256-qubit and 1,225-qubit machines; lower is "
-      "better");
-
-  pb::Stopwatch stopwatch;
-  const auto quera = parallax::hardware::HardwareConfig::quera_aquila_256();
-  const auto atom = parallax::hardware::HardwareConfig::atom_computing_1225();
-  const auto suite = pb::compile_suite(
-      {{quera.name, quera}, {atom.name, atom}});
-  pb::require_all_ok(suite);
-
-  pu::Table table({"Bench", "Eldi/256", "Graphine/256", "Parallax/256",
-                   "Eldi/1225", "Graphine/1225", "Parallax/1225",
-                   "P trap-chg 256", "P trap-chg 1225"});
-  int faster_on_1225 = 0;
-  for (const auto& name : pb::benchmark_names()) {
-    const auto& small = suite.at(name, "parallax", quera.name).result;
-    const auto& large = suite.at(name, "parallax", atom.name).result;
-    table.add_row(
-        {name,
-         pu::format_compact(suite.at(name, "eldi", quera.name).result.runtime_us),
-         pu::format_compact(
-             suite.at(name, "graphine", quera.name).result.runtime_us),
-         pu::format_compact(small.runtime_us),
-         pu::format_compact(suite.at(name, "eldi", atom.name).result.runtime_us),
-         pu::format_compact(
-             suite.at(name, "graphine", atom.name).result.runtime_us),
-         pu::format_compact(large.runtime_us),
-         std::to_string(small.stats.trap_changes),
-         std::to_string(large.stats.trap_changes)});
-    if (large.runtime_us <= small.runtime_us) {
-      ++faster_on_1225;
-    }
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf(
-      "Parallax runtime improves (or holds) on the larger machine for %d/18 "
-      "benchmarks —\nthe paper's scaling claim: more space -> near-optimal "
-      "topology -> fewer trap changes.\n",
-      faster_on_1225);
-
-  // Per-pass compile-time profile (ROADMAP item): where the compiler spends
-  // its wall clock, per Parallax pipeline stage on the 256-atom machine.
-  // "(c)" marks a stage whose product came from a cache — the in-sweep
-  // placement memo, or the persistent cache with PARALLAX_CACHE=1 (a whole
-  // row of (c) is a warm result-cache hit that ran no pass at all).
-  const auto& first_timings =
-      suite.at(pb::benchmark_names().front(), "parallax", quera.name)
-          .result.pass_timings;
-  std::vector<std::string> headers = {"Bench"};
-  for (const auto& timing : first_timings) headers.push_back(timing.pass);
-  headers.push_back("total");
-  pu::Table timing_table(headers);
-  const auto format_pass = [](double seconds, bool cached) {
-    char buffer[48];
-    std::snprintf(buffer, sizeof(buffer), "%.1fms%s", seconds * 1e3,
-                  cached ? " (c)" : "");
-    return std::string(buffer);
-  };
-  for (const auto& name : pb::benchmark_names()) {
-    const auto& cell = suite.at(name, "parallax", quera.name);
-    std::vector<std::string> row = {name};
-    double total = 0.0;
-    for (const auto& timing : cell.result.pass_timings) {
-      row.push_back(format_pass(timing.seconds, timing.cached));
-      total += timing.seconds;
-    }
-    row.push_back(format_pass(total, cell.from_cache));
-    timing_table.add_row(row);
-  }
-  std::printf("\nParallax per-pass compile time on %s ((c) = cache hit):\n%s\n",
-              quera.name.c_str(), timing_table.to_string().c_str());
-
-  std::printf("[table04 completed in %.1fs]\n", stopwatch.seconds());
-  return 0;
-}
+int main() { return parallax::report::bench_main("table04"); }

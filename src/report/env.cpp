@@ -1,0 +1,61 @@
+#include "report/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/parse.hpp"
+
+namespace parallax::report {
+
+namespace {
+
+/// Strict whole-string u64; unset/empty yields `fallback`, garbage throws
+/// naming the variable.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const auto parsed = util::parse_u64(value);
+  if (!parsed) {
+    throw EnvError(std::string(name) + "='" + value +
+                   "' is not a non-negative integer");
+  }
+  return *parsed;
+}
+
+/// Boolean knobs are exactly "0" or "1" — the old env[0]=='1' reading
+/// silently accepted ("10") and ignored ("yes") lookalikes.
+bool env_bool(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return false;
+  const std::string text(value);
+  if (text == "1") return true;
+  if (text == "0") return false;
+  throw EnvError(std::string(name) + "='" + text + "' must be 0 or 1");
+}
+
+}  // namespace
+
+EnvConfig EnvConfig::from_environment() {
+  EnvConfig config;
+  config.seed = env_u64("PARALLAX_SEED", 42);
+  config.full_scale = env_bool("PARALLAX_FULL_SCALE");
+  config.threads =
+      static_cast<std::size_t>(env_u64("PARALLAX_THREADS", 0));
+  config.cache = env_bool("PARALLAX_CACHE");
+  if (const char* dir = std::getenv("PARALLAX_CACHE_DIR")) {
+    config.cache_dir = dir;
+  }
+  config.cache_max_disk_bytes = env_u64("PARALLAX_CACHE_MAX_DISK_BYTES", 0);
+  // Clamped in 64 bits before narrowing so an absurd value can neither wrap
+  // to 0 nor spin millions of empty shards (0 and 1 both mean unsharded).
+  const std::uint64_t shards =
+      std::min<std::uint64_t>(env_u64("PARALLAX_SHARDS", 1), 1u << 20);
+  config.shards = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      shards, 1));
+  if (const char* socket = std::getenv("PARALLAX_SERVE")) {
+    config.serve_socket = socket;
+  }
+  return config;
+}
+
+}  // namespace parallax::report

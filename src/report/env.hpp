@@ -1,0 +1,60 @@
+// The bench harness environment, parsed once. Every PARALLAX_* knob the
+// bench shims honor lives in this one documented struct, so a knob cannot
+// be read with different defaults (or different clamping) in different
+// binaries — the old per-binary getenv/strtoull sprinkling is gone.
+//
+// Parsing is strict (util/parse): PARALLAX_SEED=banana is a reported error
+// naming the variable, never strtoull's silent 0.
+//
+// Knobs:
+//   PARALLAX_SEED=<n>       master seed (default 42).
+//   PARALLAX_FULL_SCALE=0|1 paper-scale VQE (~450k gates) instead of the
+//                           reduced default (default 0).
+//   PARALLAX_THREADS=<n>    sweep worker threads (default 0 = hardware).
+//   PARALLAX_CACHE=0|1      persist placements/results in the compilation
+//                           cache so a bench rerun skips every anneal it
+//                           has seen (default 0).
+//   PARALLAX_CACHE_DIR=<d>  cache root (default .parallax-cache; consumed
+//                           by cache::default_directory, recorded here).
+//   PARALLAX_CACHE_MAX_DISK_BYTES=<n>
+//                           disk-tier budget; over-budget entries are
+//                           evicted LRU-by-index-order (default 0 =
+//                           unbounded).
+//   PARALLAX_SHARDS=<n>     partition every sweep into n shards and merge
+//                           (byte-identical results). 0 and 1 both mean
+//                           unsharded; values above 2^20 clamp to 2^20 so
+//                           an absurd count can neither wrap nor spin
+//                           millions of empty shards.
+//   PARALLAX_SERVE=<path>   route every sweep to the long-lived
+//                           `parallax serve --socket <path>` session
+//                           instead of compiling in-process.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace parallax::report {
+
+/// Thrown by EnvConfig::from_environment on a malformed variable; the
+/// message names the variable and the rejected value.
+class EnvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct EnvConfig {
+  std::uint64_t seed = 42;
+  bool full_scale = false;
+  std::size_t threads = 0;
+  bool cache = false;
+  std::string cache_dir;
+  std::uint64_t cache_max_disk_bytes = 0;
+  std::uint32_t shards = 1;
+  std::string serve_socket;
+
+  /// Reads and validates every knob above. Throws EnvError on garbage.
+  [[nodiscard]] static EnvConfig from_environment();
+};
+
+}  // namespace parallax::report

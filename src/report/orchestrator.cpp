@@ -1,0 +1,155 @@
+#include "report/orchestrator.hpp"
+
+#include <exception>
+#include <memory>
+
+#include "report/env.hpp"
+#include "util/stopwatch.hpp"
+
+namespace parallax::report {
+
+std::vector<ArtifactOutcome> run_artifacts(
+    const Registry& registry, const std::vector<std::string>& names,
+    Runner& runner, const OrchestratorOptions& options, std::FILE* out,
+    std::FILE* log) {
+  // Validate every name up front: a typo must fail before hours of sweeps.
+  for (const auto& name : names) (void)registry.at(name);
+
+  std::vector<ArtifactOutcome> outcomes;
+  for (const auto& name : names) {
+    const Artifact& artifact = registry.at(name);
+    ArtifactOutcome outcome;
+    outcome.name = name;
+    const util::Stopwatch stopwatch;
+    std::size_t sweep_index = 0;
+    try {
+      const Rendered rendered = generate(
+          artifact, options.report, [&](const shard::SweepSpec& spec) {
+            ++sweep_index;
+            sweep::Result result = runner.run(spec);
+            if (options.progress) {
+              std::fprintf(
+                  log,
+                  "[%s] sweep %zu: %zu cells, %zu result hits, "
+                  "anneals=%zu in %.1fs\n",
+                  name.c_str(), sweep_index, result.cells.size(),
+                  result.result_cache_hits, result.anneals,
+                  result.wall_seconds);
+            }
+            return result;
+          });
+      // Render incrementally: each artifact's document is flushed as soon
+      // as its sweeps complete, so a long `--all` run shows results as the
+      // session streams through them.
+      const std::string document =
+          render(rendered, options.report, options.format);
+      std::fwrite(document.data(), 1, document.size(), out);
+      std::fflush(out);
+      if (!rendered.volatile_text.empty()) {
+        std::fprintf(log, "\n[%s] %s\n", name.c_str(),
+                     rendered.volatile_text.c_str());
+      }
+      outcome.ok = true;
+    } catch (const std::exception& error) {
+      outcome.error = error.what();
+      std::fprintf(log, "[%s] FAILED: %s\n", name.c_str(), error.what());
+    }
+    outcome.wall_seconds = stopwatch.seconds();
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+void print_accounting(std::FILE* log, std::size_t artifacts,
+                      const RunTotals& totals, double session_seconds) {
+  const std::uint64_t lookups =
+      totals.result_cache_hits + totals.result_cache_misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(totals.result_cache_hits) /
+                         static_cast<double>(lookups);
+  std::fprintf(log, "=== bench session accounting ===\n");
+  std::fprintf(log,
+               "artifacts: %zu   sweeps: %llu   cells: %llu "
+               "(%llu executed, %llu failed)\n",
+               artifacts, static_cast<unsigned long long>(totals.sweeps),
+               static_cast<unsigned long long>(totals.cells),
+               static_cast<unsigned long long>(totals.executed_cells),
+               static_cast<unsigned long long>(totals.failed_cells));
+  std::fprintf(log,
+               "result cache: %llu hits, %llu misses (%.1f%% hits)   "
+               "placements from disk: %llu\n",
+               static_cast<unsigned long long>(totals.result_cache_hits),
+               static_cast<unsigned long long>(totals.result_cache_misses),
+               hit_rate,
+               static_cast<unsigned long long>(totals.placement_disk_hits));
+  std::fprintf(log, "anneals: %llu\n",
+               static_cast<unsigned long long>(totals.anneals));
+  std::fprintf(log, "sweep wall: %.1fs   session wall: %.1fs\n",
+               totals.sweep_seconds, session_seconds);
+}
+
+void print_server_stats(std::FILE* log, const serve::SessionStats& stats) {
+  std::fprintf(
+      log,
+      "server session: %llu requests, %llu cells executed (%llu failed), "
+      "result cache %llu/%llu, placement cache %llu/%llu, anneals=%llu, "
+      "%zu threads%s, up %.1fs\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.cells_executed),
+      static_cast<unsigned long long>(stats.cells_failed),
+      static_cast<unsigned long long>(stats.result_cache_hits),
+      static_cast<unsigned long long>(stats.result_cache_misses),
+      static_cast<unsigned long long>(stats.placement_cache_hits),
+      static_cast<unsigned long long>(stats.placement_cache_misses),
+      static_cast<unsigned long long>(stats.anneals),
+      static_cast<std::size_t>(stats.threads),
+      stats.cache_enabled ? "" : ", no cache", stats.uptime_seconds);
+}
+
+int bench_main(const char* artifact_name) noexcept {
+  try {
+    const EnvConfig env = EnvConfig::from_environment();
+
+    OrchestratorOptions options;
+    options.report.seed = env.seed;
+    options.report.full_scale = env.full_scale;
+    options.format = Format::kTable;
+
+    // The executor the environment asks for. A misconfigured or dead serve
+    // session fails the bench loudly — silently compiling locally would
+    // misreport the session's warm-cache story.
+    std::unique_ptr<serve::Client> client;
+    std::unique_ptr<Runner> runner;
+    if (!env.serve_socket.empty()) {
+      client = std::make_unique<serve::Client>(env.serve_socket);
+      runner = std::make_unique<ClientRunner>(*client);
+    } else {
+      InProcessRunner::Config config;
+      config.n_threads = env.threads;
+      config.shards = env.shards;
+      if (env.cache) {
+        cache::CacheOptions cache_options;
+        cache_options.max_disk_bytes = env.cache_max_disk_bytes;
+        config.cache = cache::CompilationCache::open(cache_options);
+      }
+      runner = std::make_unique<InProcessRunner>(std::move(config));
+    }
+
+    const util::Stopwatch stopwatch;
+    const auto outcomes =
+        run_artifacts(Registry::global(), {artifact_name}, *runner, options,
+                      stdout, stderr);
+    print_accounting(stderr, outcomes.size(), runner->totals(),
+                     stopwatch.seconds());
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok) return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", artifact_name, error.what());
+    return 1;
+  }
+}
+
+}  // namespace parallax::report

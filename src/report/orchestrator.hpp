@@ -1,0 +1,60 @@
+// The bench orchestrator: drives any subset of the artifact registry
+// through one Runner (one warm session), rendering each artifact to `out`
+// as soon as its sweeps complete and printing progress, volatile extras,
+// and the session-wide accounting epilogue to `log`. This is the engine
+// behind `parallax bench` and the thin bench shim binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report/artifact.hpp"
+#include "report/render.hpp"
+#include "report/runner.hpp"
+
+namespace parallax::report {
+
+struct OrchestratorOptions {
+  Options report;
+  Format format = Format::kTable;
+  /// Per-sweep progress lines on `log` ("[fig09] sweep 1/…"). Off for the
+  /// single-artifact shims, on for `parallax bench`.
+  bool progress = false;
+};
+
+struct ArtifactOutcome {
+  std::string name;
+  bool ok = false;
+  /// Non-empty when !ok (failed cells, request failure).
+  std::string error;
+  double wall_seconds = 0.0;
+};
+
+/// Runs each named artifact in order. Unknown names throw
+/// UnknownArtifactError before any work happens. A failing artifact is
+/// reported in its outcome (and on `log`) and the remaining artifacts still
+/// run. Rendered documents go to `out`; volatile extras to `log`.
+std::vector<ArtifactOutcome> run_artifacts(
+    const Registry& registry, const std::vector<std::string>& names,
+    Runner& runner, const OrchestratorOptions& options, std::FILE* out,
+    std::FILE* log);
+
+/// The session-wide accounting epilogue: artifacts, sweeps, cells, result
+/// hits (with hit rate), placement disk hits, anneals, wall clocks. Printed
+/// to `log` so the rendered stdout stays deterministic.
+void print_accounting(std::FILE* log, std::size_t artifacts,
+                      const RunTotals& totals, double session_seconds);
+
+/// The server's lifetime accounting (a STATS reply) — printed after the
+/// epilogue when the orchestrator ran against a socket session.
+void print_server_stats(std::FILE* log, const serve::SessionStats& stats);
+
+/// Entry point shared by the thin bench shim binaries: reads EnvConfig,
+/// builds the executor the environment asks for (PARALLAX_SERVE socket
+/// session, PARALLAX_SHARDS in-process sharding, plain in-process
+/// otherwise), renders `artifact_name` as a table on stdout, and prints the
+/// accounting epilogue on stderr. Returns a process exit code.
+int bench_main(const char* artifact_name) noexcept;
+
+}  // namespace parallax::report

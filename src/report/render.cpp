@@ -1,0 +1,121 @@
+#include "report/render.hpp"
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace parallax::report {
+
+namespace {
+
+std::string table_text(const Block& block) {
+  util::Table table(block.header);
+  for (const auto& row : block.rows) table.add_row(row);
+  return table.to_string();
+}
+
+}  // namespace
+
+std::string flat_line(std::string text) {
+  for (char& c : text) {
+    if (c == '\n') c = ' ';
+  }
+  return text;
+}
+
+std::optional<Format> parse_format(std::string_view name) {
+  if (name == "table") return Format::kTable;
+  if (name == "csv") return Format::kCsv;
+  if (name == "json") return Format::kJson;
+  return std::nullopt;
+}
+
+std::string_view format_name(Format format) noexcept {
+  switch (format) {
+    case Format::kTable:
+      return "table";
+    case Format::kCsv:
+      return "csv";
+    case Format::kJson:
+      return "json";
+  }
+  return "table";
+}
+
+std::string render_text(const Rendered& rendered, const Options& options) {
+  std::string out = "=== " + rendered.title + " ===\n" +
+                    rendered.description + "\nseed=" +
+                    std::to_string(options.seed) +
+                    " full_scale=" + (options.full_scale ? "1" : "0") +
+                    "\n\n";
+  for (const auto& block : rendered.blocks) {
+    if (!block.title.empty()) out += block.title + ":\n";
+    out += table_text(block);
+    for (const auto& note : block.notes) out += note + "\n";
+    out += "\n";
+  }
+  for (const auto& line : rendered.summary) out += line + "\n";
+  return out;
+}
+
+std::string render_csv(const Rendered& rendered) {
+  std::string out = "# " + rendered.artifact + ": " +
+                    flat_line(rendered.title) + " — " +
+                    flat_line(rendered.description) + "\n";
+  for (const auto& block : rendered.blocks) {
+    if (!block.title.empty()) out += "# " + flat_line(block.title) + "\n";
+    out += util::csv_line(block.header);
+    for (const auto& row : block.rows) out += util::csv_line(row);
+    for (const auto& note : block.notes) out += "# " + flat_line(note) + "\n";
+  }
+  for (const auto& line : rendered.summary) out += "# " + flat_line(line) + "\n";
+  return out;
+}
+
+std::string render_json(const Rendered& rendered) {
+  auto root = util::JsonValue::object();
+  root["artifact"] = rendered.artifact;
+  root["title"] = rendered.title;
+  root["description"] = rendered.description;
+  auto blocks = util::JsonValue::array();
+  for (const auto& block : rendered.blocks) {
+    auto block_json = util::JsonValue::object();
+    block_json["title"] = block.title;
+    auto header = util::JsonValue::array();
+    for (const auto& cell : block.header) header.push_back(cell);
+    block_json["header"] = std::move(header);
+    auto rows = util::JsonValue::array();
+    for (const auto& row : block.rows) {
+      auto row_json = util::JsonValue::array();
+      for (const auto& cell : row) row_json.push_back(cell);
+      rows.push_back(std::move(row_json));
+    }
+    block_json["rows"] = std::move(rows);
+    auto notes = util::JsonValue::array();
+    for (const auto& note : block.notes) notes.push_back(note);
+    block_json["notes"] = std::move(notes);
+    blocks.push_back(std::move(block_json));
+  }
+  root["blocks"] = std::move(blocks);
+  auto summary = util::JsonValue::array();
+  for (const auto& line : rendered.summary) summary.push_back(line);
+  root["summary"] = std::move(summary);
+  return root.dump(-1) + "\n";
+}
+
+std::string render(const Rendered& rendered, const Options& options,
+                   Format format) {
+  switch (format) {
+    case Format::kTable:
+      return render_text(rendered, options);
+    case Format::kCsv:
+      return render_csv(rendered);
+    case Format::kJson:
+      return render_json(rendered);
+  }
+  return render_text(rendered, options);
+}
+
+}  // namespace parallax::report

@@ -1,0 +1,50 @@
+// Output formats for rendered artifacts. The text format reproduces the
+// historical bench-binary layout (preamble, aligned tables, derived summary
+// lines); csv and json are machine-readable projections of the same
+// deterministic document — volatile extras (Rendered::volatile_text) are
+// excluded from all three and printed to stderr by the drivers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "report/artifact.hpp"
+
+namespace parallax::report {
+
+enum class Format { kTable, kCsv, kJson };
+
+/// Single-line projection of possibly multi-line text (embedded newlines
+/// become spaces) — used for CSV comment lines and `bench --list` rows.
+[[nodiscard]] std::string flat_line(std::string text);
+
+/// "table" / "csv" / "json"; nullopt otherwise.
+[[nodiscard]] std::optional<Format> parse_format(std::string_view name);
+[[nodiscard]] std::string_view format_name(Format format) noexcept;
+
+/// The historical bench-binary layout:
+///   === <title> ===
+///   <description>
+///   seed=<seed> full_scale=<0|1>
+///
+///   [<block title>:]
+///   <aligned table>
+///   [<block notes>]
+///
+///   <summary lines>
+[[nodiscard]] std::string render_text(const Rendered& rendered,
+                                      const Options& options);
+
+/// Comment-annotated CSV: `# artifact/title/summary` comment lines around
+/// one header+rows record set per block (util::csv escaping).
+[[nodiscard]] std::string render_csv(const Rendered& rendered);
+
+/// One compact JSON object (util::json) terminated by a newline — `--all`
+/// emits one object per line (JSON Lines).
+[[nodiscard]] std::string render_json(const Rendered& rendered);
+
+[[nodiscard]] std::string render(const Rendered& rendered,
+                                 const Options& options, Format format);
+
+}  // namespace parallax::report

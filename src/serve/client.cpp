@@ -43,6 +43,34 @@ void Client::quit() {
   }
 }
 
+SessionStats Client::stats() {
+  const std::uint64_t id = ++last_id_;
+  if (!write_all(fd_, stats_line(id))) {
+    throw ServeError("cannot write to the serve connection");
+  }
+  std::string bytes;
+  if (!read_exact(fd_, bytes, kFrameHeaderBytes)) {
+    throw ServeError("serve connection closed mid-response");
+  }
+  const FrameHeader header = parse_frame_header(bytes);
+  std::string payload;
+  if (!read_exact(fd_, payload,
+                  static_cast<std::size_t>(header.payload_size))) {
+    throw ServeError("serve connection closed mid-frame");
+  }
+  const Frame frame = decode_frame(header, payload);
+  if (frame.request_id != id) {
+    throw ServeError("serve response names an unexpected request id");
+  }
+  if (frame.type == FrameType::kError) {
+    throw ServeError("serve stats request rejected: " + frame.message);
+  }
+  if (frame.type != FrameType::kStats) {
+    throw ServeError("serve answered STATS with the wrong frame type");
+  }
+  return frame.stats;
+}
+
 ClientOutcome Client::run(
     const shard::SweepSpec& spec,
     const std::function<void(const sweep::Cell&)>& on_cell) {
@@ -80,6 +108,10 @@ ClientOutcome Client::run(
     switch (frame.type) {
       case FrameType::kError:
         throw ServeError("serve request rejected: " + frame.message);
+      case FrameType::kStats:
+        // Stats frames only answer STATS lines; one mid-run is a protocol
+        // violation like any other unexpected frame.
+        throw ServeError("serve streamed a stats frame into a SUBMIT");
       case FrameType::kDone:
         outcome.summary = std::move(frame.summary);
         done = true;
@@ -126,6 +158,7 @@ ClientOutcome Client::run(
   outcome.result.result_cache_hits = outcome.summary.result_cache_hits;
   outcome.result.result_cache_misses = outcome.summary.result_cache_misses;
   outcome.result.placement_disk_hits = outcome.summary.placement_disk_hits;
+  outcome.result.anneals = static_cast<std::size_t>(outcome.summary.anneals);
   outcome.result.wall_seconds = outcome.summary.wall_seconds;
   return outcome;
 }

@@ -48,6 +48,11 @@ class Client {
   ClientOutcome run(const shard::SweepSpec& spec,
                     const std::function<void(const sweep::Cell&)>& on_cell = {});
 
+  /// Queries the session-wide accounting snapshot (requests served, cells
+  /// executed, cache hit and anneal counters). Throws ServeError on any
+  /// connection or protocol failure, including a kError response.
+  SessionStats stats();
+
   /// Asks the server to stop this connection after in-flight work drains.
   void quit();
 

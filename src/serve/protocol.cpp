@@ -66,6 +66,36 @@ Summary decode_summary(Reader& reader) {
   return summary;
 }
 
+void encode_session_stats(Writer& writer, const SessionStats& stats) {
+  writer.u64(stats.requests);
+  writer.u64(stats.cells_executed);
+  writer.u64(stats.cells_failed);
+  writer.u64(stats.result_cache_hits);
+  writer.u64(stats.result_cache_misses);
+  writer.u64(stats.placement_cache_hits);
+  writer.u64(stats.placement_cache_misses);
+  writer.u64(stats.anneals);
+  writer.u64(stats.threads);
+  writer.boolean(stats.cache_enabled);
+  writer.f64(stats.uptime_seconds);
+}
+
+SessionStats decode_session_stats(Reader& reader) {
+  SessionStats stats;
+  stats.requests = reader.u64();
+  stats.cells_executed = reader.u64();
+  stats.cells_failed = reader.u64();
+  stats.result_cache_hits = reader.u64();
+  stats.result_cache_misses = reader.u64();
+  stats.placement_cache_hits = reader.u64();
+  stats.placement_cache_misses = reader.u64();
+  stats.anneals = reader.u64();
+  stats.threads = reader.u64();
+  stats.cache_enabled = reader.boolean();
+  stats.uptime_seconds = reader.f64();
+  return stats;
+}
+
 }  // namespace
 
 std::string submit_line(std::uint64_t id, const shard::SweepSpec& spec) {
@@ -75,6 +105,10 @@ std::string submit_line(std::uint64_t id, const shard::SweepSpec& spec) {
 
 std::string cancel_line(std::uint64_t id) {
   return "CANCEL " + std::to_string(id) + '\n';
+}
+
+std::string stats_line(std::uint64_t id) {
+  return "STATS " + std::to_string(id) + '\n';
 }
 
 std::string quit_line() { return "QUIT\n"; }
@@ -90,9 +124,9 @@ RequestLine parse_request_line(std::string_view line) {
     request.verb = RequestLine::Verb::kQuit;
     return request;
   }
-  if (verb != "SUBMIT" && verb != "CANCEL") {
+  if (verb != "SUBMIT" && verb != "CANCEL" && verb != "STATS") {
     throw ServeError("unknown request verb '" + verb +
-                     "' (use SUBMIT, CANCEL, QUIT)");
+                     "' (use SUBMIT, CANCEL, STATS, QUIT)");
   }
   if (!(in >> id_token)) throw ServeError(verb + " needs a request id");
   const auto id = util::parse_u64(id_token);
@@ -101,9 +135,10 @@ RequestLine parse_request_line(std::string_view line) {
                      "' is not a non-negative integer");
   }
   request.id = *id;
-  if (verb == "CANCEL") {
-    if (in >> extra) throw ServeError("CANCEL takes only a request id");
-    request.verb = RequestLine::Verb::kCancel;
+  if (verb == "CANCEL" || verb == "STATS") {
+    if (in >> extra) throw ServeError(verb + " takes only a request id");
+    request.verb = verb == "CANCEL" ? RequestLine::Verb::kCancel
+                                    : RequestLine::Verb::kStats;
     return request;
   }
   if (!(in >> payload_token)) {
@@ -131,6 +166,12 @@ std::string done_frame(std::uint64_t request_id, const Summary& summary) {
   return frame(FrameType::kDone, request_id, writer.take());
 }
 
+std::string stats_frame(std::uint64_t request_id, const SessionStats& stats) {
+  Writer writer;
+  encode_session_stats(writer, stats);
+  return frame(FrameType::kStats, request_id, writer.take());
+}
+
 std::string error_frame(std::uint64_t request_id, std::string_view message) {
   Writer writer;
   writer.str(message);
@@ -149,6 +190,7 @@ FrameHeader parse_frame_header(std::string_view bytes) {
   const std::uint32_t type = reader.u32();
   if (type != static_cast<std::uint32_t>(FrameType::kCell) &&
       type != static_cast<std::uint32_t>(FrameType::kDone) &&
+      type != static_cast<std::uint32_t>(FrameType::kStats) &&
       type != static_cast<std::uint32_t>(FrameType::kError)) {
     throw ServeError("serve frame has an unknown type");
   }
@@ -180,6 +222,9 @@ Frame decode_frame(const FrameHeader& header, std::string_view payload) {
       break;
     case FrameType::kDone:
       result.summary = decode_summary(reader);
+      break;
+    case FrameType::kStats:
+      result.stats = decode_session_stats(reader);
       break;
     case FrameType::kError:
       result.message = reader.str();

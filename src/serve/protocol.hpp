@@ -7,6 +7,8 @@
 //                         shard/spec.hpp sweep-spec serialization
 //                         (serialize_sweep_spec) in lowercase hex
 //   CANCEL <id>           cooperatively cancel an in-flight request
+//   STATS <id>            query session-wide accounting (requests served,
+//                         cells executed, cache hit/anneal counters)
 //   QUIT                  stop after draining in-flight requests
 //
 // Responses travel server -> client as length-prefixed binary frames, each
@@ -16,6 +18,7 @@
 //           as it finishes — completion order, not matrix order
 //   kDone   the request's completion summary; exactly one per request,
 //           after its last kCell frame
+//   kStats  the session-wide accounting snapshot answering a STATS line
 //   kError  a rejected request line / unknown id / service failure; the
 //           connection survives (request id 0 when the line was too
 //           malformed to carry one)
@@ -45,12 +48,33 @@ class ServeError : public std::runtime_error {
 };
 
 /// Bump to retire every peer speaking an older framing (encoding change).
-inline constexpr std::uint32_t kServeVersion = 1;
+/// v2: STATS request verb + kStats response frame.
+inline constexpr std::uint32_t kServeVersion = 2;
 
 enum class FrameType : std::uint32_t {
   kCell = 1,
   kDone = 2,
   kError = 3,
+  kStats = 4,
+};
+
+/// Session-wide accounting snapshot — the kStats payload. Counters cover
+/// every request the service completed since it started; the cache counters
+/// are the session CompilationCache's own hit/miss tallies (all zero when
+/// the service runs cacheless).
+struct SessionStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cells_executed = 0;
+  std::uint64_t cells_failed = 0;
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t result_cache_misses = 0;
+  std::uint64_t placement_cache_hits = 0;
+  std::uint64_t placement_cache_misses = 0;
+  /// Graphine anneals the session actually paid for across all requests.
+  std::uint64_t anneals = 0;
+  std::uint64_t threads = 0;
+  bool cache_enabled = false;
+  double uptime_seconds = 0.0;
 };
 
 /// Per-request completion summary — the kDone payload.
@@ -79,7 +103,7 @@ struct Summary {
 // --- request lines (client -> server) -----------------------------------------
 
 struct RequestLine {
-  enum class Verb { kSubmit, kCancel, kQuit };
+  enum class Verb { kSubmit, kCancel, kStats, kQuit };
   Verb verb = Verb::kQuit;
   std::uint64_t id = 0;
   /// kSubmit only.
@@ -89,6 +113,7 @@ struct RequestLine {
 [[nodiscard]] std::string submit_line(std::uint64_t id,
                                       const shard::SweepSpec& spec);
 [[nodiscard]] std::string cancel_line(std::uint64_t id);
+[[nodiscard]] std::string stats_line(std::uint64_t id);
 [[nodiscard]] std::string quit_line();
 
 /// Parses one request line (no trailing newline). Throws ServeError on an
@@ -113,6 +138,7 @@ struct Frame {
   std::uint64_t request_id = 0;
   sweep::Cell cell;     // kCell
   Summary summary;      // kDone
+  SessionStats stats;   // kStats
   std::string message;  // kError
 };
 
@@ -120,6 +146,8 @@ struct Frame {
                                      const sweep::Cell& cell);
 [[nodiscard]] std::string done_frame(std::uint64_t request_id,
                                      const Summary& summary);
+[[nodiscard]] std::string stats_frame(std::uint64_t request_id,
+                                      const SessionStats& stats);
 [[nodiscard]] std::string error_frame(std::uint64_t request_id,
                                       std::string_view message);
 

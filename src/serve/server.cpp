@@ -102,6 +102,12 @@ std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
     switch (request.verb) {
       case RequestLine::Verb::kQuit:
         return false;
+      case RequestLine::Verb::kStats:
+        // Answered immediately from this reader thread — a session-wide
+        // snapshot must be queryable while a sweep is still in flight (the
+        // FrameSink serializes it against concurrently streaming cells).
+        sink.write_frame(stats_frame(request.id, service.session_stats()));
+        return true;
       case RequestLine::Verb::kCancel: {
         std::shared_ptr<Ticket> ticket;
         {

@@ -100,12 +100,39 @@ void SweepService::dispatch_loop() {
       running_ = ticket;
     }
     Summary summary = execute(*ticket);
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    cells_executed_.fetch_add(summary.executed_cells,
+                              std::memory_order_relaxed);
+    cells_failed_.fetch_add(summary.failed_cells, std::memory_order_relaxed);
+    anneals_.fetch_add(summary.anneals, std::memory_order_relaxed);
     {
       std::lock_guard lock(mutex_);
       running_.reset();
     }
     ticket->finish(std::move(summary));
   }
+}
+
+SessionStats SweepService::session_stats() const {
+  SessionStats stats;
+  stats.requests = requests_completed_.load(std::memory_order_relaxed);
+  stats.cells_executed = cells_executed_.load(std::memory_order_relaxed);
+  stats.cells_failed = cells_failed_.load(std::memory_order_relaxed);
+  stats.anneals = anneals_.load(std::memory_order_relaxed);
+  stats.threads = pool_.size();
+  if (options_.cache) {
+    stats.cache_enabled = true;
+    const cache::CacheStats cache_stats = options_.cache->stats();
+    stats.result_cache_hits = cache_stats.result_hits;
+    stats.result_cache_misses = cache_stats.result_misses;
+    stats.placement_cache_hits = cache_stats.placement_hits;
+    stats.placement_cache_misses = cache_stats.placement_misses;
+  }
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  return stats;
 }
 
 Summary SweepService::execute(Ticket& ticket) {
@@ -129,7 +156,7 @@ Summary SweepService::execute(Ticket& ticket) {
     const sweep::Result result =
         sweep::run(ticket.spec_.circuits, ticket.spec_.techniques,
                    ticket.spec_.machines, options, registry_);
-    summary.anneals = placement::annealing_invocations() - anneals_before;
+    summary.anneals = result.anneals;
     summary.cancelled = result.cancelled;
     summary.result_cache_hits = result.result_cache_hits;
     summary.result_cache_misses = result.result_cache_misses;

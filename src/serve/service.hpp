@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -108,6 +109,13 @@ class SweepService {
   }
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
 
+  /// Session-wide accounting since construction: completed requests, cells
+  /// executed/failed, anneals paid, and the session cache's own hit/miss
+  /// counters. Callable from any thread (this is what a STATS request line
+  /// reads, answered from the connection's reader thread while a sweep may
+  /// be in flight).
+  [[nodiscard]] SessionStats session_stats() const;
+
  private:
   void dispatch_loop();
   [[nodiscard]] Summary execute(Ticket& ticket);
@@ -115,6 +123,14 @@ class SweepService {
   ServiceOptions options_;
   const technique::Registry& registry_;
   util::ThreadPool pool_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+
+  // Session accounting, folded in as each request completes.
+  std::atomic<std::uint64_t> requests_completed_{0};
+  std::atomic<std::uint64_t> cells_executed_{0};
+  std::atomic<std::uint64_t> cells_failed_{0};
+  std::atomic<std::uint64_t> anneals_{0};
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -193,11 +193,10 @@ ShardRun run_shard(const ShardSpec& spec, const RunnerOptions& runner,
           : "shard-" + std::to_string(spec.shard_index) + "/" +
                 std::to_string(spec.shard_count) + "@" + local_host_name();
 
-  const std::uint64_t anneals_before = placement::annealing_invocations();
   sweep::Result swept =
       sweep::run(spec.sweep.circuits, spec.sweep.techniques,
                  spec.sweep.machines, options, registry);
-  run.anneals = placement::annealing_invocations() - anneals_before;
+  run.anneals = swept.anneals;
   fold_sweep_accounting(run, swept);
   run.cells.reserve(owned.size());
   for (auto& cell : swept.cells) {
@@ -261,6 +260,7 @@ sweep::Result merge(std::vector<ShardRun> runs) {
     merged.placement_disk_hits += run.placement_disk_hits;
     merged.result_cache_hits += run.result_cache_hits;
     merged.result_cache_misses += run.result_cache_misses;
+    merged.anneals += static_cast<std::size_t>(run.anneals);
     merged.wall_seconds = std::max(merged.wall_seconds, run.wall_seconds);
     merged.threads_used = std::max(merged.threads_used,
                                    static_cast<std::size_t>(run.threads_used));
@@ -319,6 +319,7 @@ sweep::Result run_sharded(const std::vector<sweep::CircuitSpec>& circuits,
     merged.placement_disk_hits += swept.placement_disk_hits;
     merged.result_cache_hits += swept.result_cache_hits;
     merged.result_cache_misses += swept.result_cache_misses;
+    merged.anneals += swept.anneals;
     merged.threads_used = std::max(merged.threads_used, swept.threads_used);
   }
   merged.wall_seconds = stopwatch.seconds();

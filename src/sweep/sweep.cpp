@@ -12,6 +12,7 @@
 
 #include "circuit/interaction_graph.hpp"
 #include "circuit/transpile.hpp"
+#include "placement/graphine.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -367,7 +368,10 @@ Result run(const std::vector<CircuitSpec>& circuits,
     if (options.on_cell) options.on_cell(cell);
   };
 
+  const std::uint64_t anneals_before = placement::annealing_invocations();
   pool->parallel_for(sweep_result.cells.size(), run_cell);
+  sweep_result.anneals = static_cast<std::size_t>(
+      placement::annealing_invocations() - anneals_before);
   for (const Cell& cell : sweep_result.cells) {
     if (cell.cancelled) {
       sweep_result.cancelled = true;

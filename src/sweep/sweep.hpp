@@ -178,6 +178,12 @@ struct Result {
   /// stored.
   std::size_t result_cache_hits = 0;
   std::size_t result_cache_misses = 0;
+  /// Graphine anneals this run actually paid for — 0 for a fully warm sweep.
+  /// Counted from the process-global placement::annealing_invocations()
+  /// counter, so two sweep::run calls executing concurrently in one process
+  /// attribute each other's anneals; every driver in the repo (bench, shard,
+  /// serve) runs sweeps sequentially.
+  std::size_t anneals = 0;
 
   /// Cell lookup by labels; empty `machine` matches the sole machine of a
   /// single-machine sweep (std::logic_error if the sweep had several).

@@ -5,21 +5,7 @@
 
 namespace parallax::util {
 
-CsvWriter::CsvWriter(const std::string& path,
-                     const std::vector<std::string>& header)
-    : out_(path), cols_(header.size()) {
-  if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
-  }
-  write_line(header);
-}
-
-void CsvWriter::add_row(const std::vector<std::string>& row) {
-  assert(row.size() == cols_);
-  write_line(row);
-}
-
-std::string CsvWriter::escape(const std::string& cell) {
+std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string quoted = "\"";
   for (char c : cell) {
@@ -30,12 +16,28 @@ std::string CsvWriter::escape(const std::string& cell) {
   return quoted;
 }
 
-void CsvWriter::write_line(const std::vector<std::string>& cells) {
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::string line;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i) line += ',';
+    line += csv_escape(cells[i]);
   }
-  out_ << '\n';
+  line += '\n';
+  return line;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), cols_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  out_ << csv_line(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  assert(row.size() == cols_);
+  out_ << csv_line(row);
 }
 
 }  // namespace parallax::util

@@ -1,5 +1,6 @@
-// Minimal CSV writer used by the bench harness to dump machine-readable
-// results next to the human-readable tables.
+// Minimal CSV writing: RFC-4180-style escaping as reusable string helpers
+// (what the report layer's --format csv renderer emits) plus a small
+// file-backed writer around them.
 #pragma once
 
 #include <fstream>
@@ -7,6 +8,13 @@
 #include <vector>
 
 namespace parallax::util {
+
+/// Quotes `cell` when it contains a comma, quote, or newline; embedded
+/// quotes are doubled. Cells without special characters pass through.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// One CSV record: escaped cells joined by commas, newline-terminated.
+[[nodiscard]] std::string csv_line(const std::vector<std::string>& cells);
 
 class CsvWriter {
  public:
@@ -19,9 +27,6 @@ class CsvWriter {
  private:
   std::ofstream out_;
   std::size_t cols_;
-
-  static std::string escape(const std::string& cell);
-  void write_line(const std::vector<std::string>& cells);
 };
 
 }  // namespace parallax::util

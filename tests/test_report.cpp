@@ -1,0 +1,454 @@
+// Report-layer tests. The acceptance core: every artifact renders an
+// identical document whether its sweeps run in-process, through an
+// in-process SweepService session, or through a serve::Client connection
+// (the differential guarantee `parallax bench --serve` rests on). Around
+// it: registry integrity (ten unique names, unknown names rejected,
+// duplicate registration rejected), spec serializability round trips,
+// renderer formats, strict EnvConfig parsing, and warm-session accounting
+// through the Runner layer.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "report/artifact.hpp"
+#include "report/env.hpp"
+#include "report/orchestrator.hpp"
+#include "report/render.hpp"
+#include "report/runner.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "shard/spec.hpp"
+#include "sweep/sweep.hpp"
+
+namespace fs = std::filesystem;
+namespace pc = parallax::cache;
+namespace rp = parallax::report;
+namespace sh = parallax::shard;
+namespace sv = parallax::serve;
+namespace sw = parallax::sweep;
+
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("parallax_report_" + tag + "_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Small-but-real report options: two Table III circuits keep every
+/// suite-driven artifact non-trivial while the whole pass stays fast.
+rp::Options small_options() {
+  rp::Options options;
+  options.seed = 7;
+  options.circuits = {"WST", "QV"};
+  return options;
+}
+
+std::string render_via(rp::Runner& runner, const rp::Artifact& artifact,
+                       const rp::Options& options) {
+  const rp::Rendered rendered =
+      rp::generate(artifact, options,
+                   [&](const sh::SweepSpec& spec) { return runner.run(spec); });
+  return rp::render_text(rendered, options);
+}
+
+const std::vector<std::string> kExpectedNames = {
+    "table02", "table03", "table04", "fig09",    "fig10",
+    "fig11",   "fig12",   "fig13",   "ablation", "compile-time"};
+
+}  // namespace
+
+// --- registry integrity -------------------------------------------------------
+
+TEST(ArtifactRegistry, HoldsAllTenPaperArtifactsInOrder) {
+  const rp::Registry& registry = rp::Registry::global();
+  EXPECT_EQ(registry.names(), kExpectedNames);
+  EXPECT_EQ(registry.size(), 10u);
+}
+
+TEST(ArtifactRegistry, NamesAreUniqueAndEntriesComplete) {
+  const rp::Registry& registry = rp::Registry::global();
+  std::set<std::string> seen;
+  for (const auto& name : registry.names()) {
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    const rp::Artifact& artifact = registry.at(name);
+    EXPECT_EQ(artifact.name, name);
+    EXPECT_FALSE(artifact.title.empty());
+    EXPECT_FALSE(artifact.description.empty());
+    EXPECT_TRUE(static_cast<bool>(artifact.plan));
+    EXPECT_TRUE(static_cast<bool>(artifact.render));
+  }
+}
+
+TEST(ArtifactRegistry, UnknownArtifactIsRejectedNamingTheKnownSet) {
+  const rp::Registry& registry = rp::Registry::global();
+  EXPECT_EQ(registry.find("fig99"), nullptr);
+  try {
+    (void)registry.at("fig99");
+    FAIL() << "expected UnknownArtifactError";
+  } catch (const rp::UnknownArtifactError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("fig99"), std::string::npos);
+    EXPECT_NE(what.find("fig09"), std::string::npos);  // lists known names
+  }
+}
+
+TEST(ArtifactRegistry, DuplicateRegistrationIsRejected) {
+  rp::Registry registry;
+  rp::Artifact artifact;
+  artifact.name = "twice";
+  registry.add(artifact);
+  EXPECT_THROW(registry.add(artifact), rp::ReportError);
+}
+
+// --- spec serializability -----------------------------------------------------
+
+// Every spec any artifact plans must round-trip through the shard codec —
+// this is what guarantees the whole registry can stream through a serve
+// session (no customize hooks, no cell filters, nothing process-local).
+TEST(ArtifactRegistry, EverySpecRoundTripsThroughTheWireCodec) {
+  const rp::Options options = small_options();
+  rp::InProcessRunner runner;
+  std::size_t specs_seen = 0;
+  for (const auto& name : rp::Registry::global().names()) {
+    const rp::Artifact& artifact = rp::Registry::global().at(name);
+    (void)rp::generate(artifact, options, [&](const sh::SweepSpec& spec) {
+      ++specs_seen;
+      const std::string bytes = sh::serialize_sweep_spec(spec);
+      const sh::SweepSpec reparsed = sh::parse_sweep_spec(bytes);
+      EXPECT_EQ(sh::spec_digest(reparsed), sh::spec_digest(spec))
+          << name << " spec does not round-trip";
+      return runner.run(spec);
+    });
+  }
+  // table02/table03 plan no sweeps; the other eight plan at least one each.
+  EXPECT_GE(specs_seen, 15u);
+}
+
+// --- differential rendering: in-process vs serve session ----------------------
+
+TEST(ReportDifferential, ServiceSessionRendersIdenticalDocuments) {
+  const rp::Options options = small_options();
+  rp::InProcessRunner in_process;
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  rp::ServiceRunner session(service);
+  for (const auto& name : rp::Registry::global().names()) {
+    const rp::Artifact& artifact = rp::Registry::global().at(name);
+    EXPECT_EQ(render_via(in_process, artifact, options),
+              render_via(session, artifact, options))
+        << "artifact " << name << " renders differently through a session";
+  }
+}
+
+TEST(ReportDifferential, SocketClientRendersIdenticalDocuments) {
+  const rp::Options options = small_options();
+  rp::InProcessRunner in_process;
+
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&] {
+    (void)sv::serve_connection(fds[0], fds[0], service);
+    ::close(fds[0]);
+  });
+  {
+    sv::Client client(fds[1]);
+    rp::ClientRunner remote(client);
+    // The full wire path for a representative single-phase artifact and the
+    // multi-phase fig11 (whose second phase depends on first-phase results).
+    for (const char* name : {"fig09", "fig11", "compile-time"}) {
+      const rp::Artifact& artifact = rp::Registry::global().at(name);
+      EXPECT_EQ(render_via(in_process, artifact, options),
+                render_via(remote, artifact, options))
+          << "artifact " << name << " renders differently over the wire";
+    }
+    client.quit();
+  }
+  server.join();
+}
+
+TEST(ReportDifferential, ShardedExecutionRendersIdenticalDocuments) {
+  const rp::Options options = small_options();
+  rp::InProcessRunner plain;
+  rp::InProcessRunner::Config sharded_config;
+  sharded_config.shards = 3;
+  rp::InProcessRunner sharded(std::move(sharded_config));
+  const rp::Artifact& artifact = rp::Registry::global().at("fig09");
+  EXPECT_EQ(render_via(plain, artifact, options),
+            render_via(sharded, artifact, options));
+}
+
+// --- runner accounting --------------------------------------------------------
+
+TEST(Runner, WarmRerunReportsFullHitsAndZeroAnneals) {
+  const rp::Options options = small_options();
+  const auto cache =
+      pc::CompilationCache::open({.directory = fresh_dir("runner")});
+  rp::InProcessRunner::Config config;
+  config.cache = cache;
+  rp::InProcessRunner runner(std::move(config));
+  const rp::Artifact& artifact = rp::Registry::global().at("fig09");
+
+  const std::string cold = render_via(runner, artifact, options);
+  const rp::RunTotals after_cold = runner.totals();
+  EXPECT_EQ(after_cold.sweeps, 1u);
+  EXPECT_GT(after_cold.anneals, 0u);
+  EXPECT_EQ(after_cold.result_cache_hits, 0u);
+
+  const std::string warm = render_via(runner, artifact, options);
+  const rp::RunTotals after_warm = runner.totals();
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(after_warm.sweeps, 2u);
+  EXPECT_EQ(after_warm.anneals, after_cold.anneals);  // nothing re-annealed
+  EXPECT_EQ(after_warm.result_cache_hits, after_cold.executed_cells);
+  EXPECT_EQ(after_warm.executed_cells, 2 * after_cold.executed_cells);
+  EXPECT_EQ(after_warm.failed_cells, 0u);
+}
+
+TEST(Runner, OnCellStreamsEveryExecutedCell) {
+  const rp::Options options = small_options();
+  rp::InProcessRunner runner;
+  std::atomic<std::size_t> streamed{0};
+  runner.set_on_cell([&](const sw::Cell&) { ++streamed; });
+  (void)render_via(runner, rp::Registry::global().at("fig09"), options);
+  EXPECT_EQ(streamed.load(), runner.totals().executed_cells);
+}
+
+TEST(Generate, FailedCellsFailTheArtifactLoudly) {
+  // A circuit that cannot fit the machine produces a failed cell; generate
+  // must refuse to render from partial results.
+  rp::Artifact artifact;
+  artifact.name = "doomed";
+  artifact.title = "Doomed";
+  artifact.description = "every cell fails";
+  artifact.plan = [](const rp::Options&,
+                     const std::vector<sw::Result>& prior) {
+    if (!prior.empty()) return std::vector<sh::SweepSpec>{};
+    parallax::circuit::Circuit big(500, "big500");
+    big.h(0);
+    big.cx(0, 499);
+    big.measure_all();
+    sh::SweepSpec spec;
+    spec.circuits = {{"big500", std::move(big)}};
+    spec.techniques = {"parallax"};
+    const auto config = parallax::hardware::HardwareConfig::quera_aquila_256();
+    spec.machines = {{config.name, config}};
+    return std::vector<sh::SweepSpec>{std::move(spec)};
+  };
+  artifact.render = [](const rp::Options&, const std::vector<sw::Result>&) {
+    return rp::Rendered{};
+  };
+  rp::InProcessRunner runner;
+  EXPECT_THROW(
+      (void)rp::generate(artifact, rp::Options{},
+                         [&](const sh::SweepSpec& spec) {
+                           return runner.run(spec);
+                         }),
+      rp::ReportError);
+}
+
+// --- renderers ----------------------------------------------------------------
+
+TEST(Render, TextReproducesTheBenchPreamble) {
+  rp::Options options;
+  options.seed = 11;
+  rp::InProcessRunner runner;
+  const rp::Rendered rendered = rp::generate(
+      rp::Registry::global().at("table02"), options,
+      [&](const sh::SweepSpec& spec) { return runner.run(spec); });
+  const std::string text = rp::render_text(rendered, options);
+  EXPECT_EQ(text.rfind("=== Table II ===\n", 0), 0u);
+  EXPECT_NE(text.find("\nseed=11 full_scale=0\n\n"), std::string::npos);
+  EXPECT_NE(text.find("Number of qubits"), std::string::npos);
+}
+
+TEST(Render, CsvEscapesAndAnnotates) {
+  rp::Rendered rendered;
+  rendered.artifact = "t";
+  rendered.title = "T";
+  rendered.description = "line one\nline two";
+  rp::Block block;
+  block.title = "b";
+  block.header = {"a", "b"};
+  block.rows = {{"plain", "has,comma"}, {"has\"quote", "x"}};
+  rendered.blocks.push_back(block);
+  rendered.summary = {"done"};
+  const std::string csv = rp::render_csv(rendered);
+  EXPECT_NE(csv.find("# t: T — line one line two\n"), std::string::npos);
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\",x\n"), std::string::npos);
+  EXPECT_NE(csv.find("# done\n"), std::string::npos);
+}
+
+TEST(Render, JsonIsOneCompactObjectPerArtifact) {
+  rp::Rendered rendered;
+  rendered.artifact = "fig";
+  rendered.title = "Fig";
+  rendered.description = "d";
+  rp::Block block;
+  block.header = {"h"};
+  block.rows = {{"v"}};
+  rendered.blocks.push_back(block);
+  const std::string json = rp::render_json(rendered);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 1);
+  EXPECT_NE(json.find(R"("artifact":"fig")"), std::string::npos);
+  EXPECT_NE(json.find(R"("rows":[["v"]])"), std::string::npos);
+}
+
+TEST(Render, FormatNamesRoundTrip) {
+  for (const auto format :
+       {rp::Format::kTable, rp::Format::kCsv, rp::Format::kJson}) {
+    EXPECT_EQ(rp::parse_format(rp::format_name(format)), format);
+  }
+  EXPECT_FALSE(rp::parse_format("xml").has_value());
+}
+
+// --- EnvConfig: one strict parse for every PARALLAX_* knob --------------------
+
+namespace {
+
+/// Scoped environment override; restores (unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+}  // namespace
+
+TEST(EnvConfig, DefaultsMatchTheDocumentedKnobs) {
+  for (const char* name :
+       {"PARALLAX_SEED", "PARALLAX_FULL_SCALE", "PARALLAX_THREADS",
+        "PARALLAX_CACHE", "PARALLAX_CACHE_MAX_DISK_BYTES", "PARALLAX_SHARDS",
+        "PARALLAX_SERVE", "PARALLAX_CACHE_DIR"}) {
+    ::unsetenv(name);
+  }
+  const rp::EnvConfig config = rp::EnvConfig::from_environment();
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_FALSE(config.full_scale);
+  EXPECT_EQ(config.threads, 0u);
+  EXPECT_FALSE(config.cache);
+  EXPECT_EQ(config.cache_max_disk_bytes, 0u);
+  EXPECT_EQ(config.shards, 1u);
+  EXPECT_TRUE(config.serve_socket.empty());
+}
+
+TEST(EnvConfig, ParsesEveryKnob) {
+  const ScopedEnv seed("PARALLAX_SEED", "123");
+  const ScopedEnv full("PARALLAX_FULL_SCALE", "1");
+  const ScopedEnv threads("PARALLAX_THREADS", "8");
+  const ScopedEnv cache("PARALLAX_CACHE", "1");
+  const ScopedEnv budget("PARALLAX_CACHE_MAX_DISK_BYTES", "4096");
+  const ScopedEnv shards("PARALLAX_SHARDS", "5");
+  const ScopedEnv serve("PARALLAX_SERVE", "/tmp/s.sock");
+  const rp::EnvConfig config = rp::EnvConfig::from_environment();
+  EXPECT_EQ(config.seed, 123u);
+  EXPECT_TRUE(config.full_scale);
+  EXPECT_EQ(config.threads, 8u);
+  EXPECT_TRUE(config.cache);
+  EXPECT_EQ(config.cache_max_disk_bytes, 4096u);
+  EXPECT_EQ(config.shards, 5u);
+  EXPECT_EQ(config.serve_socket, "/tmp/s.sock");
+}
+
+TEST(EnvConfig, GarbageIsAReportedErrorNamingTheVariable) {
+  {
+    const ScopedEnv bad("PARALLAX_SEED", "banana");
+    try {
+      (void)rp::EnvConfig::from_environment();
+      FAIL() << "expected EnvError";
+    } catch (const rp::EnvError& error) {
+      EXPECT_NE(std::string(error.what()).find("PARALLAX_SEED"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("banana"), std::string::npos);
+    }
+  }
+  {
+    const ScopedEnv bad("PARALLAX_SHARDS", "-2");
+    EXPECT_THROW((void)rp::EnvConfig::from_environment(), rp::EnvError);
+  }
+  {
+    const ScopedEnv bad("PARALLAX_THREADS", "4x");
+    EXPECT_THROW((void)rp::EnvConfig::from_environment(), rp::EnvError);
+  }
+  {
+    // The old harness accepted any string starting with '1' ("10", "1x");
+    // booleans are now exactly 0 or 1.
+    const ScopedEnv bad("PARALLAX_CACHE", "yes");
+    EXPECT_THROW((void)rp::EnvConfig::from_environment(), rp::EnvError);
+  }
+}
+
+TEST(EnvConfig, ShardCountsAreClampedNotWrapped) {
+  {
+    const ScopedEnv zero("PARALLAX_SHARDS", "0");
+    EXPECT_EQ(rp::EnvConfig::from_environment().shards, 1u);
+  }
+  {
+    const ScopedEnv huge("PARALLAX_SHARDS", "99999999999");
+    EXPECT_EQ(rp::EnvConfig::from_environment().shards, 1u << 20);
+  }
+}
+
+// --- orchestrator -------------------------------------------------------------
+
+TEST(Orchestrator, UnknownNameFailsBeforeAnyWork) {
+  rp::InProcessRunner runner;
+  rp::OrchestratorOptions options;
+  EXPECT_THROW((void)rp::run_artifacts(rp::Registry::global(),
+                                       {"table02", "fig99"}, runner, options,
+                                       stdout, stderr),
+               rp::UnknownArtifactError);
+  EXPECT_EQ(runner.totals().sweeps, 0u);
+}
+
+TEST(Orchestrator, RendersEachArtifactAndReportsOutcomes) {
+  const std::string out_path = fresh_dir("orc") + ".out";
+  fs::create_directories(fs::path(out_path).parent_path());
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::FILE* log = std::fopen("/dev/null", "w");
+  ASSERT_NE(log, nullptr);
+
+  rp::InProcessRunner runner;
+  rp::OrchestratorOptions options;
+  options.report = small_options();
+  const auto outcomes =
+      rp::run_artifacts(rp::Registry::global(), {"table02", "table03"},
+                        runner, options, out, log);
+  std::fclose(out);
+  std::fclose(log);
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_TRUE(outcomes[1].ok);
+
+  std::ifstream in(out_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("=== Table II ==="), std::string::npos);
+  EXPECT_NE(text.find("=== Table III ==="), std::string::npos);
+}

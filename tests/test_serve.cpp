@@ -586,3 +586,118 @@ TEST(ServeEndToEnd, ServiceShutdownReleasesWaitersAsCancelled) {
   EXPECT_TRUE(queued->done());
   EXPECT_TRUE(queued->wait().cancelled);
 }
+
+// --- STATS: session-wide accounting over the wire -----------------------------
+
+TEST(ServeProtocol, StatsLineRoundTrips) {
+  const sv::RequestLine parsed = sv::parse_request_line("STATS 9");
+  EXPECT_EQ(parsed.verb, sv::RequestLine::Verb::kStats);
+  EXPECT_EQ(parsed.id, 9u);
+  std::string line = sv::stats_line(9);
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  EXPECT_EQ(sv::parse_request_line(line).verb, sv::RequestLine::Verb::kStats);
+  EXPECT_THROW((void)sv::parse_request_line("STATS"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("STATS banana"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("STATS 1 2"), sv::ServeError);
+}
+
+TEST(ServeProtocol, StatsFrameRoundTrips) {
+  sv::SessionStats stats;
+  stats.requests = 3;
+  stats.cells_executed = 42;
+  stats.cells_failed = 1;
+  stats.result_cache_hits = 30;
+  stats.result_cache_misses = 12;
+  stats.placement_cache_hits = 7;
+  stats.placement_cache_misses = 5;
+  stats.anneals = 5;
+  stats.threads = 4;
+  stats.cache_enabled = true;
+  stats.uptime_seconds = 12.5;
+  const std::string frame = sv::stats_frame(11, stats);
+  const sv::FrameHeader header =
+      sv::parse_frame_header(frame.substr(0, sv::kFrameHeaderBytes));
+  EXPECT_EQ(header.type, sv::FrameType::kStats);
+  const sv::Frame decoded =
+      sv::decode_frame(header, frame.substr(sv::kFrameHeaderBytes));
+  EXPECT_EQ(decoded.request_id, 11u);
+  EXPECT_EQ(decoded.stats.requests, 3u);
+  EXPECT_EQ(decoded.stats.cells_executed, 42u);
+  EXPECT_EQ(decoded.stats.cells_failed, 1u);
+  EXPECT_EQ(decoded.stats.result_cache_hits, 30u);
+  EXPECT_EQ(decoded.stats.result_cache_misses, 12u);
+  EXPECT_EQ(decoded.stats.placement_cache_hits, 7u);
+  EXPECT_EQ(decoded.stats.placement_cache_misses, 5u);
+  EXPECT_EQ(decoded.stats.anneals, 5u);
+  EXPECT_EQ(decoded.stats.threads, 4u);
+  EXPECT_TRUE(decoded.stats.cache_enabled);
+  EXPECT_DOUBLE_EQ(decoded.stats.uptime_seconds, 12.5);
+
+  // Corruption is rejected like every other frame type.
+  std::string corrupt = frame;
+  corrupt[sv::kFrameHeaderBytes + 2] ^= 0x40;
+  EXPECT_THROW(
+      (void)sv::decode_frame(
+          sv::parse_frame_header(corrupt.substr(0, sv::kFrameHeaderBytes)),
+          corrupt.substr(sv::kFrameHeaderBytes)),
+      sv::ServeError);
+}
+
+TEST(SweepService, SessionStatsAccumulateAcrossRequests) {
+  const sh::SweepSpec spec = small_spec();
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("stats")});
+  sv::SweepService service(service_options);
+
+  const sv::SessionStats fresh = service.session_stats();
+  EXPECT_EQ(fresh.requests, 0u);
+  EXPECT_EQ(fresh.cells_executed, 0u);
+  EXPECT_TRUE(fresh.cache_enabled);
+  EXPECT_EQ(fresh.threads, 2u);
+
+  (void)service.submit(spec)->wait();
+  const sv::SessionStats cold = service.session_stats();
+  EXPECT_EQ(cold.requests, 1u);
+  EXPECT_EQ(cold.cells_executed, spec.total_cells());
+  EXPECT_EQ(cold.cells_failed, 0u);
+  EXPECT_GT(cold.anneals, 0u);
+
+  // A warm repeat adds cells and result hits but no anneals.
+  (void)service.submit(spec)->wait();
+  const sv::SessionStats warm = service.session_stats();
+  EXPECT_EQ(warm.requests, 2u);
+  EXPECT_EQ(warm.cells_executed, 2 * spec.total_cells());
+  EXPECT_EQ(warm.anneals, cold.anneals);
+  EXPECT_GE(warm.result_cache_hits, spec.total_cells());
+  EXPECT_GE(warm.uptime_seconds, 0.0);
+}
+
+TEST(ServeEndToEnd, ClientStatsQueriesTheSession) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&] {
+    (void)sv::serve_connection(fds[0], fds[0], service);
+    ::close(fds[0]);
+  });
+  {
+    sv::Client client(fds[1]);
+    const sv::SessionStats before = client.stats();
+    EXPECT_EQ(before.requests, 0u);
+    EXPECT_FALSE(before.cache_enabled);
+
+    const sv::ClientOutcome outcome = client.run(spec);
+    ASSERT_TRUE(outcome.summary.ok()) << outcome.summary.error;
+
+    const sv::SessionStats after = client.stats();
+    EXPECT_EQ(after.requests, 1u);
+    EXPECT_EQ(after.cells_executed, spec.total_cells());
+    EXPECT_EQ(after.anneals, outcome.summary.anneals);
+    client.quit();
+  }
+  server.join();
+}

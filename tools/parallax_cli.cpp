@@ -4,6 +4,7 @@
 //   parallax_cli --benchmark QAOA [options]
 //   parallax_cli --circuit file.qasm [options]
 //   parallax_cli --list-techniques
+//   parallax_cli bench [--all|NAME...] [options]
 //   parallax_cli cache stats|clear|prewarm [options]
 //   parallax_cli shard plan|run|merge [options]
 //   parallax_cli serve [start|spec|submit] [options]
@@ -26,6 +27,24 @@
 //   --max-disk-bytes N            cache disk-tier budget; over-budget
 //                                 entries are evicted LRU-by-index-order
 //                                 (default 0 = unbounded)
+//
+// Bench subcommand (the artifact registry: every paper table/figure as a
+// declarative entry in src/report, orchestrated against one warm session —
+// see report/orchestrator.hpp; regenerating the whole paper twice against
+// one session replays the second pass entirely from result hits):
+//   bench --list                      artifact names and titles
+//   bench [--all | NAME...]
+//         [--serve auto|off|SOCKET]   auto (default): one in-process warm
+//                                     serve session; off: plain in-process
+//                                     sweeps; SOCKET: a running
+//                                     `parallax serve --socket` session
+//         [--format table|csv|json]   rendered artifact documents (stdout;
+//                                     accounting epilogue on stderr)
+//         [--benchmarks A,B,...]      restrict suite artifacts to a subset
+//         [--seed N] [--threads N] [--full-scale]
+//         [--cache-dir DIR] [--no-cache] [--max-disk-bytes N]
+//         [--shards N]                (--serve off only) run every sweep as
+//                                     an n-shard partition-and-merge
 //
 // Cache subcommands (the paper's "load earlier results" option, automatic):
 //   cache stats    [--cache-dir DIR]           entry counts and sizes
@@ -66,6 +85,7 @@
 //   serve submit  --socket PATH --spec FILE [--out FILE]
 //                 submit a spec to a running service, wait for the
 //                 streamed cells, and write the canonical result bytes
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -84,6 +104,7 @@
 #include "parallax/report.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
+#include "report/orchestrator.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -91,6 +112,7 @@
 #include "sweep/sweep.hpp"
 #include "technique/registry.hpp"
 #include "util/parse.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -127,6 +149,13 @@ struct CliOptions {
   // serve subcommand state
   std::string serve_command;  // "start" | "spec" | "submit"
   std::string socket_path;
+  // bench subcommand state
+  bool bench_command = false;
+  std::string serve_mode = "auto";  // "auto" | "off" | a socket path
+  std::string format = "table";
+  bool all_artifacts = false;
+  bool list_artifacts = false;
+  bool full_scale = false;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -162,9 +191,16 @@ struct CliOptions {
                "               [--technique NAME|all] [--seed N] [--spread F]"
                " [--shots]\n"
                "       %s serve submit --socket PATH --spec FILE "
-               "[--out FILE]\n",
+               "[--out FILE]\n"
+               "       %s bench (--list | --all | NAME...) "
+               "[--serve auto|off|SOCKET]\n"
+               "               [--format table|csv|json] "
+               "[--benchmarks A,B,...] [--seed N]\n"
+               "               [--threads N] [--full-scale] "
+               "[--cache-dir DIR] [--no-cache]\n"
+               "               [--max-disk-bytes N] [--shards N]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -225,6 +261,9 @@ CliOptions parse_cli(int argc, char** argv) {
     }
     options.technique = "all";  // plan default: every technique
     first = 3;
+  } else if (argc > 1 && !std::strcmp(argv[1], "bench")) {
+    options.bench_command = true;
+    first = 2;
   } else if (argc > 1 && !std::strcmp(argv[1], "serve")) {
     // Bare `serve` (or `serve --socket ...`) starts the service; a word
     // after it selects the spec/submit helpers.
@@ -308,9 +347,20 @@ CliOptions parse_cli(int argc, char** argv) {
       options.origin = need_value(i);
     } else if (!std::strcmp(arg, "--shots")) {
       options.shots = true;
+    } else if (!std::strcmp(arg, "--serve")) {
+      options.serve_mode = need_value(i);
+    } else if (!std::strcmp(arg, "--format")) {
+      options.format = need_value(i);
+    } else if (!std::strcmp(arg, "--all")) {
+      options.all_artifacts = true;
+    } else if (!std::strcmp(arg, "--list")) {
+      options.list_artifacts = true;
+    } else if (!std::strcmp(arg, "--full-scale")) {
+      options.full_scale = true;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(argv[0]);
-    } else if (arg[0] != '-' && options.shard_command == "merge") {
+    } else if (arg[0] != '-' &&
+               (options.shard_command == "merge" || options.bench_command)) {
       options.inputs.push_back(arg);
     } else {
       usage(argv[0], (std::string("unknown option ") + arg).c_str());
@@ -337,7 +387,47 @@ CliOptions parse_cli(int argc, char** argv) {
       }
     }
   };
-  if (!options.cache_command.empty()) {
+  if (options.bench_command) {
+    allow_only("bench",
+               {"--all", "--list", "--serve", "--format", "--benchmarks",
+                "--seed", "--threads", "--full-scale", "--cache-dir",
+                "--no-cache", "--max-disk-bytes", "--shards"});
+    const int modes = (options.list_artifacts ? 1 : 0) +
+                      (options.all_artifacts ? 1 : 0) +
+                      (options.inputs.empty() ? 0 : 1);
+    if (modes != 1) {
+      usage(argv[0],
+            "bench needs exactly one of --list, --all, or artifact names "
+            "(see bench --list)");
+    }
+    if (options.shards != 0 && options.serve_mode != "off") {
+      usage(argv[0],
+            "--shards only applies to --serve off (a serve session executes "
+            "whole specs; sharding is the in-process campaign shape)");
+    }
+    if (options.serve_mode != "off" && options.serve_mode != "auto") {
+      // A socket session's threads and cache live in the server process;
+      // silently ignoring these would e.g. report warm-cache numbers to a
+      // user who asked for --no-cache.
+      for (const char* local_only :
+           {"--threads", "--cache-dir", "--no-cache", "--max-disk-bytes"}) {
+        if (std::find(seen_flags.begin(), seen_flags.end(), local_only) !=
+            seen_flags.end()) {
+          usage(argv[0],
+                (std::string(local_only) +
+                 " configures this process, not the serve session --serve "
+                 "names (set it on `parallax serve` instead)")
+                    .c_str());
+        }
+      }
+    }
+    if (!options.use_cache &&
+        (!options.cache_dir.empty() || options.max_disk_bytes != 0)) {
+      usage(argv[0],
+            "--no-cache contradicts --cache-dir/--max-disk-bytes (the warm "
+            "session story needs the cache)");
+    }
+  } else if (!options.cache_command.empty()) {
     if (options.cache_command == "prewarm") {
       allow_only("cache prewarm",
                  {"--cache-dir", "--max-disk-bytes", "--machine",
@@ -799,6 +889,104 @@ int run_serve_command(const CliOptions& cli, const char* argv0) {
   }
 }
 
+int run_bench_command(const CliOptions& cli, const char* argv0) {
+  namespace rp = parallax::report;
+  const rp::Registry& registry = rp::Registry::global();
+
+  if (cli.list_artifacts) {
+    for (const auto& name : registry.names()) {
+      const rp::Artifact& artifact = registry.at(name);
+      std::printf("%-12s  %-15s %s\n", name.c_str(), artifact.title.c_str(),
+                  rp::flat_line(artifact.description).c_str());
+    }
+    return 0;
+  }
+
+  rp::OrchestratorOptions options;
+  options.report.seed = cli.seed;
+  options.report.full_scale = cli.full_scale;
+  options.progress = true;
+  const auto format = rp::parse_format(cli.format);
+  if (!format) {
+    usage(argv0, ("--format expects table, csv, or json, got '" + cli.format +
+                  "'")
+                     .c_str());
+  }
+  options.format = *format;
+  if (!cli.benchmarks_csv.empty()) {
+    options.report.circuits = benchmark_acronyms(cli);
+    for (const auto& acronym : options.report.circuits) {
+      bool known = false;
+      for (const auto& info : parallax::bench_circuits::all_benchmarks()) {
+        if (info.acronym == acronym) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        usage(argv0,
+              ("--benchmarks names an unknown Table III acronym '" + acronym +
+               "'")
+                  .c_str());
+      }
+    }
+  }
+
+  const std::vector<std::string> names =
+      cli.all_artifacts ? registry.names() : cli.inputs;
+
+  try {
+    // The executor behind the session: an in-process warm SweepService
+    // (auto), plain in-process sweeps (off), or a running socket session.
+    std::unique_ptr<parallax::serve::SweepService> service;
+    std::unique_ptr<parallax::serve::Client> client;
+    std::unique_ptr<rp::Runner> runner;
+    if (cli.serve_mode == "off") {
+      rp::InProcessRunner::Config config;
+      config.n_threads = cli.threads;
+      config.shards = cli.shards == 0 ? 1 : cli.shards;
+      config.cache = open_cache(cli);
+      runner = std::make_unique<rp::InProcessRunner>(std::move(config));
+    } else if (cli.serve_mode == "auto") {
+      parallax::serve::ServiceOptions service_options;
+      service_options.n_threads = cli.threads;
+      service_options.cache = open_cache(cli);
+      service = std::make_unique<parallax::serve::SweepService>(
+          std::move(service_options));
+      if (service->cache()) {
+        std::fprintf(stderr, "bench: session cache at %s\n",
+                     service->cache()->directory().c_str());
+      }
+      runner = std::make_unique<rp::ServiceRunner>(*service);
+    } else {
+      client = std::make_unique<parallax::serve::Client>(cli.serve_mode);
+      runner = std::make_unique<rp::ClientRunner>(*client);
+    }
+
+    const parallax::util::Stopwatch stopwatch;
+    const auto outcomes = rp::run_artifacts(registry, names, *runner,
+                                            options, stdout, stderr);
+    rp::print_accounting(stderr, outcomes.size(), runner->totals(),
+                         stopwatch.seconds());
+    if (client) {
+      // The server's lifetime numbers (this run plus every earlier one of
+      // the session) — the STATS request over the wire.
+      rp::print_server_stats(stderr, client->stats());
+    } else if (service) {
+      rp::print_server_stats(stderr, service->session_stats());
+    }
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok) return 1;
+    }
+    return 0;
+  } catch (const rp::UnknownArtifactError& error) {
+    usage(argv0, error.what());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench failed: %s\n", error.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -806,6 +994,7 @@ int main(int argc, char** argv) {
   const CliOptions cli = parse_cli(argc, argv);
   const technique::Registry& registry = technique::Registry::global();
 
+  if (cli.bench_command) return run_bench_command(cli, argv[0]);
   if (!cli.cache_command.empty()) return run_cache_command(cli, argv[0]);
   if (!cli.shard_command.empty()) return run_shard_command(cli, argv[0]);
   if (!cli.serve_command.empty()) return run_serve_command(cli, argv[0]);
