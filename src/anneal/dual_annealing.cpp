@@ -1,13 +1,67 @@
 #include "anneal/dual_annealing.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <string>
 
 namespace parallax::anneal {
 
 namespace {
+
+/// Rejects out-of-range options with a real error in release builds — the
+/// same strictness util/parse applies to external input. Ranges follow
+/// SciPy's dual_annealing parameter domain.
+void validate(const std::vector<double>& lower,
+              const std::vector<double>& upper, std::size_t n,
+              const DualAnnealingOptions& options) {
+  if (lower.size() != n || upper.size() != n) {
+    throw std::invalid_argument(
+        "dual_annealing: bounds must both have " + std::to_string(n) +
+        " dimensions (got lower=" + std::to_string(lower.size()) +
+        ", upper=" + std::to_string(upper.size()) + ")");
+  }
+  if (!(options.visit > 1.0) || !(options.visit < 3.0)) {
+    throw std::invalid_argument(
+        "dual_annealing: visit must be in (1, 3), got " +
+        std::to_string(options.visit));
+  }
+  if (!(options.accept >= -1e4) || !(options.accept <= -5.0)) {
+    throw std::invalid_argument(
+        "dual_annealing: accept must be in [-1e4, -5], got " +
+        std::to_string(options.accept));
+  }
+  if (!(options.initial_temperature > 0.0) ||
+      !std::isfinite(options.initial_temperature)) {
+    throw std::invalid_argument(
+        "dual_annealing: initial_temperature must be positive and finite, "
+        "got " +
+        std::to_string(options.initial_temperature));
+  }
+  if (!(options.restart_temp_ratio > 0.0) ||
+      !(options.restart_temp_ratio < 1.0)) {
+    throw std::invalid_argument(
+        "dual_annealing: restart_temp_ratio must be in (0, 1), got " +
+        std::to_string(options.restart_temp_ratio));
+  }
+  if (options.max_iterations < 1) {
+    throw std::invalid_argument(
+        "dual_annealing: max_iterations must be >= 1, got " +
+        std::to_string(options.max_iterations));
+  }
+  if (options.local_search_interval < 0) {
+    throw std::invalid_argument(
+        "dual_annealing: local_search_interval must be >= 0, got " +
+        std::to_string(options.local_search_interval));
+  }
+  if (options.initial && options.initial->size() != n) {
+    throw std::invalid_argument(
+        "dual_annealing: initial state has " +
+        std::to_string(options.initial->size()) + " dimensions, expected " +
+        std::to_string(n));
+  }
+}
 
 /// Draws a step from the Tsallis visiting distribution at temperature
 /// `temperature` with shape `qv`. Implementation follows the standard GSA
@@ -36,6 +90,46 @@ double visit_step(util::Rng& rng, double qv, double temperature) {
   return den != 0.0 ? x / den : x;
 }
 
+/// Temperature-independent constants of the visiting distribution; the
+/// single-coordinate hot path draws a million-plus steps per anneal, so the
+/// six transcendental factors the legacy path recomputes per step are
+/// hoisted here (factor1 — and through it sigma — is the only
+/// temperature-dependent piece).
+struct VisitConstants {
+  double factor4_base = 0.0;  // factor4 without the factor1 term
+  double factor6 = 0.0;
+  double tail_exponent = 0.0;  // (qv - 1) / (3 - qv)
+
+  explicit VisitConstants(double qv) {
+    const double factor2 = std::exp((4.0 - qv) * std::log(qv - 1.0));
+    const double factor3 =
+        std::exp((2.0 - qv) / (qv - 1.0) * std::log(2.0 / (3.0 - qv)));
+    factor4_base =
+        std::sqrt(std::numbers::pi) * factor2 / (factor3 * (3.0 - qv));
+    const double factor5 = 1.0 / (qv - 1.0) - 0.5;
+    const double d1 = 2.0 - factor5;
+    factor6 = std::numbers::pi * (1.0 - factor5) /
+              std::sin(std::numbers::pi * (1.0 - factor5)) /
+              std::exp(std::lgamma(d1));
+    tail_exponent = (qv - 1.0) / (3.0 - qv);
+  }
+
+  /// sigma_x at this temperature (legacy visit_step's value, reassembled).
+  [[nodiscard]] double sigma(double qv, double temperature) const {
+    const double factor1 = std::exp(std::log(temperature) / (qv - 1.0));
+    return std::exp(-(qv - 1.0) *
+                    std::log(factor6 / (factor4_base * factor1)) /
+                    (3.0 - qv));
+  }
+
+  [[nodiscard]] double step(util::Rng& rng, double sigma_x) const {
+    const double x = sigma_x * rng.normal();
+    const double y = rng.normal();
+    const double den = std::exp(tail_exponent * std::log(std::abs(y)));
+    return den != 0.0 ? x / den : x;
+  }
+};
+
 }  // namespace
 
 AnnealResult dual_annealing(const Objective& f,
@@ -43,8 +137,7 @@ AnnealResult dual_annealing(const Objective& f,
                             const std::vector<double>& upper,
                             const DualAnnealingOptions& options) {
   const std::size_t n = lower.size();
-  assert(upper.size() == n);
-  assert(options.visit > 1.0 && options.visit < 3.0);
+  validate(lower, upper, n, options);
   util::Rng rng(options.seed);
 
   auto clamp_wrap = [&](std::vector<double>& x) {
@@ -64,7 +157,6 @@ AnnealResult dual_annealing(const Objective& f,
 
   std::vector<double> current(n);
   if (options.initial) {
-    assert(options.initial->size() == n);
     current = *options.initial;
     for (std::size_t i = 0; i < n; ++i) {
       current[i] = std::clamp(current[i], lower[i], upper[i]);
@@ -76,7 +168,10 @@ AnnealResult dual_annealing(const Objective& f,
   }
   double current_value = f(current);
 
-  AnnealResult best{current, current_value, 0, 0};
+  AnnealResult best;
+  best.x = current;
+  best.value = current_value;
+  best.evaluations = 1;
 
   const double t0 = options.initial_temperature;
   const double qv = options.visit;
@@ -93,6 +188,7 @@ AnnealResult dual_annealing(const Objective& f,
     if (temperature < t0 * options.restart_temp_ratio) {
       k = 0;  // reanneal from the hot end
       temperature = t0;
+      ++best.restarts;
     }
 
     // Propose: perturb every dimension with a heavy-tailed visit.
@@ -106,6 +202,7 @@ AnnealResult dual_annealing(const Objective& f,
     }
     clamp_wrap(candidate);
     const double candidate_value = f(candidate);
+    ++best.evaluations;
 
     bool accept = false;
     if (candidate_value <= current_value) {
@@ -137,6 +234,7 @@ AnnealResult dual_annealing(const Objective& f,
       LocalResult local = nelder_mead(f, best.x, lower, upper,
                                       options.local_options);
       ++best.local_searches;
+      best.evaluations += local.evaluations;
       if (local.value < best.value) {
         best.x = local.x;
         best.value = local.value;
@@ -152,11 +250,147 @@ AnnealResult dual_annealing(const Objective& f,
     LocalResult local =
         nelder_mead(f, best.x, lower, upper, options.local_options);
     ++best.local_searches;
+    best.evaluations += local.evaluations;
     if (local.value < best.value) {
       best.x = local.x;
       best.value = local.value;
     }
   }
+  return best;
+}
+
+AnnealResult dual_annealing(IncrementalObjective& objective,
+                            const std::vector<double>& lower,
+                            const std::vector<double>& upper,
+                            const DualAnnealingOptions& options) {
+  const std::size_t sites = objective.sites();
+  const std::size_t n = 2 * sites;
+  validate(lower, upper, n, options);
+
+  AnnealResult best;
+  if (sites == 0) {
+    best.value = objective.reset({});
+    best.evaluations = 1;
+    return best;
+  }
+  util::Rng rng(options.seed);
+
+  auto wrap = [](double v, double lo, double hi) {
+    const double span = hi - lo;
+    if (span <= 0.0) return lo;
+    double w = std::fmod(v - lo, span);
+    if (w < 0) w += span;
+    return lo + w;
+  };
+
+  std::vector<double> current(n);
+  if (options.initial) {
+    current = *options.initial;
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] = std::clamp(current[i], lower[i], upper[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] = rng.uniform(lower[i], upper[i]);
+    }
+  }
+  double current_value = objective.reset(current);
+
+  best.x = current;
+  best.value = current_value;
+  best.evaluations = 1;
+
+  const double t0 = options.initial_temperature;
+  const double qv = options.visit;
+  const double qa = options.accept;
+  const double t_coeff = std::pow(2.0, qv - 1.0) - 1.0;
+  const VisitConstants visit(qv);
+
+  // Nelder-Mead probes score the exact full objective (same bits the
+  // incremental path maintains), so a local win reloads cleanly via
+  // reset().
+  const Objective polish = [&](const std::vector<double>& x) {
+    ++best.evaluations;
+    return objective.full(x);
+  };
+
+  // One outer iteration proposes `sites` single-site moves, so the local
+  // search cadence scales with the site count to match the full-vector
+  // mode's per-sweep rhythm.
+  const std::int64_t local_interval =
+      static_cast<std::int64_t>(options.local_search_interval) *
+      static_cast<std::int64_t>(sites);
+  std::int64_t accepted_since_local = 0;
+
+  const auto run_local_search = [&] {
+    LocalResult local =
+        nelder_mead(polish, best.x, lower, upper, options.local_options);
+    ++best.local_searches;
+    if (local.value < best.value) {
+      best.x = std::move(local.x);
+      best.value = local.value;
+      current = best.x;
+      current_value = objective.reset(current);
+      ++best.evaluations;
+    }
+  };
+
+  int k = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter, ++k) {
+    double temperature =
+        t0 * t_coeff / (std::pow(static_cast<double>(k) + 2.0, qv - 1.0) - 1.0);
+    if (temperature < t0 * options.restart_temp_ratio) {
+      k = 0;
+      temperature = t0;
+      ++best.restarts;
+    }
+    const double sigma = visit.sigma(qv, temperature);
+    const double t_accept = temperature / static_cast<double>(k + 1);
+
+    for (std::size_t q = 0; q < sites; ++q) {
+      const std::size_t xi = 2 * q, yi = 2 * q + 1;
+      const double sx = std::clamp(visit.step(rng, sigma), -1e8, 1e8);
+      const double sy = std::clamp(visit.step(rng, sigma), -1e8, 1e8);
+      const double cx = wrap(current[xi] + sx * (upper[xi] - lower[xi]) * 1e-2,
+                             lower[xi], upper[xi]);
+      const double cy = wrap(current[yi] + sy * (upper[yi] - lower[yi]) * 1e-2,
+                             lower[yi], upper[yi]);
+      const double candidate_value = objective.propose(q, cx, cy);
+      ++best.delta_evaluations;
+
+      bool accept = false;
+      if (candidate_value <= current_value) {
+        accept = true;
+      } else {
+        const double delta = (candidate_value - current_value) / t_accept;
+        const double base = 1.0 + (qa - 1.0) * delta;
+        if (base > 0.0) {
+          const double p = std::exp(std::log(base) / (1.0 - qa));
+          accept = rng.next_double() < std::min(1.0, p);
+        }
+      }
+
+      if (accept) {
+        objective.commit();
+        current[xi] = cx;
+        current[yi] = cy;
+        current_value = candidate_value;
+        ++accepted_since_local;
+        if (current_value < best.value) {
+          best.x = current;
+          best.value = current_value;
+        }
+      }
+
+      if (local_interval > 0 && accepted_since_local >= local_interval) {
+        accepted_since_local = 0;
+        run_local_search();
+      }
+    }
+    ++best.iterations;
+  }
+
+  if (options.local_search_interval > 0) run_local_search();
   return best;
 }
 

@@ -3,12 +3,22 @@
 // Xiang et al. and the SciPy `dual_annealing` optimizer that GRAPHINE uses
 // for qubit placement. The broad Cauchy-like visits explore the whole
 // landscape early; the schedule cools toward precise local refinement.
+//
+// Two proposal modes share the schedule and acceptance rule:
+//   * full-vector (the reference implementation): every dimension is
+//     perturbed per iteration and the objective re-scored from scratch;
+//   * single-coordinate (IncrementalObjective overload): one site moves per
+//     proposal and only its delta is re-scored — one outer iteration sweeps
+//     every site, so an "iteration" explores comparably but each proposal
+//     costs O(local interactions).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "anneal/nelder_mead.hpp"
+#include "anneal/objective.hpp"
 #include "util/rng.hpp"
 
 namespace parallax::anneal {
@@ -17,17 +27,20 @@ struct DualAnnealingOptions {
   /// Visiting-distribution shape parameter q_v in (1, 3). 2.62 is the SciPy
   /// default; larger means heavier tails (wider jumps).
   double visit = 2.62;
-  /// Acceptance parameter q_a (negative favors downhill moves strongly).
+  /// Acceptance parameter q_a in [-1e4, -5] (negative favors downhill moves
+  /// strongly).
   double accept = -5.0;
-  /// Initial temperature.
+  /// Initial temperature; must be positive and finite.
   double initial_temperature = 5230.0;
-  /// Temperature restart threshold (relative); annealing restarts from the
-  /// initial temperature when T falls below initial * restart_temp_ratio.
+  /// Temperature restart threshold (relative, in (0, 1)); annealing restarts
+  /// from the initial temperature when T falls below initial * ratio.
   double restart_temp_ratio = 2e-5;
-  /// Total annealing iterations (global search sweeps).
+  /// Total annealing iterations (global search sweeps); at least 1.
   int max_iterations = 1000;
   /// Run the local minimizer every `local_search_interval` accepted moves
-  /// (0 disables local search entirely).
+  /// (0 disables local search entirely). The single-coordinate mode scales
+  /// the interval by the site count so both modes refine at a comparable
+  /// per-sweep cadence.
   int local_search_interval = 50;
   NelderMeadOptions local_options{};
   std::uint64_t seed = 0x5eedULL;
@@ -42,10 +55,29 @@ struct AnnealResult {
   double value = 0.0;
   int iterations = 0;
   int local_searches = 0;
+  /// Full objective evaluations (initial score, full-vector proposals,
+  /// Nelder-Mead probes, reloads after local search).
+  std::int64_t evaluations = 0;
+  /// Incremental single-site evaluations (zero in full-vector mode).
+  std::int64_t delta_evaluations = 0;
+  /// Times the temperature schedule re-annealed from the hot end.
+  int restarts = 0;
 };
 
-/// Minimizes `f` over the box [lower, upper]^n.
+/// Minimizes `f` over the box [lower, upper]^n (full-vector proposals).
+/// Throws std::invalid_argument for out-of-range options or mismatched
+/// bounds.
 [[nodiscard]] AnnealResult dual_annealing(const Objective& f,
+                                          const std::vector<double>& lower,
+                                          const std::vector<double>& upper,
+                                          const DualAnnealingOptions& options =
+                                              {});
+
+/// Single-coordinate mode: minimizes `objective` over the box (bounds sized
+/// 2 * objective.sites(), interleaved x,y). Each outer iteration proposes
+/// one heavy-tailed move per site, scored incrementally; local search runs
+/// on the exact full() objective. Same option validation as above.
+[[nodiscard]] AnnealResult dual_annealing(IncrementalObjective& objective,
                                           const std::vector<double>& lower,
                                           const std::vector<double>& upper,
                                           const DualAnnealingOptions& options =

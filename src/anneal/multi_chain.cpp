@@ -1,0 +1,54 @@
+#include "anneal/multi_chain.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parallax::anneal {
+
+MultiChainResult multi_chain(
+    const std::function<std::unique_ptr<IncrementalObjective>()>&
+        make_objective,
+    const std::vector<double>& lower, const std::vector<double>& upper,
+    const MultiChainOptions& options) {
+  if (options.chains < 1) {
+    throw std::invalid_argument("multi_chain: chains must be >= 1, got " +
+                                std::to_string(options.chains));
+  }
+  const auto chains = static_cast<std::size_t>(options.chains);
+  std::vector<AnnealResult> results(chains);
+  const auto run_chain = [&](std::size_t c) {
+    DualAnnealingOptions chain_options = options.anneal;
+    chain_options.seed =
+        util::derive_seed(options.anneal.seed, "chain", c);
+    const std::unique_ptr<IncrementalObjective> objective = make_objective();
+    results[c] = dual_annealing(*objective, lower, upper, chain_options);
+  };
+  if (options.pool != nullptr && chains > 1) {
+    options.pool->parallel_for(chains, run_chain);
+  } else {
+    for (std::size_t c = 0; c < chains; ++c) run_chain(c);
+  }
+
+  // Fixed reduction order: ascending chain index, strict `<` only — an
+  // exact value tie keeps the lower index, so the winner is a pure
+  // function of the seeds.
+  MultiChainResult out;
+  out.chains = options.chains;
+  std::size_t winner = 0;
+  for (std::size_t c = 0; c < chains; ++c) {
+    if (results[c].value < results[winner].value) winner = c;
+    out.evaluations += results[c].evaluations;
+    out.delta_evaluations += results[c].delta_evaluations;
+    out.restarts += results[c].restarts;
+    out.local_searches += results[c].local_searches;
+  }
+  out.winner = static_cast<int>(winner);
+  out.best = std::move(results[winner]);
+  return out;
+}
+
+}  // namespace parallax::anneal

@@ -1,0 +1,59 @@
+// Deterministic multi-chain annealing: K independent single-coordinate
+// dual-annealing chains, each with a seed derived from the master via
+// util::derive_seed(seed, "chain", k), reduced in fixed ascending-index
+// order with a strict-improvement tie-break. The winner therefore depends
+// only on (objective, bounds, options) — never on thread count or
+// completion order — which is what lets multi-chain technique variants
+// inherit content-addressed caching, sharding, and serving unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "anneal/dual_annealing.hpp"
+#include "anneal/objective.hpp"
+
+namespace parallax::util {
+class ThreadPool;
+}  // namespace parallax::util
+
+namespace parallax::anneal {
+
+struct MultiChainOptions {
+  /// Independent chains; at least 1.
+  int chains = 4;
+  /// Per-chain annealing options. `anneal.seed` is the master seed; chain k
+  /// runs with derive_seed(seed, "chain", k).
+  DualAnnealingOptions anneal{};
+  /// Optional borrowed pool: chains fan out across it (the caller must not
+  /// invoke this from one of the pool's own workers — parallel_for blocks).
+  /// Null runs the chains sequentially; results are identical either way.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct MultiChainResult {
+  /// The winning chain's result (lowest value; lowest index on exact ties).
+  AnnealResult best;
+  int winner = 0;
+  int chains = 0;
+  /// Work totals aggregated over every chain (best.* holds the winner's
+  /// own counters).
+  std::int64_t evaluations = 0;
+  std::int64_t delta_evaluations = 0;
+  int restarts = 0;
+  int local_searches = 0;
+};
+
+/// Runs `options.chains` chains, each over a fresh objective from
+/// `make_objective` (chains mutate their objective, so every chain needs
+/// its own instance). Throws std::invalid_argument for chains < 1 or
+/// invalid annealing options.
+[[nodiscard]] MultiChainResult multi_chain(
+    const std::function<std::unique_ptr<IncrementalObjective>()>&
+        make_objective,
+    const std::vector<double>& lower, const std::vector<double>& upper,
+    const MultiChainOptions& options);
+
+}  // namespace parallax::anneal

@@ -1,0 +1,53 @@
+// Incremental (delta-cost) objective interface for single-coordinate
+// annealing. A state is `sites()` movable 2D sites, exposed at the interface
+// boundary as a flat interleaved vector (x0, y0, x1, y1, ...) so warm starts
+// and Nelder-Mead refinement interoperate with the full-vector code paths;
+// implementations keep whatever internal layout (typically SoA) they like.
+//
+// Contract — the reason this interface exists at all:
+//   * value() after any sequence of reset/propose/commit calls is
+//     bit-identical to full() of the same geometry. No drifting
+//     accumulators: implementations must use exact or recompute-local
+//     arithmetic (see util::ExactSum).
+//   * propose() is read-only on the logical state and costs
+//     O(local interactions of the moved site), not O(all sites).
+//   * commit() applies exactly the last propose()d move.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace parallax::anneal {
+
+class IncrementalObjective {
+ public:
+  virtual ~IncrementalObjective() = default;
+
+  /// Number of movable sites; state vectors have 2 * sites() coordinates.
+  [[nodiscard]] virtual std::size_t sites() const noexcept = 0;
+
+  /// Loads a full state and returns its cost (one full evaluation).
+  virtual double reset(const std::vector<double>& coords) = 0;
+
+  /// Cost of the currently loaded state — the same bits the loading
+  /// reset()/commit() produced.
+  [[nodiscard]] virtual double value() const noexcept = 0;
+
+  /// Cost if site q moved to (x, y). Does not change the logical state;
+  /// the move may be applied afterwards with commit().
+  virtual double propose(std::size_t q, double x, double y) = 0;
+
+  /// Applies the last propose()d move; value() becomes the proposed cost.
+  virtual void commit() = 0;
+
+  /// Writes the current state into `coords` (resized to 2 * sites()).
+  virtual void snapshot(std::vector<double>& coords) const = 0;
+
+  /// Scores an arbitrary state from scratch without touching the loaded
+  /// one (scratch buffers may be reused, hence non-const). Exactly the
+  /// arithmetic reset() uses — the fuzz oracle for the bit-identity
+  /// contract.
+  virtual double full(const std::vector<double>& coords) = 0;
+};
+
+}  // namespace parallax::anneal

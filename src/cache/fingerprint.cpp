@@ -82,6 +82,16 @@ void feed(Fingerprinter& fp, const placement::GraphineOptions& options) {
   fp.f64(options.crowding_weight);
   fp.boolean(options.warm_start);
   fp.u64(options.seed);
+  // Annealer-mode fields are fed only when non-default: legacy
+  // (full-vector, single-chain) options hash to exactly their pre-PR-6
+  // bytes, so every placement and result cached before delta scoring
+  // existed still replays. Non-default modes produce different layouts and
+  // must key differently.
+  if (options.proposal != placement::ProposalMode::kFullVector ||
+      options.chains != 1) {
+    fp.i32(static_cast<std::int32_t>(options.proposal));
+    fp.i32(options.chains);
+  }
 }
 
 void feed(Fingerprinter& fp, const placement::Topology& topology) {

@@ -6,6 +6,13 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
+#include <thread>
+
+#include "anneal/multi_chain.hpp"
+#include "placement/objective.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace parallax::placement {
 
@@ -139,18 +146,35 @@ std::vector<double> serpentine_seed(const circuit::InteractionGraph& graph) {
 
 namespace {
 std::atomic<std::uint64_t> g_annealing_invocations{0};
+std::atomic<std::uint64_t> g_objective_evaluations{0};
+std::atomic<std::uint64_t> g_delta_evaluations{0};
 }  // namespace
 
 std::uint64_t annealing_invocations() noexcept {
   return g_annealing_invocations.load(std::memory_order_relaxed);
 }
 
+std::uint64_t objective_evaluations() noexcept {
+  return g_objective_evaluations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t delta_evaluations() noexcept {
+  return g_delta_evaluations.load(std::memory_order_relaxed);
+}
+
 Topology graphine_place(const circuit::InteractionGraph& graph,
                         const GraphineOptions& options) {
+  return graphine_place(graph, options, nullptr);
+}
+
+Topology graphine_place(const circuit::InteractionGraph& graph,
+                        const GraphineOptions& options,
+                        PlacementStats* stats) {
   g_annealing_invocations.fetch_add(1, std::memory_order_relaxed);
   const auto n = static_cast<std::size_t>(graph.n_qubits());
   Topology topology;
   topology.positions.resize(n);
+  if (stats != nullptr) *stats = {};
   if (n == 0) return topology;
   if (n == 1) {
     topology.positions[0] = {0.5, 0.5};
@@ -169,11 +193,61 @@ Topology graphine_place(const circuit::InteractionGraph& graph,
     anneal_options.initial = serpentine_seed(graph);
   }
 
-  const auto objective = [&](const std::vector<double>& coords) {
-    return placement_objective(coords, graph, options);
-  };
-  const auto result =
-      anneal::dual_annealing(objective, lower, upper, anneal_options);
+  const bool incremental =
+      options.proposal == ProposalMode::kPerQubit || options.chains > 1;
+  anneal::AnnealResult result;
+  int chains_used = 1;
+  const util::Stopwatch anneal_watch;
+  if (!incremental) {
+    // Legacy reference path — kept bit-for-bit so existing cache entries
+    // and goldens replay unchanged.
+    const auto objective = [&](const std::vector<double>& coords) {
+      return placement_objective(coords, graph, options);
+    };
+    result = anneal::dual_annealing(objective, lower, upper, anneal_options);
+  } else if (options.chains <= 1) {
+    DeltaPlacementObjective objective(graph, options);
+    result = anneal::dual_annealing(objective, lower, upper, anneal_options);
+  } else {
+    anneal::MultiChainOptions mc;
+    mc.chains = options.chains;
+    mc.anneal = anneal_options;
+    // A transient pool, never the caller's: graphine_place runs on sweep
+    // worker threads, and nesting parallel_for on the same pool would
+    // deadlock. Pool size does not affect the (deterministic) winner.
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    util::ThreadPool pool(
+        std::min<std::size_t>(static_cast<std::size_t>(options.chains), hw));
+    mc.pool = &pool;
+    const anneal::MultiChainResult reduced = anneal::multi_chain(
+        [&]() -> std::unique_ptr<anneal::IncrementalObjective> {
+          return std::make_unique<DeltaPlacementObjective>(graph, options);
+        },
+        lower, upper, mc);
+    result = reduced.best;
+    result.evaluations = reduced.evaluations;
+    result.delta_evaluations = reduced.delta_evaluations;
+    result.restarts = reduced.restarts;
+    result.local_searches = reduced.local_searches;
+    chains_used = reduced.chains;
+  }
+  const double anneal_seconds = anneal_watch.seconds();
+
+  g_objective_evaluations.fetch_add(
+      static_cast<std::uint64_t>(result.evaluations),
+      std::memory_order_relaxed);
+  g_delta_evaluations.fetch_add(
+      static_cast<std::uint64_t>(result.delta_evaluations),
+      std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->anneal_seconds = anneal_seconds;
+    stats->evaluations = result.evaluations;
+    stats->delta_evaluations = result.delta_evaluations;
+    stats->restarts = result.restarts;
+    stats->local_searches = result.local_searches;
+    stats->iterations = result.iterations;
+    stats->chains = chains_used;
+  }
 
   for (std::size_t q = 0; q < n; ++q) {
     topology.positions[q] = {result.x[2 * q], result.x[2 * q + 1]};

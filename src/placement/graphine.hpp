@@ -14,6 +14,18 @@
 
 namespace parallax::placement {
 
+/// How the annealer explores the placement landscape.
+enum class ProposalMode : std::uint8_t {
+  /// Legacy reference path: every coordinate perturbed per iteration, full
+  /// O(E + n^2) re-score per proposal. Byte-identical to pre-delta-scoring
+  /// builds — cached fingerprints and goldens stay valid.
+  kFullVector = 0,
+  /// Delta-cost hot path: one qubit moves per proposal, scored
+  /// incrementally in O(deg + local neighbors) against a spatial hash.
+  /// Fingerprint-distinct from the legacy mode.
+  kPerQubit = 1,
+};
+
 struct GraphineOptions {
   /// Annealing sweeps for the global placement search. The effective
   /// evaluation budget is max_iterations plus periodic local searches.
@@ -29,6 +41,15 @@ struct GraphineOptions {
   /// combs) at any annealing budget; the annealer still explores globally.
   bool warm_start = true;
   std::uint64_t seed = 0x6ea7;
+  /// Proposal mode (see ProposalMode). The default keeps the legacy
+  /// annealer bit-for-bit.
+  ProposalMode proposal = ProposalMode::kFullVector;
+  /// Independent annealing chains, reduced deterministically (lowest value,
+  /// then lowest chain index). chains > 1 implies per-qubit proposals and
+  /// fans the chains across a transient thread pool; 1 keeps a single
+  /// chain. Fingerprint-visible only when non-default, so legacy cache
+  /// keys are untouched.
+  int chains = 1;
 };
 
 /// A placement in normalized coordinates plus the selected radius.
@@ -48,13 +69,38 @@ struct Topology {
 [[nodiscard]] double bottleneck_connect_radius(
     const std::vector<geom::Point>& points);
 
+/// Observability counters for one graphine_place call — excluded from any
+/// serialized payload or fingerprint, like pass timings.
+struct PlacementStats {
+  /// Wall-clock spent inside the annealer (excludes graph prep and the
+  /// serpentine warm start).
+  double anneal_seconds = 0.0;
+  std::int64_t evaluations = 0;        // full objective evaluations
+  std::int64_t delta_evaluations = 0;  // incremental single-site scores
+  int restarts = 0;
+  int local_searches = 0;
+  int iterations = 0;
+  int chains = 1;
+};
+
 /// Runs the annealed placement for a circuit's interaction graph.
 [[nodiscard]] Topology graphine_place(const circuit::InteractionGraph& graph,
                                       const GraphineOptions& options = {});
+
+/// Like above, additionally reporting annealer work counters (stats may be
+/// null).
+[[nodiscard]] Topology graphine_place(const circuit::InteractionGraph& graph,
+                                      const GraphineOptions& options,
+                                      PlacementStats* stats);
 
 /// Process-wide count of graphine_place invocations (each is one O(q^5)
 /// annealing run). Diagnostic hook: the cache tests assert a warm sweep
 /// leaves it unchanged, and benches can report anneals avoided.
 [[nodiscard]] std::uint64_t annealing_invocations() noexcept;
+
+/// Process-wide totals of full and incremental objective evaluations across
+/// every anneal — the denominator for evaluations/sec in perf snapshots.
+[[nodiscard]] std::uint64_t objective_evaluations() noexcept;
+[[nodiscard]] std::uint64_t delta_evaluations() noexcept;
 
 }  // namespace parallax::placement

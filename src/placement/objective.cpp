@@ -1,0 +1,254 @@
+#include "placement/objective.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parallax::placement {
+
+DeltaPlacementObjective::DeltaPlacementObjective(
+    const circuit::InteractionGraph& graph, const GraphineOptions& options)
+    : n_(static_cast<std::size_t>(graph.n_qubits())),
+      crowding_weight_(options.crowding_weight) {
+  if (n_ > 1) {
+    d_min_ = options.crowding_distance / std::sqrt(static_cast<double>(n_));
+    denom_ = d_min_ * d_min_;
+    crowding_ = d_min_ > 0.0;
+  }
+  // floor(1/d_min) cells keeps cell size 1/ncells >= d_min, so any pair
+  // within d_min spans at most one cell boundary per axis. Cap the grid so
+  // degenerate options cannot allocate unboundedly.
+  if (crowding_) {
+    ncells_ = std::clamp(static_cast<int>(1.0 / d_min_), 1, 2048);
+  }
+
+  // CSR adjacency (both directions) and the flat edge list.
+  std::vector<std::int32_t> degree(n_ + 1, 0);
+  edges_.reserve(graph.edges().size());
+  for (const auto& e : graph.edges()) {
+    edges_.push_back({e.a, e.b, static_cast<double>(e.weight)});
+    ++degree[static_cast<std::size_t>(e.a)];
+    ++degree[static_cast<std::size_t>(e.b)];
+  }
+  adj_start_.assign(n_ + 1, 0);
+  for (std::size_t q = 0; q < n_; ++q) {
+    adj_start_[q + 1] = adj_start_[q] + degree[q];
+  }
+  adj_qubit_.resize(static_cast<std::size_t>(adj_start_[n_]));
+  adj_weight_.resize(adj_qubit_.size());
+  std::vector<std::int32_t> fill(adj_start_.begin(), adj_start_.end() - 1);
+  for (const auto& e : edges_) {
+    const auto a = static_cast<std::size_t>(e.a);
+    const auto b = static_cast<std::size_t>(e.b);
+    adj_qubit_[static_cast<std::size_t>(fill[a])] = e.b;
+    adj_weight_[static_cast<std::size_t>(fill[a]++)] = e.weight;
+    adj_qubit_[static_cast<std::size_t>(fill[b])] = e.a;
+    adj_weight_[static_cast<std::size_t>(fill[b]++)] = e.weight;
+  }
+
+  xs_.assign(n_, 0.0);
+  ys_.assign(n_, 0.0);
+  bucket_of_.assign(n_, 0);
+  buckets_.resize(static_cast<std::size_t>(ncells_) *
+                  static_cast<std::size_t>(ncells_));
+}
+
+double DeltaPlacementObjective::edge_term(double weight, double dx,
+                                          double dy) noexcept {
+  return weight * std::sqrt(dx * dx + dy * dy);
+}
+
+double DeltaPlacementObjective::crowding_term(double dsq) const noexcept {
+  const double v = d_min_ - std::sqrt(dsq);
+  return crowding_weight_ * v * v / denom_;
+}
+
+int DeltaPlacementObjective::cell_of(double x, double y) const noexcept {
+  const double cx = std::clamp(x, 0.0, 1.0);
+  const double cy = std::clamp(y, 0.0, 1.0);
+  const int ix =
+      std::min(ncells_ - 1, static_cast<int>(cx * static_cast<double>(ncells_)));
+  const int iy =
+      std::min(ncells_ - 1, static_cast<int>(cy * static_cast<double>(ncells_)));
+  return iy * ncells_ + ix;
+}
+
+void DeltaPlacementObjective::collect_terms(std::size_t q, double px,
+                                            double py,
+                                            std::vector<double>& out) const {
+  for (auto i = static_cast<std::size_t>(adj_start_[q]);
+       i < static_cast<std::size_t>(adj_start_[q + 1]); ++i) {
+    const auto j = static_cast<std::size_t>(adj_qubit_[i]);
+    out.push_back(edge_term(adj_weight_[i], px - xs_[j], py - ys_[j]));
+  }
+  if (!crowding_) return;
+  const int cell = cell_of(px, py);
+  const int cx = cell % ncells_;
+  const int cy = cell / ncells_;
+  const int x0 = std::max(cx - 1, 0), x1 = std::min(cx + 1, ncells_ - 1);
+  const int y0 = std::max(cy - 1, 0), y1 = std::min(cy + 1, ncells_ - 1);
+  for (int gy = y0; gy <= y1; ++gy) {
+    for (int gx = x0; gx <= x1; ++gx) {
+      for (const std::int32_t j :
+           buckets_[static_cast<std::size_t>(gy * ncells_ + gx)]) {
+        if (static_cast<std::size_t>(j) == q) continue;
+        const double dx = px - xs_[static_cast<std::size_t>(j)];
+        const double dy = py - ys_[static_cast<std::size_t>(j)];
+        const double dsq = dx * dx + dy * dy;
+        if (dsq < denom_) out.push_back(crowding_term(dsq));
+      }
+    }
+  }
+}
+
+double DeltaPlacementObjective::reset(const std::vector<double>& coords) {
+  assert(coords.size() == 2 * n_);
+  pending_ = false;
+  for (std::size_t q = 0; q < n_; ++q) {
+    xs_[q] = coords[2 * q];
+    ys_[q] = coords[2 * q + 1];
+  }
+  for (auto& bucket : buckets_) bucket.clear();
+  for (std::size_t q = 0; q < n_; ++q) {
+    const int cell = cell_of(xs_[q], ys_[q]);
+    bucket_of_[q] = cell;
+    buckets_[static_cast<std::size_t>(cell)].push_back(
+        static_cast<std::int32_t>(q));
+  }
+
+  acc_.clear();
+  for (const auto& e : edges_) {
+    const auto a = static_cast<std::size_t>(e.a);
+    const auto b = static_cast<std::size_t>(e.b);
+    acc_.add(edge_term(e.weight, xs_[a] - xs_[b], ys_[a] - ys_[b]));
+  }
+  if (crowding_) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const int cell = bucket_of_[i];
+      const int cx = cell % ncells_;
+      const int cy = cell / ncells_;
+      const int x0 = std::max(cx - 1, 0), x1 = std::min(cx + 1, ncells_ - 1);
+      const int y0 = std::max(cy - 1, 0), y1 = std::min(cy + 1, ncells_ - 1);
+      for (int gy = y0; gy <= y1; ++gy) {
+        for (int gx = x0; gx <= x1; ++gx) {
+          for (const std::int32_t j :
+               buckets_[static_cast<std::size_t>(gy * ncells_ + gx)]) {
+            if (static_cast<std::size_t>(j) <= i) continue;
+            const double dx = xs_[i] - xs_[static_cast<std::size_t>(j)];
+            const double dy = ys_[i] - ys_[static_cast<std::size_t>(j)];
+            const double dsq = dx * dx + dy * dy;
+            if (dsq < denom_) acc_.add(crowding_term(dsq));
+          }
+        }
+      }
+    }
+  }
+  value_ = acc_.round();
+  return value_;
+}
+
+double DeltaPlacementObjective::propose(std::size_t q, double x, double y) {
+  assert(q < n_);
+  pending_remove_.clear();
+  pending_add_.clear();
+  collect_terms(q, xs_[q], ys_[q], pending_remove_);
+  collect_terms(q, x, y, pending_add_);
+  util::ExactSum acc = acc_;
+  for (const double t : pending_remove_) acc.subtract(t);
+  for (const double t : pending_add_) acc.add(t);
+  pending_q_ = q;
+  pending_x_ = x;
+  pending_y_ = y;
+  pending_value_ = acc.round();
+  pending_ = true;
+  return pending_value_;
+}
+
+void DeltaPlacementObjective::commit() {
+  assert(pending_ && "commit() without a prior propose()");
+  for (const double t : pending_remove_) acc_.subtract(t);
+  for (const double t : pending_add_) acc_.add(t);
+  const int old_cell = bucket_of_[pending_q_];
+  const int new_cell = cell_of(pending_x_, pending_y_);
+  if (new_cell != old_cell) {
+    auto& bucket = buckets_[static_cast<std::size_t>(old_cell)];
+    const auto it = std::find(bucket.begin(), bucket.end(),
+                              static_cast<std::int32_t>(pending_q_));
+    assert(it != bucket.end());
+    *it = bucket.back();
+    bucket.pop_back();
+    buckets_[static_cast<std::size_t>(new_cell)].push_back(
+        static_cast<std::int32_t>(pending_q_));
+    bucket_of_[pending_q_] = new_cell;
+  }
+  xs_[pending_q_] = pending_x_;
+  ys_[pending_q_] = pending_y_;
+  value_ = pending_value_;
+  pending_ = false;
+}
+
+void DeltaPlacementObjective::snapshot(std::vector<double>& coords) const {
+  coords.resize(2 * n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    coords[2 * q] = xs_[q];
+    coords[2 * q + 1] = ys_[q];
+  }
+}
+
+double DeltaPlacementObjective::full(const std::vector<double>& coords) {
+  assert(coords.size() == 2 * n_);
+  util::ExactSum acc;
+  for (const auto& e : edges_) {
+    const auto a = static_cast<std::size_t>(e.a);
+    const auto b = static_cast<std::size_t>(e.b);
+    acc.add(edge_term(e.weight, coords[2 * a] - coords[2 * b],
+                      coords[2 * a + 1] - coords[2 * b + 1]));
+  }
+  if (crowding_) {
+    // Counting-sort the query geometry into the scratch grid.
+    const auto cells =
+        static_cast<std::size_t>(ncells_) * static_cast<std::size_t>(ncells_);
+    scratch_start_.assign(cells + 1, 0);
+    scratch_items_.resize(n_);
+    for (std::size_t q = 0; q < n_; ++q) {
+      ++scratch_start_[static_cast<std::size_t>(
+                           cell_of(coords[2 * q], coords[2 * q + 1])) +
+                       1];
+    }
+    for (std::size_t c = 0; c < cells; ++c) {
+      scratch_start_[c + 1] += scratch_start_[c];
+    }
+    std::vector<std::int32_t> fill(scratch_start_.begin(),
+                                   scratch_start_.end() - 1);
+    for (std::size_t q = 0; q < n_; ++q) {
+      const auto cell = static_cast<std::size_t>(
+          cell_of(coords[2 * q], coords[2 * q + 1]));
+      scratch_items_[static_cast<std::size_t>(fill[cell]++)] =
+          static_cast<std::int32_t>(q);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      const int cell = cell_of(coords[2 * i], coords[2 * i + 1]);
+      const int cx = cell % ncells_;
+      const int cy = cell / ncells_;
+      const int x0 = std::max(cx - 1, 0), x1 = std::min(cx + 1, ncells_ - 1);
+      const int y0 = std::max(cy - 1, 0), y1 = std::min(cy + 1, ncells_ - 1);
+      for (int gy = y0; gy <= y1; ++gy) {
+        for (int gx = x0; gx <= x1; ++gx) {
+          const auto c = static_cast<std::size_t>(gy * ncells_ + gx);
+          for (auto s = static_cast<std::size_t>(scratch_start_[c]);
+               s < static_cast<std::size_t>(scratch_start_[c + 1]); ++s) {
+            const auto j = static_cast<std::size_t>(scratch_items_[s]);
+            if (j <= i) continue;
+            const double dx = coords[2 * i] - coords[2 * j];
+            const double dy = coords[2 * i + 1] - coords[2 * j + 1];
+            const double dsq = dx * dx + dy * dy;
+            if (dsq < denom_) acc.add(crowding_term(dsq));
+          }
+        }
+      }
+    }
+  }
+  return acc.round();
+}
+
+}  // namespace parallax::placement

@@ -1,0 +1,98 @@
+// Delta-cost placement objective: the Graphine cost function (weighted edge
+// lengths + crowding penalty) behind anneal::IncrementalObjective, so a
+// single-qubit move is scored in O(deg(q) + local neighbors) instead of the
+// legacy O(E + n^2) full re-score.
+//
+// Structure:
+//   * Edge term — CSR adjacency per qubit; a move touches exactly deg(q)
+//     edge terms.
+//   * Crowding term — a uniform spatial-hash grid with cell size >= d_min
+//     (d_min = crowding_distance / sqrt(n)); every pair closer than d_min
+//     lies in adjacent cells, so a 3x3 neighborhood scan finds exactly the
+//     penalized pairs. Coordinates are projected onto [0,1]^2 before cell
+//     lookup; projection is 1-Lipschitz, so the scan is never
+//     under-inclusive even for out-of-box query points.
+//   * Exactness — cost terms accumulate in a util::ExactSum, whose
+//     add/subtract are associative: value() after any move sequence is
+//     bit-identical to full() of the same geometry, which is what keeps
+//     multi-chain reduction and cached fingerprints deterministic.
+//
+// Term arithmetic intentionally uses sqrt(dx*dx + dy*dy), not geom::distance
+// (std::hypot): hypot's extra rounding control is irrelevant in [0,1]^2 and
+// sqrt vectorizes. The legacy placement_objective keeps hypot — the two
+// paths are distinct fingerprint-visible modes, not bit-equal twins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/objective.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "placement/graphine.hpp"
+#include "util/exact_sum.hpp"
+
+namespace parallax::placement {
+
+class DeltaPlacementObjective final : public anneal::IncrementalObjective {
+ public:
+  DeltaPlacementObjective(const circuit::InteractionGraph& graph,
+                          const GraphineOptions& options);
+
+  [[nodiscard]] std::size_t sites() const noexcept override { return n_; }
+  double reset(const std::vector<double>& coords) override;
+  [[nodiscard]] double value() const noexcept override { return value_; }
+  double propose(std::size_t q, double x, double y) override;
+  void commit() override;
+  void snapshot(std::vector<double>& coords) const override;
+  double full(const std::vector<double>& coords) override;
+
+ private:
+  struct Edge {
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    double weight = 0.0;
+  };
+
+  /// w * ||a - b||. Symmetric under argument swap: dx enters squared.
+  [[nodiscard]] static double edge_term(double weight, double dx,
+                                        double dy) noexcept;
+  /// Penalty of one pair at squared distance dsq < denom_.
+  [[nodiscard]] double crowding_term(double dsq) const noexcept;
+  [[nodiscard]] int cell_of(double x, double y) const noexcept;
+  /// Every cost term involving site q at position (px, py) against the
+  /// current positions of all other sites: deg(q) edge terms plus the
+  /// crowding terms of neighbors within d_min.
+  void collect_terms(std::size_t q, double px, double py,
+                     std::vector<double>& out) const;
+
+  std::size_t n_ = 0;
+  double d_min_ = 0.0;
+  double denom_ = 0.0;  // d_min^2: both the inclusion test and the divisor
+  double crowding_weight_ = 0.0;
+  bool crowding_ = false;
+  int ncells_ = 1;
+
+  // CSR adjacency (both directions) + flat edge list for full scoring.
+  std::vector<std::int32_t> adj_start_;
+  std::vector<std::int32_t> adj_qubit_;
+  std::vector<double> adj_weight_;
+  std::vector<Edge> edges_;
+
+  // Live state: SoA coordinates, bucketed occupancy, exact running cost.
+  std::vector<double> xs_, ys_;
+  std::vector<std::vector<std::int32_t>> buckets_;
+  std::vector<std::int32_t> bucket_of_;
+  util::ExactSum acc_;
+  double value_ = 0.0;
+
+  // Pending move staged by propose(), applied by commit().
+  bool pending_ = false;
+  std::size_t pending_q_ = 0;
+  double pending_x_ = 0.0, pending_y_ = 0.0, pending_value_ = 0.0;
+  std::vector<double> pending_remove_, pending_add_;
+
+  // Scratch counting-sort grid for full() (arbitrary query geometry).
+  std::vector<std::int32_t> scratch_start_, scratch_items_;
+};
+
+}  // namespace parallax::placement

@@ -1,0 +1,321 @@
+#include "report/perf.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench_circuits/registry.hpp"
+#include "cache/cache.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "circuit/transpile.hpp"
+#include "hardware/config.hpp"
+#include "placement/graphine.hpp"
+#include "serve/service.hpp"
+#include "shard/spec.hpp"
+#include "sweep/sweep.hpp"
+#include "technique/registry.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace parallax::report {
+
+namespace {
+
+/// The largest table04 circuit — the cold-anneal cost ceiling the hot-path
+/// work is gated on.
+constexpr const char* kGateCircuit = "TFIM";
+
+struct AnnealSample {
+  double wall_seconds = 0.0;
+  placement::PlacementStats stats;
+  double objective = 0.0;
+  double interaction_radius = 0.0;
+};
+
+/// Min-of-`repeats` cold anneal of `graph` under `popts` (wall noise is
+/// one-sided, so the minimum is the stable estimator).
+AnnealSample measure_anneal(const circuit::InteractionGraph& graph,
+                            const placement::GraphineOptions& popts,
+                            int repeats) {
+  AnnealSample best;
+  best.wall_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    placement::PlacementStats stats;
+    const placement::Topology topology =
+        placement::graphine_place(graph, popts, &stats);
+    if (stats.anneal_seconds < best.wall_seconds) {
+      best.wall_seconds = stats.anneal_seconds;
+      best.stats = stats;
+      best.interaction_radius = topology.interaction_radius;
+      std::vector<double> coords(2 * topology.positions.size());
+      for (std::size_t q = 0; q < topology.positions.size(); ++q) {
+        coords[2 * q] = topology.positions[q].x;
+        coords[2 * q + 1] = topology.positions[q].y;
+      }
+      // Scored with the legacy objective so all three modes are directly
+      // comparable.
+      best.objective =
+          placement::placement_objective(coords, graph, popts);
+    }
+  }
+  return best;
+}
+
+util::JsonValue anneal_json(const AnnealSample& sample) {
+  auto node = util::JsonValue::object();
+  node["wall_seconds"] = sample.wall_seconds;
+  node["evaluations"] = sample.stats.evaluations;
+  node["delta_evaluations"] = sample.stats.delta_evaluations;
+  const double total = static_cast<double>(sample.stats.evaluations +
+                                           sample.stats.delta_evaluations);
+  node["evaluations_per_second"] =
+      sample.wall_seconds > 0.0 ? total / sample.wall_seconds : 0.0;
+  node["restarts"] = sample.stats.restarts;
+  node["local_searches"] = sample.stats.local_searches;
+  node["chains"] = sample.stats.chains;
+  node["objective"] = sample.objective;
+  node["interaction_radius"] = sample.interaction_radius;
+  return node;
+}
+
+bool write_text(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+std::optional<std::string> read_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+placement::GraphineOptions technique_placement_options(
+    const char* technique, std::uint64_t master_seed,
+    const std::string& circuit_name) {
+  pipeline::CompileOptions options;
+  if (technique != nullptr) {
+    technique::Registry::global().apply_tuning(technique, options);
+  }
+  placement::GraphineOptions popts = options.placement;
+  popts.seed =
+      util::derive_seed(master_seed, circuit_name, util::kPlacementSeedSalt);
+  return popts;
+}
+
+}  // namespace
+
+std::optional<double> scan_json_number(const std::string& text,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t cursor = at + needle.size();
+  while (cursor < text.size() &&
+         (text[cursor] == ':' || text[cursor] == ' ' || text[cursor] == '\t')) {
+    ++cursor;
+  }
+  const char* begin = text.c_str() + cursor;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return value;
+}
+
+int run_perf_snapshot(const std::string& path, const PerfOptions& options,
+                      std::FILE* log) {
+  const auto& registry = technique::Registry::global();
+  bench_circuits::GenOptions gen;
+  gen.seed = options.seed;
+
+  // --- Anneal A/B on the largest table04 circuit, cache-disabled ----------
+  const circuit::Circuit raw =
+      bench_circuits::make_benchmark(kGateCircuit, gen);
+  const circuit::Circuit circuit = circuit::transpile(raw);
+  const circuit::InteractionGraph graph(circuit);
+
+  std::fprintf(log, "[perf] cold anneal A/B on %s (%d qubits)...\n",
+               kGateCircuit, graph.n_qubits());
+  const AnnealSample legacy = measure_anneal(
+      graph,
+      technique_placement_options(nullptr, options.seed, circuit.name()), 3);
+  const AnnealSample fast = measure_anneal(
+      graph,
+      technique_placement_options("parallax-fast", options.seed,
+                                  circuit.name()),
+      3);
+  const AnnealSample mc4 = measure_anneal(
+      graph,
+      technique_placement_options("parallax-mc4", options.seed,
+                                  circuit.name()),
+      2);
+
+  const double fast_speedup =
+      fast.wall_seconds > 0.0 ? legacy.wall_seconds / fast.wall_seconds : 0.0;
+  const double mc4_per_chain =
+      mc4.wall_seconds / static_cast<double>(std::max(mc4.stats.chains, 1));
+  std::fprintf(log,
+               "[perf] legacy %.1fms | delta %.1fms (%.1fx) | mc4 %.1fms "
+               "(%.1fms/chain, objective %.1f vs %.1f)\n",
+               legacy.wall_seconds * 1e3, fast.wall_seconds * 1e3,
+               fast_speedup, mc4.wall_seconds * 1e3, mc4_per_chain * 1e3,
+               mc4.objective, legacy.objective);
+
+  // --- Sweep throughput, cold then warm, through a scratch cache ----------
+  const auto config = hardware::HardwareConfig::quera_aquila_256();
+  const std::vector<std::string> acronyms = {"WST", "QAOA", "TFIM", "QV"};
+  const std::vector<std::string> techniques = {"parallax", "parallax-mc4"};
+  const auto circuits = sweep::benchmark_circuits(acronyms, gen);
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() /
+      ("parallax-perf-" + std::to_string(static_cast<unsigned long long>(
+                              options.seed ^ 0x9e3779b97f4a7c15ULL)));
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+
+  sweep::Options sweep_options;
+  sweep_options.compile.seed = options.seed;
+  sweep_options.n_threads = options.threads;
+  sweep_options.cache =
+      cache::CompilationCache::open({.directory = cache_dir.string()});
+
+  std::fprintf(log, "[perf] sweep %zux%zu cold...\n", circuits.size(),
+               techniques.size());
+  const sweep::Result cold = sweep::run(circuits, techniques,
+                                        {{config.name, config}}, sweep_options,
+                                        registry);
+  std::fprintf(log, "[perf] sweep warm replay...\n");
+  const sweep::Result warm = sweep::run(circuits, techniques,
+                                        {{config.name, config}}, sweep_options,
+                                        registry);
+  const double warm_hit_rate =
+      warm.cells.empty() ? 0.0
+                         : static_cast<double>(warm.result_cache_hits) /
+                               static_cast<double>(warm.cells.size());
+
+  // --- Serve session STATS over the now-warm cache ------------------------
+  serve::SessionStats serve_stats;
+  {
+    // A fresh cache handle on the same directory, so the session's hit/miss
+    // counters cover the serve replay alone (the disk tier carries the
+    // warmth, not the handle).
+    serve::SweepService service(
+        {.n_threads = options.threads,
+         .cache = cache::CompilationCache::open(
+             {.directory = cache_dir.string()})});
+    shard::SweepSpec spec;
+    spec.circuits = circuits;
+    spec.techniques = techniques;
+    spec.machines = {{config.name, config}};
+    spec.options.compile.seed = options.seed;
+    service.submit(spec)->wait();
+    serve_stats = service.session_stats();
+  }
+  std::filesystem::remove_all(cache_dir, ec);
+
+  // --- Snapshot ------------------------------------------------------------
+  auto root = util::JsonValue::object();
+  root["schema"] = "parallax-perf-snapshot-v1";
+  // The CI-gated headline: single-chain delta-cost anneal wall on the gate
+  // circuit. Deliberately parallelism-independent (mc4 wall depends on core
+  // count; this does not).
+  root["gate_anneal_wall_seconds"] = fast.wall_seconds;
+  root["gate_circuit"] = kGateCircuit;
+  root["gate_qubits"] = graph.n_qubits();
+  root["seed"] = static_cast<double>(options.seed);
+
+  auto anneal = util::JsonValue::object();
+  anneal["legacy"] = anneal_json(legacy);
+  anneal["delta_single_chain"] = anneal_json(fast);
+  anneal["delta_mc4"] = anneal_json(mc4);
+  anneal["delta_speedup_vs_legacy"] = fast_speedup;
+  anneal["mc4_per_chain_wall_seconds"] = mc4_per_chain;
+  anneal["mc4_per_chain_speedup_vs_legacy"] =
+      mc4_per_chain > 0.0 ? legacy.wall_seconds / mc4_per_chain : 0.0;
+  root["anneal"] = std::move(anneal);
+
+  auto sweep_node = util::JsonValue::object();
+  sweep_node["cells"] = cold.cells.size();
+  auto cold_node = util::JsonValue::object();
+  cold_node["wall_seconds"] = cold.wall_seconds;
+  cold_node["cells_per_second"] =
+      cold.wall_seconds > 0.0
+          ? static_cast<double>(cold.cells.size()) / cold.wall_seconds
+          : 0.0;
+  cold_node["anneals"] = cold.anneals;
+  cold_node["result_cache_hits"] = cold.result_cache_hits;
+  sweep_node["cold"] = std::move(cold_node);
+  auto warm_node = util::JsonValue::object();
+  warm_node["wall_seconds"] = warm.wall_seconds;
+  warm_node["cells_per_second"] =
+      warm.wall_seconds > 0.0
+          ? static_cast<double>(warm.cells.size()) / warm.wall_seconds
+          : 0.0;
+  warm_node["anneals"] = warm.anneals;
+  warm_node["result_cache_hits"] = warm.result_cache_hits;
+  warm_node["result_cache_misses"] = warm.result_cache_misses;
+  warm_node["hit_rate"] = warm_hit_rate;
+  sweep_node["warm"] = std::move(warm_node);
+  root["sweep"] = std::move(sweep_node);
+
+  auto serve_node = util::JsonValue::object();
+  serve_node["requests"] = serve_stats.requests;
+  serve_node["cells_executed"] = serve_stats.cells_executed;
+  serve_node["cells_failed"] = serve_stats.cells_failed;
+  serve_node["result_cache_hits"] = serve_stats.result_cache_hits;
+  serve_node["result_cache_misses"] = serve_stats.result_cache_misses;
+  serve_node["placement_cache_hits"] = serve_stats.placement_cache_hits;
+  serve_node["placement_cache_misses"] = serve_stats.placement_cache_misses;
+  serve_node["anneals"] = serve_stats.anneals;
+  serve_node["threads"] = serve_stats.threads;
+  serve_node["cache_enabled"] = serve_stats.cache_enabled;
+  root["serve"] = std::move(serve_node);
+
+  if (!write_text(path, root.dump(2) + "\n")) {
+    std::fprintf(log, "[perf] FAILED to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(log, "[perf] snapshot written to %s\n", path.c_str());
+
+  // --- Baseline gate -------------------------------------------------------
+  if (!options.baseline_path.empty()) {
+    const auto baseline = read_text(options.baseline_path);
+    if (!baseline) {
+      std::fprintf(log, "[perf] FAILED to read baseline %s\n",
+                   options.baseline_path.c_str());
+      return 1;
+    }
+    const auto gate = scan_json_number(*baseline, "gate_anneal_wall_seconds");
+    if (!gate) {
+      std::fprintf(log,
+                   "[perf] baseline %s has no gate_anneal_wall_seconds\n",
+                   options.baseline_path.c_str());
+      return 1;
+    }
+    const double limit = *gate * (1.0 + options.tolerance);
+    if (fast.wall_seconds > limit) {
+      std::fprintf(log,
+                   "[perf] REGRESSION: anneal wall %.1fms exceeds baseline "
+                   "%.1fms by more than %.0f%% (limit %.1fms)\n",
+                   fast.wall_seconds * 1e3, *gate * 1e3,
+                   options.tolerance * 100.0, limit * 1e3);
+      return 1;
+    }
+    std::fprintf(log,
+                 "[perf] gate ok: anneal wall %.1fms vs baseline %.1fms "
+                 "(limit +%.0f%%)\n",
+                 fast.wall_seconds * 1e3, *gate * 1e3,
+                 options.tolerance * 100.0);
+  }
+  return 0;
+}
+
+}  // namespace parallax::report

@@ -1,0 +1,43 @@
+// The per-PR performance snapshot behind `parallax bench --perf-json`: a
+// machine-readable JSON record of the anneal hot path (legacy vs delta-cost
+// vs multi-chain on the largest table04 circuit), sweep throughput cold and
+// warm, and a live serve session's STATS counters. The committed
+// BENCH_PR<N>.json files form the repo's perf trajectory; CI replays the
+// suite and fails when the gated anneal wall regresses beyond tolerance
+// against the committed baseline.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace parallax::report {
+
+struct PerfOptions {
+  /// Master seed (placement seeds derive per circuit, as the sweep does).
+  std::uint64_t seed = 0xA77AC5ULL;
+  /// Worker threads for the sweep/serve sections; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// When non-empty: a committed snapshot to gate against — the run fails
+  /// (exit 1) if the measured gate_anneal_wall_seconds exceeds the
+  /// baseline's by more than `tolerance`.
+  std::string baseline_path;
+  /// Allowed relative regression of the gate metric (0.25 = +25%).
+  double tolerance = 0.25;
+};
+
+/// Runs the perf suite, writes the JSON snapshot to `path`, and prints a
+/// human summary to `log`. Returns a process exit code: 0 on success,
+/// 1 on write failure or baseline regression.
+int run_perf_snapshot(const std::string& path, const PerfOptions& options,
+                      std::FILE* log);
+
+/// Minimal baseline reader: finds the first `"key"` in `text` and parses
+/// the number after its colon. util/json stays write-only by design; the
+/// snapshot schema keeps gated metrics at unique top-level keys so a key
+/// scan is unambiguous.
+[[nodiscard]] std::optional<double> scan_json_number(const std::string& text,
+                                                     const std::string& key);
+
+}  // namespace parallax::report

@@ -34,6 +34,13 @@ struct TechniqueInfo {
   /// factory may choose its pass list structurally (none of the built-ins
   /// currently do).
   std::function<pipeline::Pipeline(const pipeline::CompileOptions&)> factory;
+  /// Optional option tuning the technique declares for itself (e.g.
+  /// graphine-mc4 switching placement to per-qubit multi-chain annealing).
+  /// Every driver applies it through apply_tuning() before deriving memo
+  /// keys or fingerprints, so a tuned variant is "its base pipeline with
+  /// these options" uniformly across compile, sweep, shard, and serve —
+  /// caching and placement sharing come for free.
+  std::function<void(pipeline::CompileOptions&)> tune;
 };
 
 class Registry {
@@ -48,9 +55,19 @@ class Registry {
   /// The process-wide registry of built-ins.
   [[nodiscard]] static const Registry& global();
 
+  using Tune = std::function<void(pipeline::CompileOptions&)>;
+
   /// Registers a technique. Throws std::invalid_argument on a duplicate
-  /// name.
-  void add(std::string name, std::string description, Factory factory);
+  /// name. `tune` (optional) is the technique's option adjustment; see
+  /// TechniqueInfo::tune.
+  void add(std::string name, std::string description, Factory factory,
+           Tune tune = {});
+
+  /// Applies the technique's declared option tuning (no-op when it has
+  /// none). Callers that derive keys from options themselves (the sweep
+  /// driver) must call this before doing so.
+  void apply_tuning(std::string_view name,
+                    pipeline::CompileOptions& options) const;
 
   [[nodiscard]] bool contains(std::string_view name) const noexcept;
   /// Technique names in registration order.

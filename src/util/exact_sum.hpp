@@ -1,0 +1,50 @@
+// Exact (Kulisch-style) fixed-point superaccumulator for doubles.
+//
+// A 2560-bit two's-complement integer holds every finite double exactly
+// (bit i carries weight 2^(i - 1088), spanning 2^-1074 through 2^1023 with
+// ~400 bits of carry headroom), so add()/subtract() are *associative and
+// commutative* — unlike floating-point addition. round() collapses the
+// accumulator to the nearest double (ties to even), and is a pure function
+// of the exact sum.
+//
+// This is what lets the incremental placement objective promise bit-identical
+// costs to a fresh full re-score: removing a term and re-adding it later
+// restores the accumulator bit-for-bit, no matter how many moves happened in
+// between or in what order terms were enumerated.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace parallax::util {
+
+class ExactSum {
+ public:
+  static constexpr int kLimbs = 40;   // 40 x 64 = 2560 bits
+  static constexpr int kBias = 1088;  // bit i weighs 2^(i - kBias)
+
+  /// Adds a finite double exactly. NaN/Inf are undefined (asserted in
+  /// debug); every caller in the repo accumulates finite cost terms.
+  void add(double value) noexcept { accumulate(value, false); }
+  /// Subtracts a finite double exactly: add(x); subtract(x) restores the
+  /// previous accumulator bits for any x and any interleaving.
+  void subtract(double value) noexcept { accumulate(value, true); }
+
+  void clear() noexcept { limbs_.fill(0); }
+
+  /// Nearest double to the exact sum (round half to even). Exact when the
+  /// sum fits in 53 bits of significand — in particular an empty or fully
+  /// cancelled accumulator returns +0.0.
+  [[nodiscard]] double round() const noexcept;
+
+  friend bool operator==(const ExactSum& a, const ExactSum& b) noexcept {
+    return a.limbs_ == b.limbs_;
+  }
+
+ private:
+  void accumulate(double value, bool negate) noexcept;
+
+  std::array<std::uint64_t, kLimbs> limbs_{};
+};
+
+}  // namespace parallax::util

@@ -2,10 +2,19 @@
 // annealing's ability to escape local minima and respect box constraints.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "anneal/dual_annealing.hpp"
+#include "anneal/multi_chain.hpp"
 #include "anneal/nelder_mead.hpp"
+#include "anneal/objective.hpp"
+#include "util/exact_sum.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pa = parallax::anneal;
 
@@ -129,4 +138,234 @@ TEST(DualAnnealing, LocalSearchCanBeDisabled) {
   const auto result = pa::dual_annealing(sphere, lower, upper, options);
   EXPECT_EQ(result.local_searches, 0);
   EXPECT_LT(result.value, 1.0);  // coarse but in the basin
+}
+
+// --- Option validation (release-build errors, not debug asserts) ----------
+
+TEST(DualAnnealing, RejectsOutOfRangeOptions) {
+  const std::vector<double> lower(2, -1.0), upper(2, 1.0);
+  const auto run = [&](auto mutate) {
+    pa::DualAnnealingOptions options;
+    options.max_iterations = 10;
+    mutate(options);
+    return pa::dual_annealing(sphere, lower, upper, options);
+  };
+  EXPECT_THROW((void)run([](auto& o) { o.visit = 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.visit = 3.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.accept = -4.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.accept = -1e5; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.initial_temperature = 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.restart_temp_ratio = 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.restart_temp_ratio = 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.max_iterations = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.local_search_interval = -1; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)run([](auto& o) { o.initial = std::vector<double>{0.0}; }),
+               std::invalid_argument);
+}
+
+TEST(DualAnnealing, RejectsMismatchedBounds) {
+  EXPECT_THROW(
+      (void)pa::dual_annealing(sphere, {-1.0, -1.0}, {1.0}, {}),
+      std::invalid_argument);
+}
+
+TEST(DualAnnealing, ReportsWorkCounters) {
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 50;
+  options.seed = 3;
+  const auto result =
+      pa::dual_annealing(sphere, {-5.0, -5.0}, {5.0, 5.0}, options);
+  // Full-vector mode: the initial score plus one evaluation per iteration
+  // plus the Nelder-Mead probes; no incremental evaluations exist here.
+  EXPECT_GE(result.evaluations, 1 + result.iterations);
+  EXPECT_EQ(result.delta_evaluations, 0);
+  EXPECT_GE(result.restarts, 0);
+}
+
+// --- Single-coordinate (per-site) mode ------------------------------------
+
+namespace {
+
+/// Minimal incremental objective: sum of squared coordinates, kept exact
+/// with util::ExactSum so delta updates are bit-identical to full rescoring.
+class IncrementalSphere final : public pa::IncrementalObjective {
+ public:
+  explicit IncrementalSphere(std::size_t sites) : coords_(2 * sites, 0.0) {}
+
+  [[nodiscard]] std::size_t sites() const noexcept override {
+    return coords_.size() / 2;
+  }
+
+  double reset(const std::vector<double>& coords) override {
+    coords_ = coords;
+    acc_ = parallax::util::ExactSum();
+    for (const double c : coords_) acc_.add(c * c);
+    value_ = acc_.round();
+    return value_;
+  }
+
+  [[nodiscard]] double value() const noexcept override { return value_; }
+
+  double propose(std::size_t q, double x, double y) override {
+    pending_q_ = q;
+    pending_x_ = x;
+    pending_y_ = y;
+    parallax::util::ExactSum trial = acc_;
+    trial.subtract(coords_[2 * q] * coords_[2 * q]);
+    trial.subtract(coords_[2 * q + 1] * coords_[2 * q + 1]);
+    trial.add(x * x);
+    trial.add(y * y);
+    pending_value_ = trial.round();
+    pending_acc_ = trial;
+    return pending_value_;
+  }
+
+  void commit() override {
+    coords_[2 * pending_q_] = pending_x_;
+    coords_[2 * pending_q_ + 1] = pending_y_;
+    acc_ = pending_acc_;
+    value_ = pending_value_;
+  }
+
+  void snapshot(std::vector<double>& coords) const override {
+    coords = coords_;
+  }
+
+  double full(const std::vector<double>& coords) override {
+    parallax::util::ExactSum sum;
+    for (const double c : coords) sum.add(c * c);
+    return sum.round();
+  }
+
+ private:
+  std::vector<double> coords_;
+  parallax::util::ExactSum acc_, pending_acc_;
+  double value_ = 0.0, pending_value_ = 0.0;
+  std::size_t pending_q_ = 0;
+  double pending_x_ = 0.0, pending_y_ = 0.0;
+};
+
+}  // namespace
+
+TEST(DualAnnealingPerSite, MinimizesSphereWithinBox) {
+  IncrementalSphere objective(4);
+  const std::vector<double> lower(8, -5.0), upper(8, 5.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 300;
+  options.seed = 11;
+  const auto result = pa::dual_annealing(objective, lower, upper, options);
+  EXPECT_LT(result.value, 1e-6);
+  ASSERT_EQ(result.x.size(), 8u);
+  for (const double c : result.x) {
+    EXPECT_GE(c, -5.0);
+    EXPECT_LE(c, 5.0);
+  }
+  // Per-site mode pays one delta evaluation per site per iteration.
+  EXPECT_GT(result.delta_evaluations, 0);
+  EXPECT_GE(result.evaluations, 1);
+}
+
+TEST(DualAnnealingPerSite, DeterministicForSeedAndHonorsWarmStart) {
+  const std::vector<double> lower(6, -2.0), upper(6, 2.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 120;
+  options.seed = 21;
+  IncrementalSphere a(3), b(3);
+  const auto ra = pa::dual_annealing(a, lower, upper, options);
+  const auto rb = pa::dual_annealing(b, lower, upper, options);
+  EXPECT_EQ(ra.x, rb.x);
+  EXPECT_EQ(ra.value, rb.value);
+  options.initial = std::vector<double>(6, 0.0);  // the global minimum
+  IncrementalSphere c(3);
+  const auto rc = pa::dual_annealing(c, lower, upper, options);
+  EXPECT_LE(rc.value, 1e-12);
+}
+
+TEST(DualAnnealingPerSite, ResultMatchesObjectiveFullRescore) {
+  IncrementalSphere objective(5);
+  const std::vector<double> lower(10, -3.0), upper(10, 3.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 80;
+  options.seed = 9;
+  const auto result = pa::dual_annealing(objective, lower, upper, options);
+  IncrementalSphere oracle(5);
+  EXPECT_EQ(result.value, oracle.full(result.x));
+}
+
+// --- Deterministic multi-chain --------------------------------------------
+
+TEST(MultiChain, RejectsNonPositiveChainCount) {
+  pa::MultiChainOptions options;
+  options.chains = 0;
+  EXPECT_THROW(
+      (void)pa::multi_chain(
+          [] { return std::make_unique<IncrementalSphere>(2); },
+          std::vector<double>(4, -1.0), std::vector<double>(4, 1.0), options),
+      std::invalid_argument);
+}
+
+TEST(MultiChain, ThreadCountInvariantWinner) {
+  const std::vector<double> lower(8, -4.0), upper(8, 4.0);
+  pa::MultiChainOptions options;
+  options.chains = 4;
+  options.anneal.max_iterations = 60;
+  options.anneal.seed = 0xFEEDULL;
+
+  options.pool = nullptr;  // sequential reference
+  const auto sequential = pa::multi_chain(
+      [] { return std::make_unique<IncrementalSphere>(4); }, lower, upper,
+      options);
+
+  parallax::util::ThreadPool pool(4);
+  options.pool = &pool;
+  const auto pooled = pa::multi_chain(
+      [] { return std::make_unique<IncrementalSphere>(4); }, lower, upper,
+      options);
+
+  EXPECT_EQ(sequential.winner, pooled.winner);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sequential.best.value),
+            std::bit_cast<std::uint64_t>(pooled.best.value));
+  ASSERT_EQ(sequential.best.x.size(), pooled.best.x.size());
+  for (std::size_t i = 0; i < sequential.best.x.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(sequential.best.x[i]),
+              std::bit_cast<std::uint64_t>(pooled.best.x[i]))
+        << "coordinate " << i;
+  }
+  EXPECT_EQ(sequential.evaluations, pooled.evaluations);
+  EXPECT_EQ(sequential.delta_evaluations, pooled.delta_evaluations);
+}
+
+TEST(MultiChain, WinnerIsBestOfItsChains) {
+  const std::vector<double> lower(6, -3.0), upper(6, 3.0);
+  pa::MultiChainOptions options;
+  options.chains = 3;
+  options.anneal.max_iterations = 40;
+  options.anneal.seed = 77;
+  const auto reduced = pa::multi_chain(
+      [] { return std::make_unique<IncrementalSphere>(3); }, lower, upper,
+      options);
+  ASSERT_EQ(reduced.chains, 3);
+  // Replay each chain independently: the reduction must have picked the
+  // lowest value, preferring the earliest index on exact ties.
+  for (int k = 0; k < 3; ++k) {
+    pa::DualAnnealingOptions chain = options.anneal;
+    chain.seed = parallax::util::derive_seed(options.anneal.seed, "chain",
+                                             static_cast<std::uint64_t>(k));
+    IncrementalSphere objective(3);
+    const auto result = pa::dual_annealing(objective, lower, upper, chain);
+    if (k < reduced.winner) {
+      EXPECT_GT(result.value, reduced.best.value);
+    } else {
+      EXPECT_GE(result.value, reduced.best.value);
+    }
+  }
 }

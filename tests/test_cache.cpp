@@ -722,8 +722,8 @@ TEST(SweepCache, PassTimingsSurfacedInCells) {
     EXPECT_GE(timing.seconds, 0.0);
   }
   EXPECT_EQ(names, (std::vector<std::string>{
-                       "transpile", "graphine-placement", "discretize",
-                       "aod-selection", "schedule"}));
+                       "transpile", "anneal", "graphine-placement",
+                       "discretize", "aod-selection", "schedule"}));
   // Exactly one of the two graphine-placement cells annealed; the other's
   // stage is marked as served from the shared memo.
   const auto& graphine_cell = swept.at("ghz8", "graphine");

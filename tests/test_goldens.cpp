@@ -1,0 +1,56 @@
+// Golden regression: the legacy (full-vector) Graphine annealer must keep
+// producing byte-for-byte the placements it produced before the delta-cost
+// hot path landed — that is what lets a pre-existing warm cache replay with
+// zero new anneals. Each golden is the Digest128 of the placed Topology for
+// a Table III benchmark under the default sweep seed derivation
+// (derive_seed(master, circuit, kPlacementSeedSalt), master 0xA77AC5).
+//
+// If one of these fails, the legacy anneal arithmetic changed: either revert
+// the change or accept a cache-breaking release and re-record the digests
+// (and say so loudly in the changelog — every cached placement invalidates).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_circuits/registry.hpp"
+#include "cache/fingerprint.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "circuit/transpile.hpp"
+#include "placement/graphine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Golden {
+  const char* acronym;
+  const char* digest;
+};
+
+// Recorded from the pre-delta-path annealer (identical before and after the
+// hot-path change, by construction).
+constexpr Golden kGoldens[] = {
+    {"WST", "a40b5a9b76348f6f8ff02fb4daada8c3"},
+    {"QAOA", "604db70e27888f3153dd2759dd31f8c6"},
+    {"TFIM", "1a2bfd705b07a1796e30776eba6799b6"},
+    {"QV", "87cbb0b544623116fe118afa62eadd6d"},
+};
+
+}  // namespace
+
+TEST(Goldens, LegacyPlacementsAreByteStable) {
+  namespace pb = parallax::bench_circuits;
+  namespace pc = parallax::circuit;
+  namespace pp = parallax::placement;
+  namespace pu = parallax::util;
+  for (const Golden& golden : kGoldens) {
+    const pc::Circuit circuit =
+        pc::transpile(pb::make_benchmark(golden.acronym, {}));
+    pp::GraphineOptions options;  // defaults = the legacy full-vector path
+    options.seed = pu::derive_seed(0xA77AC5ULL, circuit.name(),
+                                   pu::kPlacementSeedSalt);
+    const pp::Topology topology =
+        pp::graphine_place(pc::InteractionGraph(circuit), options);
+    EXPECT_EQ(parallax::cache::fingerprint(topology).hex(), golden.digest)
+        << golden.acronym;
+  }
+}

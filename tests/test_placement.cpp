@@ -2,11 +2,16 @@
 // discretization invariants (min separation, distinct sites, footprint).
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+
 #include "circuit/circuit.hpp"
 #include "circuit/interaction_graph.hpp"
 #include "hardware/config.hpp"
 #include "placement/discretize.hpp"
 #include "placement/graphine.hpp"
+#include "placement/objective.hpp"
+#include "util/rng.hpp"
 
 namespace pc = parallax::circuit;
 namespace pp = parallax::placement;
@@ -204,4 +209,148 @@ TEST(Discretize, FullMachineStillFits) {
   const auto config = ph::HardwareConfig::quera_aquila_256();
   const auto physical = pp::discretize(grid_topology(256), config);
   EXPECT_EQ(physical.sites.size(), 256u);
+}
+
+// --- Delta-cost objective: the bit-identity contract ----------------------
+
+namespace {
+
+/// Random interaction graph: n qubits, random CZ pairs (duplicates merge
+/// into edge weights).
+pc::Circuit random_circuit(std::uint64_t seed, std::int32_t n,
+                           int n_gates) {
+  parallax::util::Rng rng(seed);
+  pc::Circuit c(n, "fuzz" + std::to_string(seed));
+  for (int g = 0; g < n_gates; ++g) {
+    const auto a = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+    auto b = static_cast<std::int32_t>(rng.uniform_int(0, n - 2));
+    if (b >= a) ++b;
+    c.cz(a, b);
+  }
+  return c;
+}
+
+std::vector<double> random_state(parallax::util::Rng& rng, std::int32_t n) {
+  std::vector<double> coords(2 * static_cast<std::size_t>(n));
+  for (double& c : coords) c = rng.next_double();
+  return coords;
+}
+
+}  // namespace
+
+TEST(DeltaObjective, BitIdenticalToFullRescoreUnderFuzzedMoves) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    parallax::util::Rng rng(seed * 1000 + 17);
+    const std::int32_t n = static_cast<std::int32_t>(rng.uniform_int(2, 40));
+    const auto circuit = random_circuit(seed, n, 3 * n);
+    const pc::InteractionGraph graph(circuit);
+    pp::GraphineOptions options;
+    pp::DeltaPlacementObjective objective(graph, options);
+    ASSERT_EQ(objective.sites(), static_cast<std::size_t>(n));
+
+    const double initial = objective.reset(random_state(rng, n));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(initial),
+              std::bit_cast<std::uint64_t>(objective.value()));
+
+    std::vector<double> coords;
+    for (int move = 0; move < 400; ++move) {
+      const auto q = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      // Mix local jitter (the annealer's common case, including slightly
+      // out-of-box targets that wrap/clamp upstream) with global jumps.
+      double x, y;
+      objective.snapshot(coords);
+      if (move % 3 == 0) {
+        x = rng.uniform(-0.1, 1.1);
+        y = rng.uniform(-0.1, 1.1);
+      } else {
+        x = coords[2 * q] + rng.uniform(-0.05, 0.05);
+        y = coords[2 * q + 1] + rng.uniform(-0.05, 0.05);
+      }
+      const double proposed = objective.propose(q, x, y);
+      if (move % 4 != 0) {  // leave some proposals uncommitted
+        objective.commit();
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(objective.value()),
+                  std::bit_cast<std::uint64_t>(proposed));
+      }
+      objective.snapshot(coords);
+      const double rescored = objective.full(coords);
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(objective.value()),
+                std::bit_cast<std::uint64_t>(rescored))
+          << "seed " << seed << " move " << move;
+    }
+  }
+}
+
+TEST(DeltaObjective, AgreesWithLegacyObjectiveNumerically) {
+  // Same cost function, different term arithmetic (sqrt vs hypot, exact vs
+  // left-to-right accumulation) — values agree to rounding noise, not bits.
+  parallax::util::Rng rng(404);
+  const auto circuit = random_circuit(8, 24, 80);
+  const pc::InteractionGraph graph(circuit);
+  pp::GraphineOptions options;
+  pp::DeltaPlacementObjective objective(graph, options);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto coords = random_state(rng, 24);
+    const double delta_value = objective.full(coords);
+    const double legacy_value =
+        pp::placement_objective(coords, graph, options);
+    EXPECT_NEAR(delta_value, legacy_value,
+                1e-9 * std::max(1.0, std::abs(legacy_value)));
+  }
+}
+
+TEST(DeltaObjective, SingleQubitGraphHasNoCrowding) {
+  const auto circuit = pc::Circuit(1, "solo");
+  const pc::InteractionGraph graph(circuit);
+  pp::GraphineOptions options;
+  pp::DeltaPlacementObjective objective(graph, options);
+  EXPECT_EQ(objective.reset({0.5, 0.5}), 0.0);
+  EXPECT_EQ(objective.propose(0, 0.9, 0.1), 0.0);
+}
+
+// --- graphine_place fast modes --------------------------------------------
+
+TEST(Graphine, PerQubitModeDeterministicWithStats) {
+  const auto circuit = random_circuit(5, 20, 60);
+  const pc::InteractionGraph graph(circuit);
+  auto options = fast_options();
+  options.proposal = pp::ProposalMode::kPerQubit;
+  options.anneal_iterations = 80;
+  pp::PlacementStats stats_a, stats_b;
+  const auto a = pp::graphine_place(graph, options, &stats_a);
+  const auto b = pp::graphine_place(graph, options, &stats_b);
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t q = 0; q < a.positions.size(); ++q) {
+    EXPECT_EQ(a.positions[q].x, b.positions[q].x);
+    EXPECT_EQ(a.positions[q].y, b.positions[q].y);
+  }
+  EXPECT_EQ(a.interaction_radius, b.interaction_radius);
+  EXPECT_GT(stats_a.delta_evaluations, 0);
+  EXPECT_GT(stats_a.anneal_seconds, 0.0);
+  EXPECT_EQ(stats_a.chains, 1);
+  for (const auto& p : a.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(Graphine, MultiChainModeReportsChainsAndStaysDeterministic) {
+  const auto circuit = random_circuit(6, 16, 48);
+  const pc::InteractionGraph graph(circuit);
+  auto options = fast_options();
+  options.proposal = pp::ProposalMode::kPerQubit;
+  options.anneal_iterations = 60;
+  options.chains = 3;
+  pp::PlacementStats stats;
+  const auto a = pp::graphine_place(graph, options, &stats);
+  const auto b = pp::graphine_place(graph, options);
+  EXPECT_EQ(stats.chains, 3);
+  EXPECT_GT(stats.delta_evaluations, 0);
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t q = 0; q < a.positions.size(); ++q) {
+    EXPECT_EQ(a.positions[q].x, b.positions[q].x);
+    EXPECT_EQ(a.positions[q].y, b.positions[q].y);
+  }
 }

@@ -2,14 +2,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/csv.hpp"
+#include "util/exact_sum.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -243,4 +247,98 @@ TEST(Parse, F64AcceptsFixedAndScientific) {
   EXPECT_FALSE(pu::parse_f64("").has_value());
   EXPECT_FALSE(pu::parse_f64("2.5x").has_value());
   EXPECT_FALSE(pu::parse_f64("spread").has_value());
+}
+
+// --- ExactSum: the superaccumulator behind incremental delta scoring ------
+
+namespace {
+/// Doubles spanning many binades (including values whose naive sums round
+/// differently depending on order) plus signs and subnormals.
+std::vector<double> exact_sum_corpus(std::uint64_t seed, std::size_t n) {
+  pu::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mantissa = rng.uniform(-1.0, 1.0);
+    const int exponent = static_cast<int>(rng.uniform_int(-320, 300));
+    values.push_back(std::ldexp(mantissa, exponent));
+  }
+  values.push_back(5e-324);   // smallest subnormal
+  values.push_back(-5e-324);
+  values.push_back(0.0);
+  values.push_back(-0.0);
+  return values;
+}
+}  // namespace
+
+TEST(ExactSum, EmptyAccumulatorRoundsToPositiveZero) {
+  pu::ExactSum sum;
+  EXPECT_EQ(sum.round(), 0.0);
+  EXPECT_FALSE(std::signbit(sum.round()));
+}
+
+TEST(ExactSum, SingleValueRoundTripsExactly) {
+  for (const double v : exact_sum_corpus(11, 64)) {
+    pu::ExactSum sum;
+    sum.add(v);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(sum.round()),
+              std::bit_cast<std::uint64_t>(v + 0.0))
+        << v;  // +0.0 canonicalizes -0.0, which round() never produces
+  }
+}
+
+TEST(ExactSum, PermutationInvariantBitwise) {
+  auto values = exact_sum_corpus(42, 200);
+  pu::ExactSum reference;
+  for (const double v : values) reference.add(v);
+  const auto reference_bits = std::bit_cast<std::uint64_t>(reference.round());
+  pu::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(values);
+    pu::ExactSum sum;
+    for (const double v : values) sum.add(v);
+    EXPECT_TRUE(sum == reference);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(sum.round()), reference_bits);
+  }
+}
+
+TEST(ExactSum, AddThenSubtractRestoresAccumulatorBits) {
+  const auto base = exact_sum_corpus(3, 50);
+  const auto churn = exact_sum_corpus(99, 50);
+  pu::ExactSum sum;
+  for (const double v : base) sum.add(v);
+  const pu::ExactSum before = sum;
+  // Interleave adds and removes of the churn set in scrambled orders; once
+  // every churn term is gone the accumulator must be bit-identical.
+  auto scrambled = churn;
+  pu::Rng rng(5);
+  for (const double v : churn) sum.add(v);
+  rng.shuffle(scrambled);
+  for (const double v : scrambled) sum.subtract(v);
+  EXPECT_TRUE(sum == before);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sum.round()),
+            std::bit_cast<std::uint64_t>(before.round()));
+}
+
+TEST(ExactSum, CancellationIsExactWhereFloatsDrift) {
+  // 1e16 + 1 - 1e16 == 0 in double arithmetic (the 1 is absorbed); the
+  // superaccumulator keeps it.
+  pu::ExactSum sum;
+  sum.add(1e16);
+  sum.add(1.0);
+  sum.subtract(1e16);
+  EXPECT_EQ(sum.round(), 1.0);
+  EXPECT_EQ((1e16 + 1.0) - 1e16, 0.0);
+}
+
+TEST(ExactSum, RoundsHalfToEven) {
+  // 2^53 + 1 is exactly representable as an exact sum but not as a double:
+  // the tie must round to the even neighbor 2^53.
+  pu::ExactSum sum;
+  sum.add(9007199254740992.0);  // 2^53
+  sum.add(1.0);
+  EXPECT_EQ(sum.round(), 9007199254740992.0);
+  // 2^53 + 3 ties to 2^53 + 4 (even mantissa).
+  sum.add(2.0);
+  EXPECT_EQ(sum.round(), 9007199254740996.0);
 }

@@ -45,6 +45,12 @@
 //         [--cache-dir DIR] [--no-cache] [--max-disk-bytes N]
 //         [--shards N]                (--serve off only) run every sweep as
 //                                     an n-shard partition-and-merge
+//   bench --perf-json FILE            run the perf suite (anneal A/B, sweep
+//         [--perf-baseline FILE]      cold/warm, serve STATS) and write a
+//         [--seed N] [--threads N]    machine-readable snapshot; with a
+//                                     baseline, exit 1 when the gated anneal
+//                                     wall regresses >25% (the committed
+//                                     BENCH_PR<N>.json perf trajectory)
 //
 // Cache subcommands (the paper's "load earlier results" option, automatic):
 //   cache stats    [--cache-dir DIR]           entry counts and sizes
@@ -105,6 +111,7 @@
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
 #include "report/orchestrator.hpp"
+#include "report/perf.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -156,6 +163,8 @@ struct CliOptions {
   bool all_artifacts = false;
   bool list_artifacts = false;
   bool full_scale = false;
+  std::string perf_json;      // bench --perf-json output path
+  std::string perf_baseline;  // committed snapshot to gate against
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -198,9 +207,11 @@ struct CliOptions {
                "[--benchmarks A,B,...] [--seed N]\n"
                "               [--threads N] [--full-scale] "
                "[--cache-dir DIR] [--no-cache]\n"
-               "               [--max-disk-bytes N] [--shards N]\n",
+               "               [--max-disk-bytes N] [--shards N]\n"
+               "       %s bench --perf-json FILE [--perf-baseline FILE] "
+               "[--seed N] [--threads N]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0);
+               argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -357,6 +368,10 @@ CliOptions parse_cli(int argc, char** argv) {
       options.list_artifacts = true;
     } else if (!std::strcmp(arg, "--full-scale")) {
       options.full_scale = true;
+    } else if (!std::strcmp(arg, "--perf-json")) {
+      options.perf_json = need_value(i);
+    } else if (!std::strcmp(arg, "--perf-baseline")) {
+      options.perf_baseline = need_value(i);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(argv[0]);
     } else if (arg[0] != '-' &&
@@ -391,14 +406,34 @@ CliOptions parse_cli(int argc, char** argv) {
     allow_only("bench",
                {"--all", "--list", "--serve", "--format", "--benchmarks",
                 "--seed", "--threads", "--full-scale", "--cache-dir",
-                "--no-cache", "--max-disk-bytes", "--shards"});
+                "--no-cache", "--max-disk-bytes", "--shards", "--perf-json",
+                "--perf-baseline"});
     const int modes = (options.list_artifacts ? 1 : 0) +
                       (options.all_artifacts ? 1 : 0) +
-                      (options.inputs.empty() ? 0 : 1);
+                      (options.inputs.empty() ? 0 : 1) +
+                      (options.perf_json.empty() ? 0 : 1);
     if (modes != 1) {
       usage(argv[0],
-            "bench needs exactly one of --list, --all, or artifact names "
-            "(see bench --list)");
+            "bench needs exactly one of --list, --all, --perf-json, or "
+            "artifact names (see bench --list)");
+    }
+    if (!options.perf_json.empty()) {
+      // The perf suite manages its own scratch cache and runs in-process;
+      // silently ignoring session/artifact flags would misreport (e.g.
+      // --no-cache numbers measured through a cache).
+      for (const char* unsupported :
+           {"--serve", "--format", "--benchmarks", "--full-scale",
+            "--cache-dir", "--no-cache", "--max-disk-bytes", "--shards"}) {
+        if (std::find(seen_flags.begin(), seen_flags.end(), unsupported) !=
+            seen_flags.end()) {
+          usage(argv[0], (std::string(unsupported) +
+                          " does not apply to bench --perf-json (the perf "
+                          "suite uses a scratch cache and a fixed matrix)")
+                             .c_str());
+        }
+      }
+    } else if (!options.perf_baseline.empty()) {
+      usage(argv[0], "--perf-baseline requires --perf-json");
     }
     if (options.shards != 0 && options.serve_mode != "off") {
       usage(argv[0],
@@ -892,6 +927,19 @@ int run_serve_command(const CliOptions& cli, const char* argv0) {
 int run_bench_command(const CliOptions& cli, const char* argv0) {
   namespace rp = parallax::report;
   const rp::Registry& registry = rp::Registry::global();
+
+  if (!cli.perf_json.empty()) {
+    rp::PerfOptions perf;
+    perf.seed = cli.seed;
+    perf.threads = cli.threads;
+    perf.baseline_path = cli.perf_baseline;
+    try {
+      return rp::run_perf_snapshot(cli.perf_json, perf, stderr);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "perf suite failed: %s\n", error.what());
+      return 1;
+    }
+  }
 
   if (cli.list_artifacts) {
     for (const auto& name : registry.names()) {
