@@ -134,6 +134,14 @@ void feed(Fingerprinter& fp, const pipeline::CompileOptions& options) {
   fp.boolean(options.preset_topology.has_value());
   if (options.preset_topology) feed(fp, *options.preset_topology);
   fp.u64(options.seed);
+  // Fidelity fields are fed only when non-default, like the annealer-mode
+  // fields above: closed-form defaults hash to exactly their pre-sim bytes,
+  // so every result cached before the simulator existed still replays.
+  if (!options.fidelity.is_default()) {
+    fp.u8(static_cast<std::uint8_t>(options.fidelity.model));
+    fp.i64(options.fidelity.shots);
+    fp.f64(options.fidelity.moving_decoherence_scale);
+  }
 }
 
 void feed(Fingerprinter& fp, const noise::NoiseOptions& options) {

@@ -186,6 +186,7 @@ void encode_layer(Writer& writer, const compiler::Layer& layer) {
   for (const std::size_t gate : layer.gates) writer.u64(gate);
   writer.f64(layer.move_distance_um);
   writer.f64(layer.return_distance_um);
+  writer.i32(layer.aod_moves);
   writer.i32(layer.trap_changes);
   writer.f64(layer.duration_us);
   writer.u64(layer.positions.size());
@@ -204,6 +205,7 @@ compiler::Layer decode_layer(Reader& reader) {
   }
   layer.move_distance_um = reader.f64();
   layer.return_distance_um = reader.f64();
+  layer.aod_moves = reader.i32();
   layer.trap_changes = reader.i32();
   layer.duration_us = reader.f64();
   const std::size_t n_positions = reader.length(16);

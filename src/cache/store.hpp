@@ -49,7 +49,9 @@ enum class Kind : std::uint32_t {
 [[nodiscard]] const char* to_string(Kind kind) noexcept;
 
 /// Bump to retire every existing on-disk entry (serialization change).
-inline constexpr std::uint32_t kPayloadVersion = 1;
+/// v2: Layer::aod_moves joined the layer codec (per-layer movement-loss
+/// accounting for the discrete-event simulator).
+inline constexpr std::uint32_t kPayloadVersion = 2;
 
 struct StoreOptions {
   /// On-disk root; empty disables the disk tier (memory-only cache).

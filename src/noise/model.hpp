@@ -34,13 +34,48 @@ struct NoiseOptions {
   bool per_qubit_decoherence = false;
 };
 
+/// How a sweep cell's success probability is produced. The closed-form
+/// product above is the paper's metric and the default; the simulated
+/// estimator replays the schedule through the discrete-event simulator
+/// (src/sim) and reports the Monte Carlo shot-survival mean instead.
+enum class FidelityModel : std::uint8_t {
+  kClosedForm = 0,
+  kSimulated = 1,
+};
+
+/// Options selecting and parameterizing the fidelity estimator. Defaults
+/// reproduce the closed-form model byte-for-byte; like PR 6's tune fields,
+/// non-default values are fingerprint-visible (cache/fingerprint.cpp) while
+/// the defaults hash to exactly their pre-sim bytes, so existing cache keys
+/// stay stable.
+struct FidelityOptions {
+  FidelityModel model = FidelityModel::kClosedForm;
+  /// Monte Carlo shots per cell when `model == kSimulated`.
+  std::int64_t shots = 4096;
+  /// T1/T2 scale applied to the time a qubit spends in flight (1.0 = moving
+  /// decoheres exactly like parking, which is what the closed-form model
+  /// assumes; only meaningful with per-qubit decoherence).
+  double moving_decoherence_scale = 1.0;
+
+  [[nodiscard]] bool is_default() const noexcept {
+    return model == FidelityModel::kClosedForm &&
+           shots == FidelityOptions{}.shots &&
+           moving_decoherence_scale == 1.0;
+  }
+};
+
 /// Estimated probability of success for one logical shot of `result` on the
 /// hardware described by `config`.
 [[nodiscard]] double success_probability(const compiler::CompileResult& result,
                                          const hardware::HardwareConfig& config,
                                          const NoiseOptions& options = {});
 
-/// The decoherence factor alone: exp(-t/T1) * exp(-t/T2) for runtime t.
+/// The decoherence factor alone: exp(-t/T1) * exp(-t/T2) over an interval of
+/// `runtime_us`. This is the single definition of T1/T2 decay shared by the
+/// closed-form model (one whole-runtime interval) and the discrete-event
+/// simulator (one interval per event leg) — exp multiplicativity makes the
+/// per-interval product equal the whole-runtime factor, so the two paths
+/// cannot drift.
 [[nodiscard]] double decoherence_factor(double runtime_us,
                                         const hardware::HardwareConfig& config);
 

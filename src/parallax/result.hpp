@@ -18,6 +18,7 @@ struct Layer {
   std::vector<std::size_t> gates;   // indices into `CompileResult::circuit`
   double move_distance_um = 0.0;    // max distance any atom moved (inbound)
   double return_distance_um = 0.0;  // max distance for the home-return leg
+  int aod_moves = 0;                // move-into-range operations this layer
   int trap_changes = 0;             // 100 us AOD trap-change operations
   double duration_us = 0.0;         // total wall time of this layer
   /// Atom positions at gate execution time (one per logical qubit). Only

@@ -107,6 +107,7 @@ ScheduleOutput schedule_gates(const circuit::Circuit& circuit,
           moved_this_layer = true;
           moved_gate = gi;
           ++output.stats.aod_moves;
+          ++layer.aod_moves;
           layer.move_distance_um =
               std::max(layer.move_distance_um, move.max_distance_um);
           output.stats.total_move_distance_um += move.max_distance_um;

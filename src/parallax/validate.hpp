@@ -39,4 +39,18 @@ struct ValidationReport {
     const CompileResult& result, const hardware::HardwareConfig& config,
     bool expect_zero_swaps = true);
 
+/// The continuous-time event ledger (implemented by the discrete-event
+/// simulator, src/sim/ledger.cpp): replays the schedule as timestamped
+/// events and checks the invariants per-layer snapshots cannot see —
+///   E0  every layer records atom positions (one per logical qubit);
+///   E1  the event timeline is sane (ordered, non-negative durations);
+///   E2  min-separation holds at every event boundary configuration, and no
+///       two atoms occupy one site (an atom cannot be in two places);
+///   E3  no atom teleports: per-layer displacement from the layer's start
+///       configuration is within the layer's recorded movement budget;
+///   E4  each layer's `duration_us` matches the simulated wall time of its
+///       event legs within tolerance, and `runtime_us` matches their sum.
+[[nodiscard]] ValidationReport validate_continuous(
+    const CompileResult& result, const hardware::HardwareConfig& config);
+
 }  // namespace parallax::compiler

@@ -169,6 +169,12 @@ Pass static_schedule() {
                           util::kShuffleSeedSalt));
     ctx.result.layers = std::move(output.layers);
     ctx.result.runtime_us = output.runtime_us;
+    if (ctx.options.scheduler.record_positions) {
+      // Baseline atoms never move: every layer executes at the placement's
+      // static configuration. Recording it per layer gives the simulator
+      // and the continuous-time ledger the same input shape as Parallax.
+      for (auto& layer : ctx.result.layers) layer.positions = ctx.positions;
+    }
     ctx.result.in_aod.assign(
         static_cast<std::size_t>(ctx.result.circuit.n_qubits()), 0);
     ctx.result.stats.u3_gates = ctx.result.circuit.u3_count();

@@ -28,7 +28,13 @@ compiler::CompileResult Pipeline::run(const circuit::Circuit& input,
                        " qubits; machine '" + config.name + "' has " +
                        std::to_string(config.n_atoms()) + " atoms");
   }
-  CompileContext context(input, config, options);
+  CompileOptions effective = options;
+  if (effective.fidelity.model == noise::FidelityModel::kSimulated) {
+    // The simulator cannot run without per-layer atom positions; force the
+    // recording on so a simulated-fidelity compile is always simulatable.
+    effective.scheduler.record_positions = true;
+  }
+  CompileContext context(input, config, std::move(effective));
   context.result.technique = technique_;
   context.result.pass_timings.reserve(passes_.size());
   for (const auto& pass : passes_) {

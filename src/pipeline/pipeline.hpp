@@ -20,6 +20,7 @@
 #include "geometry/point.hpp"
 #include "hardware/config.hpp"
 #include "hardware/machine.hpp"
+#include "noise/model.hpp"
 #include "parallax/aod_selection.hpp"
 #include "parallax/result.hpp"
 #include "parallax/scheduler.hpp"
@@ -53,6 +54,11 @@ struct CompileOptions {
   /// circuit name via util::derive_seed, so runs are reproducible per
   /// circuit and identical across techniques that share a stage.
   std::uint64_t seed = 0xA77AC5ULL;
+  /// How success probability is estimated downstream (closed-form model vs
+  /// the discrete-event simulator). Requesting the simulator makes every
+  /// scheduling pass record per-layer atom positions — the simulator's
+  /// input — regardless of the scheduler's record_positions flag.
+  noise::FidelityOptions fidelity{};
 };
 
 /// State threaded through the passes of one compilation. Passes communicate

@@ -12,9 +12,12 @@
 #include "circuit/interaction_graph.hpp"
 #include "circuit/transpile.hpp"
 #include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "parallax/compiler.hpp"
 #include "placement/graphine.hpp"
 #include "serve/service.hpp"
 #include "shard/spec.hpp"
+#include "sim/simulator.hpp"
 #include "sweep/sweep.hpp"
 #include "technique/registry.hpp"
 #include "util/json.hpp"
@@ -221,6 +224,34 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
   }
   std::filesystem::remove_all(cache_dir, ec);
 
+  // --- Simulator shot throughput on WST ------------------------------------
+  constexpr const char* kSimCircuit = "WST";
+  constexpr std::int64_t kSimShots = 4096;
+  std::fprintf(log, "[perf] simulating %lld shots of %s/parallax...\n",
+               static_cast<long long>(kSimShots), kSimCircuit);
+  pipeline::CompileOptions sim_compile;
+  sim_compile.seed = options.seed;
+  sim_compile.scheduler.record_positions = true;
+  const compiler::CompileResult sim_schedule = compiler::compile(
+      bench_circuits::make_benchmark(kSimCircuit, gen), config, sim_compile);
+  sim::SimOptions sim_options;
+  sim_options.shots = kSimShots;
+  sim_options.seed =
+      util::derive_seed(options.seed, kSimCircuit, util::kSimSeedSalt);
+  sim_options.n_threads = options.threads;
+  const util::Stopwatch sim_watch;
+  const sim::SurvivalEstimate sim_estimate =
+      sim::simulate(sim_schedule, config, sim_options);
+  const double sim_wall = sim_watch.seconds();
+  const double sim_model = noise::success_probability(sim_schedule, config);
+  std::fprintf(log,
+               "[perf] sim %.3fs (%.0f shots/s), survival %.4f vs model "
+               "%.4f\n",
+               sim_wall,
+               sim_wall > 0.0 ? static_cast<double>(kSimShots) / sim_wall
+                              : 0.0,
+               sim_estimate.mean(), sim_model);
+
   // --- Snapshot ------------------------------------------------------------
   auto root = util::JsonValue::object();
   root["schema"] = "parallax-perf-snapshot-v1";
@@ -278,6 +309,18 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
   serve_node["threads"] = serve_stats.threads;
   serve_node["cache_enabled"] = serve_stats.cache_enabled;
   root["serve"] = std::move(serve_node);
+
+  auto sim_node = util::JsonValue::object();
+  sim_node["circuit"] = kSimCircuit;
+  sim_node["shots"] = sim_estimate.shots;
+  sim_node["wall_seconds"] = sim_wall;
+  sim_node["shots_per_second"] =
+      sim_wall > 0.0 ? static_cast<double>(sim_estimate.shots) / sim_wall
+                     : 0.0;
+  sim_node["survival_mean"] = sim_estimate.mean();
+  sim_node["model_success"] = sim_model;
+  sim_node["outcome_digest"] = sim_estimate.outcome_digest.hex();
+  root["sim"] = std::move(sim_node);
 
   if (!write_text(path, root.dump(2) + "\n")) {
     std::fprintf(log, "[perf] FAILED to write %s\n", path.c_str());

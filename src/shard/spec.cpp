@@ -153,6 +153,9 @@ void encode_spec_options(Writer& writer, const sweep::Options& options) {
     cache::encode(writer, *options.compile.preset_topology);
   }
   writer.u64(options.compile.seed);
+  writer.u32(static_cast<std::uint32_t>(options.compile.fidelity.model));
+  writer.i64(options.compile.fidelity.shots);
+  writer.f64(options.compile.fidelity.moving_decoherence_scale);
   writer.boolean(options.share_placements);
   writer.boolean(options.compute_success_probability);
   encode_noise(writer, options.noise);
@@ -177,6 +180,15 @@ sweep::Options decode_spec_options(Reader& reader) {
     options.compile.preset_topology = cache::decode_topology(reader);
   }
   options.compile.seed = reader.u64();
+  const std::uint32_t fidelity_model = reader.u32();
+  if (fidelity_model >
+      static_cast<std::uint32_t>(noise::FidelityModel::kSimulated)) {
+    throw ReadError("sweep spec has an unknown fidelity model");
+  }
+  options.compile.fidelity.model =
+      static_cast<noise::FidelityModel>(fidelity_model);
+  options.compile.fidelity.shots = reader.i64();
+  options.compile.fidelity.moving_decoherence_scale = reader.f64();
   options.share_placements = reader.boolean();
   options.compute_success_probability = reader.boolean();
   options.noise = decode_noise(reader);

@@ -62,8 +62,9 @@ struct ShardSpec {
 
 /// Bump to retire every existing .spec / shard-output file (encoding
 /// change). Old files then fail parse with a version error, never decode
-/// garbage.
-inline constexpr std::uint32_t kSpecVersion = 1;
+/// garbage. v2: fidelity-estimator options (noise::FidelityOptions) joined
+/// the spec codec; shard outputs also carry the new per-layer aod_moves.
+inline constexpr std::uint32_t kSpecVersion = 2;
 
 // --- nested option codecs (shared with the shard-run encoder) -----------------
 

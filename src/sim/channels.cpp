@@ -1,0 +1,125 @@
+#include "sim/channels.hpp"
+
+#include <algorithm>
+
+namespace parallax::sim {
+
+const char* outcome_name(std::uint8_t code) noexcept {
+  switch (code) {
+    case kOutcomeSuccess: return "success";
+    case kOutcomeU3: return "u3-gate";
+    case kOutcomeCZ: return "cz-gate";
+    case kOutcomeSwap: return "swap-gate";
+    case kOutcomeTrapChange: return "trap-change";
+    case kOutcomeMovementLoss: return "movement-loss";
+    case kOutcomeDecoherence: return "decoherence";
+    case kOutcomeReadout: return "readout";
+    case kOutcomeAtomLoss: return "atom-loss";
+    default: return "unknown";
+  }
+}
+
+std::vector<Draw> build_draw_plan(const compiler::CompileResult& result,
+                                  const hardware::HardwareConfig& config,
+                                  const Timeline& timeline,
+                                  const ChannelOptions& options) {
+  const noise::NoiseOptions& on = options.channels;
+  std::vector<Draw> plan;
+  plan.reserve(timeline.events.size() + timeline.layer_wall_us.size());
+
+  // Layer-start configurations are only needed for the per-qubit
+  // parked-vs-moving decoherence split.
+  std::vector<std::vector<geom::Point>> starts;
+  if (on.include_decoherence && on.per_qubit_decoherence) {
+    starts = layer_start_configs(result);
+  }
+
+  const std::size_t n_qubits =
+      static_cast<std::size_t>(result.circuit.n_qubits());
+  std::size_t event_index = 0;
+  for (std::size_t li = 0; li < timeline.layer_wall_us.size(); ++li) {
+    // Event-channel draws of this layer, in timeline order.
+    for (; event_index < timeline.events.size() &&
+           timeline.events[event_index].layer == li;
+         ++event_index) {
+      const Event& event = timeline.events[event_index];
+      switch (event.kind) {
+        case EventKind::kMoveLeg:
+          if (on.include_operation_overheads) {
+            for (int i = 0; i < event.count; ++i) {
+              plan.push_back({config.movement_loss, kOutcomeMovementLoss});
+            }
+          }
+          break;
+        case EventKind::kTrapChange:
+          if (on.include_operation_overheads) {
+            for (int i = 0; i < event.count; ++i) {
+              plan.push_back({config.trap_switch_error, kOutcomeTrapChange});
+            }
+          }
+          break;
+        case EventKind::kGatePulse:
+          if (on.include_gate_errors) {
+            switch (result.circuit.gate(event.gate).type) {
+              case circuit::GateType::kU3:
+                plan.push_back({config.u3_error, kOutcomeU3});
+                break;
+              case circuit::GateType::kCZ:
+                plan.push_back({config.cz_error, kOutcomeCZ});
+                break;
+              case circuit::GateType::kSwap:
+                plan.push_back({config.swap_error, kOutcomeSwap});
+                break;
+              default: break;  // measure/barrier carry no gate error
+            }
+          }
+          break;
+        case EventKind::kReturnLeg:
+          break;  // charges time, not transfer loss (see event.cpp)
+      }
+    }
+
+    // Time-resolved decoherence over the layer's wall clock. exp
+    // multiplicativity makes the per-layer product equal the closed-form
+    // model's whole-runtime factor up to ~1e-16 rounding per layer.
+    if (!on.include_decoherence) continue;
+    const double wall = timeline.layer_wall_us[li];
+    if (!on.per_qubit_decoherence) {
+      plan.push_back(
+          {1.0 - noise::decoherence_factor(wall, config), kOutcomeDecoherence});
+      continue;
+    }
+    const compiler::Layer& layer = result.layers[li];
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      // In-flight time of this atom: its displacement from the layer-start
+      // configuration, flown at AOD speed — twice when the layer returns
+      // atoms home (the return leg retraces the inbound path).
+      const double displacement =
+          geom::distance(layer.positions[q], starts[li][q]);
+      double moving =
+          displacement / config.aod_speed_um_per_us *
+          (layer.return_distance_um > 0.0 ? 2.0 : 1.0);
+      moving = std::min(moving, wall);
+      const double parked = wall - moving;
+      const double survive =
+          noise::decoherence_factor(parked, config) *
+          noise::decoherence_factor(moving * options.moving_decoherence_scale,
+                                    config);
+      plan.push_back({1.0 - survive, kOutcomeDecoherence});
+    }
+  }
+
+  if (on.include_readout) {
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      plan.push_back({config.readout_error, kOutcomeReadout});
+    }
+  }
+  if (on.include_atom_loss) {
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      plan.push_back({config.atom_loss_rate, kOutcomeAtomLoss});
+    }
+  }
+  return plan;
+}
+
+}  // namespace parallax::sim

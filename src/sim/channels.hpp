@@ -1,0 +1,62 @@
+// Error channels of the discrete-event simulator: the timeline's events
+// flattened into one fixed, shot-independent sequence of Bernoulli failure
+// draws (gate errors per pulse, transfer loss per AOD move, trap-switch
+// errors per pickup/drop, time-resolved T1/T2 decay per interval, optional
+// readout and background atom loss). One shot walks the sequence in order
+// and fails on its first positive draw, so the mean shot survival converges
+// to noise::success_probability — the same (1-p) product, drawn eventwise —
+// whenever the enabled channels match the closed-form model's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "sim/event.hpp"
+
+namespace parallax::sim {
+
+/// Per-shot outcome codes: 0 survives, otherwise the channel of the first
+/// failure. These bytes are the simulator's canonical shot record — what
+/// SurvivalEstimate digests and what the golden shot digests lock in CI.
+enum : std::uint8_t {
+  kOutcomeSuccess = 0,
+  kOutcomeU3 = 1,
+  kOutcomeCZ = 2,
+  kOutcomeSwap = 3,
+  kOutcomeTrapChange = 4,
+  kOutcomeMovementLoss = 5,
+  kOutcomeDecoherence = 6,
+  kOutcomeReadout = 7,
+  kOutcomeAtomLoss = 8,
+};
+inline constexpr std::size_t kOutcomeChannels = 9;
+
+[[nodiscard]] const char* outcome_name(std::uint8_t code) noexcept;
+
+/// One Bernoulli failure draw of the per-shot sequence.
+struct Draw {
+  double p_fail = 0.0;
+  std::uint8_t channel = kOutcomeSuccess;
+};
+
+struct ChannelOptions {
+  /// Which channels draw — the same switches as the closed-form model, so
+  /// "matched channels" is literally the same NoiseOptions value.
+  noise::NoiseOptions channels{};
+  /// T1/T2 scale on in-flight time (per-qubit decoherence only); 1.0 makes
+  /// movement decohere like parking, matching the closed-form model.
+  double moving_decoherence_scale = 1.0;
+};
+
+/// Builds the draw sequence for `result`'s timeline. Pure function of its
+/// inputs — identical on every thread and in every process. Requires
+/// recorded positions when per-qubit decoherence is enabled (the
+/// parked-vs-moving split needs per-atom displacement).
+[[nodiscard]] std::vector<Draw> build_draw_plan(
+    const compiler::CompileResult& result,
+    const hardware::HardwareConfig& config, const Timeline& timeline,
+    const ChannelOptions& options);
+
+}  // namespace parallax::sim

@@ -1,0 +1,132 @@
+// The continuous-time event ledger: validate_continuous from
+// parallax/validate.hpp, implemented on the simulator's event timeline. It
+// hardens the per-layer snapshot validator to invariants that only exist
+// between snapshots — atoms teleporting past their movement budget, layer
+// durations drifting from the simulated wall time of their event legs,
+// separation violations at event-boundary configurations.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "parallax/validate.hpp"
+#include "sim/event.hpp"
+
+namespace parallax::compiler {
+
+namespace {
+
+/// Relative tolerance for wall-clock comparisons (the ledger recomputes
+/// durations from the same scalars the scheduler used, so disagreement
+/// beyond rounding means the record was tampered with or corrupted).
+bool close(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// One boundary configuration's separation check: every atom pair at least
+/// min_separation apart, no two atoms on one site. One failure per
+/// configuration keeps reports bounded on badly corrupted schedules.
+void check_separation(ValidationReport& report,
+                      const std::vector<geom::Point>& config,
+                      double min_separation_um, const std::string& where) {
+  for (std::size_t a = 0; a < config.size(); ++a) {
+    for (std::size_t b = a + 1; b < config.size(); ++b) {
+      const double d = geom::distance(config[a], config[b]);
+      if (d < 1e-9) {
+        report.fail("E2: atoms " + std::to_string(a) + " and " +
+                    std::to_string(b) + " occupy one site at " + where);
+        return;
+      }
+      if (d < min_separation_um * (1.0 - 1e-9)) {
+        report.fail("E2: atoms " + std::to_string(a) + " and " +
+                    std::to_string(b) + " are " + std::to_string(d) +
+                    " um apart at " + where + " (minimum " +
+                    std::to_string(min_separation_um) + " um)");
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_continuous(const CompileResult& result,
+                                     const hardware::HardwareConfig& config) {
+  ValidationReport report;
+
+  // E0: the ledger (like the simulator) needs per-layer positions.
+  std::vector<std::vector<geom::Point>> starts;
+  try {
+    starts = sim::layer_start_configs(result);
+  } catch (const sim::SimError& error) {
+    report.fail(std::string("E0: ") + error.what());
+    return report;
+  }
+
+  // E1: the timeline itself must be constructible and time-ordered.
+  sim::Timeline timeline;
+  try {
+    timeline = sim::build_timeline(result, config);
+  } catch (const sim::SimError& error) {
+    report.fail(std::string("E1: ") + error.what());
+    return report;
+  }
+  std::size_t previous_layer = 0;
+  for (const sim::Event& event : timeline.events) {
+    if (event.t_start_us < -1e-9 || event.t_end_us < event.t_start_us - 1e-9) {
+      report.fail("E1: event in layer " + std::to_string(event.layer) +
+                  " runs backwards in time");
+    }
+    if (event.layer < previous_layer) {
+      report.fail("E1: events of layer " + std::to_string(event.layer) +
+                  " appear after layer " + std::to_string(previous_layer));
+    }
+    previous_layer = event.layer;
+  }
+
+  for (std::size_t li = 0; li < result.layers.size(); ++li) {
+    const Layer& layer = result.layers[li];
+
+    // E2: separation at both boundary configurations of the layer — where
+    // the atoms start and where the gates fire. (Mid-flight paths are the
+    // movement engine's contract, not reconstructable from the record.)
+    check_separation(report, starts[li], config.min_separation_um,
+                     "the start of layer " + std::to_string(li));
+    check_separation(report, layer.positions, config.min_separation_um,
+                     "execution of layer " + std::to_string(li));
+
+    // E3: no teleporting — every atom's displacement across the layer is
+    // within the layer's recorded movement budget (move_distance_um is the
+    // maximum distance any atom moved).
+    const double budget = layer.move_distance_um * (1.0 + 1e-9) + 1e-9;
+    for (std::size_t q = 0; q < layer.positions.size(); ++q) {
+      const double moved = geom::distance(layer.positions[q], starts[li][q]);
+      if (moved > budget) {
+        report.fail("E3: atom " + std::to_string(q) + " moved " +
+                    std::to_string(moved) + " um in layer " +
+                    std::to_string(li) + " against a recorded budget of " +
+                    std::to_string(layer.move_distance_um) + " um");
+        break;  // one teleport report per layer
+      }
+    }
+
+    // E4 (per layer): the recorded duration matches the simulated wall time
+    // of the layer's event legs.
+    if (!close(layer.duration_us, timeline.layer_wall_us[li])) {
+      report.fail("E4: layer " + std::to_string(li) + " records " +
+                  std::to_string(layer.duration_us) +
+                  " us but its events simulate to " +
+                  std::to_string(timeline.layer_wall_us[li]) + " us");
+    }
+  }
+
+  // E4 (whole schedule): the runtime equals the simulated total.
+  if (!close(result.runtime_us, timeline.total_us)) {
+    report.fail("E4: schedule records runtime " +
+                std::to_string(result.runtime_us) +
+                " us but its events simulate to " +
+                std::to_string(timeline.total_us) + " us");
+  }
+  return report;
+}
+
+}  // namespace parallax::compiler

@@ -1,0 +1,81 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parallax::sim {
+
+double SurvivalEstimate::mean() const noexcept {
+  return shots <= 0 ? 0.0
+                    : static_cast<double>(successes) /
+                          static_cast<double>(shots);
+}
+
+double SurvivalEstimate::std_error() const noexcept {
+  if (shots <= 0) return 0.0;
+  const double p = mean();
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(shots));
+}
+
+namespace {
+
+/// One shot: walk the draw sequence in order, fail on the first positive
+/// draw. Early exit is distribution-preserving (the survival probability is
+/// the full (1-p) product either way) and keeps each shot's RNG stream a
+/// pure function of its own seed.
+std::uint8_t run_shot(const std::vector<Draw>& plan, util::Rng& rng) {
+  for (const Draw& draw : plan) {
+    if (rng.bernoulli(draw.p_fail)) return draw.channel;
+  }
+  return kOutcomeSuccess;
+}
+
+}  // namespace
+
+SurvivalEstimate simulate(const compiler::CompileResult& result,
+                          const hardware::HardwareConfig& config,
+                          const SimOptions& options) {
+  if (options.shots <= 0) {
+    throw SimError("simulation needs a positive shot count, got " +
+                   std::to_string(options.shots));
+  }
+  require_positions(result);
+  const Timeline timeline = build_timeline(result, config);
+  const std::vector<Draw> plan = build_draw_plan(
+      result, config, timeline,
+      {options.channels, options.moving_decoherence_scale});
+
+  // Outcomes are indexed by shot, filled by whichever thread runs the shot,
+  // and reduced serially below — the estimate never depends on thread
+  // count or completion order.
+  const std::size_t n = static_cast<std::size_t>(options.shots);
+  std::vector<std::uint8_t> outcomes(n);
+  const auto shot = [&](std::size_t k) {
+    util::Rng rng(util::derive_seed(options.seed, "shot",
+                                    static_cast<std::uint64_t>(k)));
+    outcomes[k] = run_shot(plan, rng);
+  };
+  if (options.n_threads == 1) {
+    for (std::size_t k = 0; k < n; ++k) shot(k);
+  } else {
+    util::ThreadPool pool(options.n_threads);
+    pool.parallel_for(n, shot);
+  }
+
+  SurvivalEstimate estimate;
+  estimate.shots = options.shots;
+  for (const std::uint8_t outcome : outcomes) {
+    if (outcome == kOutcomeSuccess) {
+      ++estimate.successes;
+    } else if (outcome < kOutcomeChannels) {
+      ++estimate.failures[outcome];
+    }
+  }
+  estimate.outcome_digest = util::hash128(outcomes.data(), outcomes.size());
+  return estimate;
+}
+
+}  // namespace parallax::sim

@@ -1,0 +1,67 @@
+// Monte Carlo shot simulation of a compiled schedule. Each shot replays the
+// event timeline (sim/event.hpp) against the per-event error channels
+// (sim/channels.hpp) with its own counter-based RNG stream —
+// derive_seed(seed, "shot", k) — so shot k's outcome byte is identical
+// whatever thread ran it, the outcome digest is byte-stable across thread
+// counts, and the survival mean converges to noise::success_probability
+// when the enabled channels match the closed-form model's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hardware/config.hpp"
+#include "noise/model.hpp"
+#include "parallax/result.hpp"
+#include "sim/channels.hpp"
+#include "util/hash.hpp"
+
+namespace parallax::sim {
+
+struct SimOptions {
+  /// Monte Carlo shots; must be positive.
+  std::int64_t shots = 4096;
+  /// Simulator master seed. Shot k draws from derive_seed(seed, "shot", k);
+  /// pipeline-level callers derive this per circuit as
+  /// derive_seed(master, circuit_name, util::kSimSeedSalt) so every layer
+  /// of the stack (sweep, CLI, tests) simulates identical shot streams.
+  std::uint64_t seed = 0xA77AC5ULL;
+  /// Which error channels draw. Passing the sweep's NoiseOptions verbatim
+  /// is the "matched channels" configuration the sim-vs-model artifact
+  /// validates.
+  noise::NoiseOptions channels{};
+  /// T1/T2 scale on in-flight time (per-qubit decoherence only).
+  double moving_decoherence_scale = 1.0;
+  /// Threads for the shot fan-out: 1 (default) runs on the calling thread —
+  /// what sweep cells use, since they already execute on pool workers —
+  /// and 0 selects hardware concurrency. The result is identical either
+  /// way; only wall clock changes.
+  std::size_t n_threads = 1;
+};
+
+/// Aggregated shot outcomes of one simulation.
+struct SurvivalEstimate {
+  std::int64_t shots = 0;
+  std::int64_t successes = 0;
+  /// First-failure counts by outcome channel (indexed by the outcome codes
+  /// of sim/channels.hpp; index 0 stays zero — successes live above).
+  std::array<std::int64_t, kOutcomeChannels> failures{};
+  /// hash128 over the per-shot outcome bytes in shot order: the canonical,
+  /// thread-count-invariant record of the whole run (golden-locked in CI).
+  util::Digest128 outcome_digest{};
+
+  /// Survival probability estimate (successes / shots).
+  [[nodiscard]] double mean() const noexcept;
+  /// Binomial standard error: sqrt(mean * (1 - mean) / shots).
+  [[nodiscard]] double std_error() const noexcept;
+};
+
+/// Simulates `options.shots` Monte Carlo shots of `result` on `config`.
+/// Throws SimError when the schedule lacks recorded positions (compile with
+/// FidelityModel::kSimulated), references gates outside its circuit, or
+/// `options.shots` is not positive.
+[[nodiscard]] SurvivalEstimate simulate(const compiler::CompileResult& result,
+                                        const hardware::HardwareConfig& config,
+                                        const SimOptions& options = {});
+
+}  // namespace parallax::sim

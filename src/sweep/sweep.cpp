@@ -13,6 +13,7 @@
 #include "circuit/interaction_graph.hpp"
 #include "circuit/transpile.hpp"
 #include "placement/graphine.hpp"
+#include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -334,8 +335,25 @@ Result run(const std::vector<CircuitSpec>& circuits,
                                !placement_annealed_here);
       }
       if (options.compute_success_probability) {
-        cell.success_probability = noise::success_probability(
-            cell.result, machine.config, options.noise);
+        if (opts.fidelity.model == noise::FidelityModel::kSimulated) {
+          // Monte Carlo estimate via the discrete-event simulator, with the
+          // sweep's noise channels. Single-threaded: the cell already runs
+          // on a pool worker, and the shot streams are seed-derived, so the
+          // estimate is identical however the shots are fanned out.
+          sim::SimOptions sim_options;
+          sim_options.shots = opts.fidelity.shots;
+          sim_options.seed = util::derive_seed(opts.seed, input->name(),
+                                               util::kSimSeedSalt);
+          sim_options.channels = options.noise;
+          sim_options.moving_decoherence_scale =
+              opts.fidelity.moving_decoherence_scale;
+          sim_options.n_threads = 1;
+          cell.success_probability =
+              sim::simulate(cell.result, machine.config, sim_options).mean();
+        } else {
+          cell.success_probability = noise::success_probability(
+              cell.result, machine.config, options.noise);
+        }
       }
       if (options.shots) {
         cell.shot_plans = shots::parallelization_sweep(

@@ -21,6 +21,10 @@ namespace parallax::util {
 /// across every technique and machine config of the same circuit.
 inline constexpr std::uint64_t kPlacementSeedSalt = 1;
 inline constexpr std::uint64_t kShuffleSeedSalt = 2;
+/// Per-circuit master seed of the discrete-event simulator (src/sim); each
+/// shot k then derives its own stream via derive_seed(sim_seed, "shot", k),
+/// which is what makes Monte Carlo runs thread-count invariant.
+inline constexpr std::uint64_t kSimSeedSalt = 3;
 
 /// Derives a per-component seed from a master seed, a component name
 /// (typically the circuit name), and a stage salt. FNV-1a over the name,

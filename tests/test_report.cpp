@@ -2,7 +2,7 @@
 // identical document whether its sweeps run in-process, through an
 // in-process SweepService session, or through a serve::Client connection
 // (the differential guarantee `parallax bench --serve` rests on). Around
-// it: registry integrity (ten unique names, unknown names rejected,
+// it: registry integrity (eleven unique names, unknown names rejected,
 // duplicate registration rejected), spec serializability round trips,
 // renderer formats, strict EnvConfig parsing, and warm-session accounting
 // through the Runner layer.
@@ -69,17 +69,18 @@ std::string render_via(rp::Runner& runner, const rp::Artifact& artifact,
 }
 
 const std::vector<std::string> kExpectedNames = {
-    "table02", "table03", "table04", "fig09",    "fig10",
-    "fig11",   "fig12",   "fig13",   "ablation", "compile-time"};
+    "table02", "table03",  "table04",      "fig09",
+    "fig10",   "fig11",    "fig12",        "fig13",
+    "ablation", "compile-time", "sim-vs-model"};
 
 }  // namespace
 
 // --- registry integrity -------------------------------------------------------
 
-TEST(ArtifactRegistry, HoldsAllTenPaperArtifactsInOrder) {
+TEST(ArtifactRegistry, HoldsAllElevenArtifactsInOrder) {
   const rp::Registry& registry = rp::Registry::global();
   EXPECT_EQ(registry.names(), kExpectedNames);
-  EXPECT_EQ(registry.size(), 10u);
+  EXPECT_EQ(registry.size(), 11u);
 }
 
 TEST(ArtifactRegistry, NamesAreUniqueAndEntriesComplete) {
@@ -137,8 +138,9 @@ TEST(ArtifactRegistry, EverySpecRoundTripsThroughTheWireCodec) {
       return runner.run(spec);
     });
   }
-  // table02/table03 plan no sweeps; the other eight plan at least one each.
-  EXPECT_GE(specs_seen, 15u);
+  // table02/table03 plan no sweeps; the other nine plan at least one each
+  // (fig12 and sim-vs-model plan two).
+  EXPECT_GE(specs_seen, 17u);
 }
 
 // --- differential rendering: in-process vs serve session ----------------------

@@ -8,6 +8,7 @@
 //   parallax_cli cache stats|clear|prewarm [options]
 //   parallax_cli shard plan|run|merge [options]
 //   parallax_cli serve [start|spec|submit] [options]
+//   parallax_cli sim (--benchmark NAME | --circuit FILE.qasm) [options]
 //
 // Options:
 //   --machine quera256|atom1225   target machine preset (default quera256)
@@ -91,8 +92,20 @@
 //   serve submit  --socket PATH --spec FILE [--out FILE]
 //                 submit a spec to a running service, wait for the
 //                 streamed cells, and write the canonical result bytes
+//
+// Sim subcommand (the discrete-event schedule simulator, src/sim): compiles
+// the circuit with recorded positions, replays it shot-by-shot with
+// per-event error channels, and prints the closed-form model probability
+// next to the Monte Carlo estimate. Stdout is deterministic for a given
+// seed and shot count — identical across --threads values — so it can be
+// golden-locked; measured shots/sec ride on stderr:
+//   sim (--benchmark NAME | --circuit FILE.qasm)
+//       [--technique NAME|all] [--machine M] [--shots N] [--seed N]
+//       [--threads N] [--json] [--aod-count N] [--no-home-return]
+//       [--spread F] [--cache-dir DIR] [--no-cache] [--max-disk-bytes N]
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -107,7 +120,9 @@
 #include "cache/cache.hpp"
 #include "hardware/config.hpp"
 #include "hardware/render.hpp"
+#include "noise/model.hpp"
 #include "parallax/report.hpp"
+#include "parallax/validate.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
 #include "report/orchestrator.hpp"
@@ -116,9 +131,11 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "shard/shard.hpp"
+#include "sim/simulator.hpp"
 #include "sweep/sweep.hpp"
 #include "technique/registry.hpp"
 #include "util/parse.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -156,6 +173,9 @@ struct CliOptions {
   // serve subcommand state
   std::string serve_command;  // "start" | "spec" | "submit"
   std::string socket_path;
+  // sim subcommand state
+  bool sim_command = false;
+  std::int64_t sim_shots = 4096;
   // bench subcommand state
   bool bench_command = false;
   std::string serve_mode = "auto";  // "auto" | "off" | a socket path
@@ -209,9 +229,17 @@ struct CliOptions {
                "[--cache-dir DIR] [--no-cache]\n"
                "               [--max-disk-bytes N] [--shards N]\n"
                "       %s bench --perf-json FILE [--perf-baseline FILE] "
-               "[--seed N] [--threads N]\n",
+               "[--seed N] [--threads N]\n"
+               "       %s sim (--benchmark NAME | --circuit FILE.qasm) "
+               "[--technique NAME|all]\n"
+               "               [--machine M] [--shots N] [--seed N] "
+               "[--threads N] [--json]\n"
+               "               [--aod-count N] [--no-home-return] "
+               "[--spread F]\n"
+               "               [--cache-dir DIR] [--no-cache] "
+               "[--max-disk-bytes N]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -290,6 +318,9 @@ CliOptions parse_cli(int argc, char** argv) {
       usage(argv[0], "unknown serve subcommand (use start, spec, submit)");
     }
     options.technique = "all";  // spec default: every technique
+  } else if (argc > 1 && !std::strcmp(argv[1], "sim")) {
+    options.sim_command = true;
+    first = 2;
   }
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for option");
@@ -357,7 +388,17 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--origin")) {
       options.origin = need_value(i);
     } else if (!std::strcmp(arg, "--shots")) {
-      options.shots = true;
+      // For `sim` this is the Monte Carlo shot count; for shard plan /
+      // serve spec it is the parallel-shots toggle.
+      if (options.sim_command) {
+        options.sim_shots = static_cast<std::int64_t>(
+            u64_flag(argv[0], "--shots", need_value(i)));
+        if (options.sim_shots <= 0) {
+          usage(argv[0], "--shots expects a positive shot count");
+        }
+      } else {
+        options.shots = true;
+      }
     } else if (!std::strcmp(arg, "--serve")) {
       options.serve_mode = need_value(i);
     } else if (!std::strcmp(arg, "--format")) {
@@ -530,6 +571,15 @@ CliOptions parse_cli(int argc, char** argv) {
       if (options.spec_file.empty()) {
         usage(argv[0], "serve submit needs --spec FILE");
       }
+    }
+  } else if (options.sim_command) {
+    allow_only("sim",
+               {"--benchmark", "--circuit", "--machine", "--technique",
+                "--aod-count", "--no-home-return", "--spread", "--seed",
+                "--shots", "--threads", "--json", "--cache-dir", "--no-cache",
+                "--max-disk-bytes", "--help", "-h"});
+    if (options.benchmark.empty() == options.circuit_file.empty()) {
+      usage(argv[0], "sim needs exactly one of --benchmark / --circuit");
     }
   } else {
     // Compile mode: reject the subcommand-only flags it would ignore.
@@ -924,6 +974,138 @@ int run_serve_command(const CliOptions& cli, const char* argv0) {
   }
 }
 
+int run_sim_command(const CliOptions& cli, const char* argv0) {
+  using namespace parallax;
+  const technique::Registry& registry = technique::Registry::global();
+  const hardware::HardwareConfig config = machine_config(cli, argv0);
+
+  sweep::CircuitSpec spec;
+  try {
+    if (!cli.benchmark.empty()) {
+      bench_circuits::GenOptions gen;
+      gen.seed = cli.seed;
+      spec = {cli.benchmark,
+              bench_circuits::make_benchmark(cli.benchmark, gen)};
+    } else {
+      spec = {cli.circuit_file, qasm::parse_file(cli.circuit_file).circuit};
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error loading circuit: %s\n", error.what());
+    return 1;
+  }
+
+  sweep::Options options;
+  options.compile.seed = cli.seed;
+  options.compile.scheduler.return_home = cli.home_return;
+  options.compile.discretize.spread_factor = cli.spread;
+  // The simulated fidelity backend forces per-layer position recording (and
+  // keys the cache accordingly).
+  options.compile.fidelity.model = noise::FidelityModel::kSimulated;
+  options.compile.fidelity.shots = cli.sim_shots;
+  options.compute_success_probability = false;  // scored both ways below
+  options.n_threads = cli.threads;
+  options.cache = open_cache(cli);
+
+  sweep::Result swept;
+  try {
+    swept = sweep::run({spec}, technique_list(cli, registry),
+                       {{cli.machine, config}}, options, registry);
+  } catch (const technique::UnknownTechniqueError& error) {
+    usage(argv0, error.what());
+  }
+  if (options.cache) report_cache_line(swept, *options.cache);
+
+  int exit_code = 0;
+  for (const auto& cell : swept.cells) {
+    if (!cell.ok()) {
+      std::fprintf(stderr, "compilation failed (%s): %s\n",
+                   cell.technique.c_str(), cell.error.c_str());
+      return 1;
+    }
+    const double model_p =
+        noise::success_probability(cell.result, config, options.noise);
+
+    sim::SimOptions sim_options;
+    sim_options.shots = cli.sim_shots;
+    // The same per-circuit derivation the sweep backend uses, so `sim` and
+    // a simulated-fidelity sweep report identical shot streams.
+    sim_options.seed =
+        util::derive_seed(cli.seed, spec.name, util::kSimSeedSalt);
+    sim_options.channels = options.noise;
+    sim_options.n_threads = cli.threads;  // 0 = hardware concurrency
+
+    const util::Stopwatch stopwatch;
+    sim::SurvivalEstimate estimate;
+    try {
+      estimate = sim::simulate(cell.result, config, sim_options);
+    } catch (const sim::SimError& error) {
+      std::fprintf(stderr, "simulation failed (%s): %s\n",
+                   cell.technique.c_str(), error.what());
+      return 1;
+    }
+    const double seconds = stopwatch.seconds();
+
+    const compiler::ValidationReport ledger =
+        compiler::validate_continuous(cell.result, config);
+    if (!ledger.ok) exit_code = 1;
+
+    const double sigma = estimate.std_error();
+    const double diff = std::abs(estimate.mean() - model_p);
+    const double z = sigma > 0.0 ? diff / sigma : (diff == 0.0 ? 0.0 : 1e9);
+
+    // Non-zero first-failure counts, channel-code order.
+    std::string failures;
+    for (std::uint8_t c = 1; c < sim::kOutcomeChannels; ++c) {
+      if (estimate.failures[c] == 0) continue;
+      if (!failures.empty()) failures += cli.json ? "," : "  ";
+      if (cli.json) {
+        failures += std::string("\"") + sim::outcome_name(c) +
+                    "\":" + std::to_string(estimate.failures[c]);
+      } else {
+        failures += std::string(sim::outcome_name(c)) + "=" +
+                    std::to_string(estimate.failures[c]);
+      }
+    }
+
+    if (cli.json) {
+      std::printf(
+          "{\"circuit\":\"%s\",\"technique\":\"%s\",\"machine\":\"%s\","
+          "\"shots\":%lld,\"model_success\":%.17g,"
+          "\"simulated_success\":%.17g,\"std_error\":%.17g,\"z\":%.17g,"
+          "\"outcome_digest\":\"%s\",\"ledger_ok\":%s,\"failures\":{%s}}\n",
+          cell.circuit.c_str(), cell.technique.c_str(), cell.machine.c_str(),
+          static_cast<long long>(estimate.shots), model_p, estimate.mean(),
+          sigma, z, estimate.outcome_digest.hex().c_str(),
+          ledger.ok ? "true" : "false", failures.c_str());
+    } else {
+      std::printf("%-9s  CZ=%zu effCZ=%zu layers=%zu runtime=%.1fus%s\n",
+                  cell.technique.c_str(), cell.result.stats.cz_gates,
+                  cell.result.stats.effective_cz(), cell.result.stats.layers,
+                  cell.result.runtime_us, cell.from_cache ? "  [cached]" : "");
+      std::printf("  ledger: %s\n", ledger.ok ? "ok" : "FAIL");
+      for (const auto& violation : ledger.violations) {
+        std::printf("    %s\n", violation.c_str());
+      }
+      std::printf("  model     P(success) = %.6e\n", model_p);
+      std::printf("  simulated P(success) = %.6e +/- %.3e  "
+                  "(%lld shots, |z| = %.2f)\n",
+                  estimate.mean(), sigma,
+                  static_cast<long long>(estimate.shots), z);
+      std::printf("  outcome digest: %s\n",
+                  estimate.outcome_digest.hex().c_str());
+      if (!failures.empty()) {
+        std::printf("  failures: %s\n", failures.c_str());
+      }
+    }
+    std::fprintf(stderr, "sim: %s/%s %lld shots in %.3fs (%.0f shots/s)\n",
+                 cell.circuit.c_str(), cell.technique.c_str(),
+                 static_cast<long long>(estimate.shots), seconds,
+                 seconds > 0 ? static_cast<double>(estimate.shots) / seconds
+                             : 0.0);
+  }
+  return exit_code;
+}
+
 int run_bench_command(const CliOptions& cli, const char* argv0) {
   namespace rp = parallax::report;
   const rp::Registry& registry = rp::Registry::global();
@@ -1046,6 +1228,7 @@ int main(int argc, char** argv) {
   if (!cli.cache_command.empty()) return run_cache_command(cli, argv[0]);
   if (!cli.shard_command.empty()) return run_shard_command(cli, argv[0]);
   if (!cli.serve_command.empty()) return run_serve_command(cli, argv[0]);
+  if (cli.sim_command) return run_sim_command(cli, argv[0]);
 
   if (cli.list_techniques) {
     for (const auto& name : registry.names()) {
