@@ -71,6 +71,9 @@ Pass graphine_placement() {
                                      util::kPlacementSeedSalt);
     const circuit::InteractionGraph graph(ctx.result.circuit);
     placement::PlacementStats stats;
+    if (ctx.options.anneal_counter) {
+      ctx.options.anneal_counter->fetch_add(1, std::memory_order_relaxed);
+    }
     ctx.normalized = placement::graphine_place(graph, options, &stats);
     ctx.result.pass_timings.push_back({"anneal", stats.anneal_seconds, false});
   });

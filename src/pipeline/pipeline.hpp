@@ -7,7 +7,10 @@
 // across circuit x technique x machine matrices by sweep::run.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -59,6 +62,11 @@ struct CompileOptions {
   /// scheduling pass record per-layer atom positions — the simulator's
   /// input — regardless of the scheduler's record_positions flag.
   noise::FidelityOptions fidelity{};
+  /// Runtime-only anneal accounting: when set, a placement pass increments
+  /// it once per Graphine anneal it actually runs (never for a preset
+  /// topology). Excluded from fingerprints and serializations like every
+  /// runtime hook — it is attribution, not identity.
+  std::shared_ptr<std::atomic<std::uint64_t>> anneal_counter;
 };
 
 /// State threaded through the passes of one compilation. Passes communicate

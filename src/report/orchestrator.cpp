@@ -105,6 +105,21 @@ void print_server_stats(std::FILE* log, const serve::SessionStats& stats) {
       static_cast<unsigned long long>(stats.anneals),
       static_cast<std::size_t>(stats.threads),
       stats.cache_enabled ? "" : ", no cache", stats.uptime_seconds);
+  for (const serve::ClientStats& client : stats.clients) {
+    std::fprintf(
+        log,
+        "  client %llu: %llu requests, %llu cells, anneals=%llu%s"
+        "%s\n",
+        static_cast<unsigned long long>(client.client_id),
+        static_cast<unsigned long long>(client.requests),
+        static_cast<unsigned long long>(client.cells_executed),
+        static_cast<unsigned long long>(client.anneals),
+        client.connected ? ", connected" : "",
+        client.bytes_queued > 0
+            ? (", " + std::to_string(client.bytes_queued) + " bytes queued")
+                  .c_str()
+            : "");
+  }
 }
 
 int bench_main(const char* artifact_name) noexcept {

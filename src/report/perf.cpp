@@ -1,10 +1,13 @@
 #include "report/perf.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "bench_circuits/registry.hpp"
@@ -15,6 +18,8 @@
 #include "noise/model.hpp"
 #include "parallax/compiler.hpp"
 #include "placement/graphine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "shard/spec.hpp"
 #include "sim/simulator.hpp"
@@ -222,7 +227,93 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
     service.submit(spec)->wait();
     serve_stats = service.session_stats();
   }
+
+  // --- Multi-client farm throughput over the warm cache -------------------
+  // Three concurrent clients against one poll()-driven session; every
+  // request replays from the disk-warm cache, so the number is the farm
+  // front-end's own overhead (framing, fair-share dispatch, streaming),
+  // not compile time.
+  constexpr std::size_t kFarmClients = 3;
+  serve::SessionStats farm_stats;
+  double farm_wall = 0.0;
+  std::size_t farm_cells = 0;
+  {
+    const std::string socket_path =
+        (std::filesystem::temp_directory_path() /
+         ("parallax-perf-farm-" +
+          std::to_string(static_cast<unsigned long long>(
+              options.seed ^ 0xc2b2ae3d27d4eb4fULL)) +
+          ".sock"))
+            .string();
+    serve::SweepService service(
+        {.n_threads = options.threads,
+         .cache = cache::CompilationCache::open(
+             {.directory = cache_dir.string()})});
+    serve::ServerOptions server_options;
+    std::thread server([&] {
+      (void)serve::serve_unix_socket(socket_path, service, server_options);
+    });
+    for (int i = 0; i < 1000 && !std::filesystem::exists(socket_path); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    shard::SweepSpec spec;
+    spec.circuits = circuits;
+    spec.techniques = techniques;
+    spec.machines = {{config.name, config}};
+    spec.options.compile.seed = options.seed;
+    std::fprintf(log, "[perf] serve farm: %zu concurrent clients...\n",
+                 kFarmClients);
+    std::atomic<std::size_t> delivered{0};
+    const util::Stopwatch farm_watch;
+    std::vector<std::thread> clients;
+    clients.reserve(kFarmClients);
+    for (std::size_t c = 0; c < kFarmClients; ++c) {
+      clients.emplace_back([&] {
+        serve::Client client(socket_path);
+        const serve::ClientOutcome outcome = client.run(spec);
+        delivered.fetch_add(
+            static_cast<std::size_t>(outcome.summary.executed_cells),
+            std::memory_order_relaxed);
+        client.quit();
+      });
+    }
+    for (auto& thread : clients) thread.join();
+    farm_wall = farm_watch.seconds();
+    farm_cells = delivered.load(std::memory_order_relaxed);
+    serve::Client(socket_path).stop();  // graceful drain unlinks the socket
+    server.join();
+    farm_stats = service.session_stats();
+  }
   std::filesystem::remove_all(cache_dir, ec);
+
+  // --- parse_request_line micro-benchmark ---------------------------------
+  // The SUBMIT fast path: one multi-megabyte hex spec line tokenized in
+  // place (no line copy) and decoded. Min-of-5 wall, like the anneal A/B.
+  double parse_wall = 1e300;
+  std::size_t parse_line_bytes = 0;
+  {
+    shard::SweepSpec spec;
+    spec.circuits = circuits;
+    spec.techniques = techniques;
+    spec.machines = {{config.name, config}};
+    spec.options.compile.seed = options.seed;
+    std::string line = serve::submit_line(7, spec);
+    line.pop_back();  // parse_request_line takes the line sans newline
+    parse_line_bytes = line.size();
+    for (int r = 0; r < 5; ++r) {
+      const util::Stopwatch parse_watch;
+      const serve::RequestLine parsed = serve::parse_request_line(line);
+      const double wall = parse_watch.seconds();
+      if (parsed.spec.total_cells() != spec.total_cells()) {
+        std::fprintf(log, "[perf] FAILED: parse round-trip mismatch\n");
+        return 1;
+      }
+      parse_wall = std::min(parse_wall, wall);
+    }
+    std::fprintf(log, "[perf] parse_request_line: %.2f MB line in %.2fms\n",
+                 static_cast<double>(parse_line_bytes) / 1e6,
+                 parse_wall * 1e3);
+  }
 
   // --- Simulator shot throughput on WST ------------------------------------
   constexpr const char* kSimCircuit = "WST";
@@ -309,6 +400,26 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
   serve_node["threads"] = serve_stats.threads;
   serve_node["cache_enabled"] = serve_stats.cache_enabled;
   root["serve"] = std::move(serve_node);
+
+  auto farm_node = util::JsonValue::object();
+  farm_node["clients"] = kFarmClients;
+  farm_node["requests"] = farm_stats.requests;
+  farm_node["cells_delivered"] = farm_cells;
+  farm_node["wall_seconds"] = farm_wall;
+  farm_node["cells_per_second"] =
+      farm_wall > 0.0 ? static_cast<double>(farm_cells) / farm_wall : 0.0;
+  farm_node["anneals"] = farm_stats.anneals;
+  farm_node["client_rows"] = farm_stats.clients.size();
+  root["serve_farm"] = std::move(farm_node);
+
+  auto parse_node = util::JsonValue::object();
+  parse_node["line_bytes"] = parse_line_bytes;
+  parse_node["wall_seconds"] = parse_wall;
+  parse_node["mb_per_second"] =
+      parse_wall > 0.0
+          ? static_cast<double>(parse_line_bytes) / 1e6 / parse_wall
+          : 0.0;
+  root["parse_request_line"] = std::move(parse_node);
 
   auto sim_node = util::JsonValue::object();
   sim_node["circuit"] = kSimCircuit;

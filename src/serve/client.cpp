@@ -43,6 +43,33 @@ void Client::quit() {
   }
 }
 
+void Client::stop() {
+  const std::uint64_t id = ++last_id_;
+  if (!write_all(fd_, stop_line(id))) {
+    throw ServeError("cannot write to the serve connection");
+  }
+  std::string bytes;
+  if (!read_exact(fd_, bytes, kFrameHeaderBytes)) {
+    throw ServeError("serve connection closed mid-response");
+  }
+  const FrameHeader header = parse_frame_header(bytes);
+  std::string payload;
+  if (!read_exact(fd_, payload,
+                  static_cast<std::size_t>(header.payload_size))) {
+    throw ServeError("serve connection closed mid-frame");
+  }
+  const Frame frame = decode_frame(header, payload);
+  if (frame.request_id != id) {
+    throw ServeError("serve response names an unexpected request id");
+  }
+  if (frame.type == FrameType::kError) {
+    throw ServeError("serve stop request rejected: " + frame.message);
+  }
+  if (frame.type != FrameType::kDone) {
+    throw ServeError("serve answered STOP with the wrong frame type");
+  }
+}
+
 SessionStats Client::stats() {
   const std::uint64_t id = ++last_id_;
   if (!write_all(fd_, stats_line(id))) {

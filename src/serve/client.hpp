@@ -56,6 +56,13 @@ class Client {
   /// Asks the server to stop this connection after in-flight work drains.
   void quit();
 
+  /// Asks the server to drain the whole session gracefully (STOP): the
+  /// listener stops accepting, in-flight tickets are cancelled, every
+  /// connection's done frames flush, and the socket file is unlinked.
+  /// Blocks until the server's kDone acknowledgement. Throws ServeError on
+  /// any connection or protocol failure, including a kError response.
+  void stop();
+
  private:
   int fd_ = -1;
   std::uint64_t last_id_ = 0;

@@ -4,7 +4,6 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <sstream>
 
 #include "cache/serialize.hpp"
 #include "shard/shard.hpp"
@@ -78,6 +77,16 @@ void encode_session_stats(Writer& writer, const SessionStats& stats) {
   writer.u64(stats.threads);
   writer.boolean(stats.cache_enabled);
   writer.f64(stats.uptime_seconds);
+  writer.u64(stats.clients.size());
+  for (const ClientStats& client : stats.clients) {
+    writer.u64(client.client_id);
+    writer.u64(client.requests);
+    writer.u64(client.cells_executed);
+    writer.u64(client.anneals);
+    writer.u64(client.bytes_queued);
+    writer.f64(client.connected_seconds);
+    writer.boolean(client.connected);
+  }
 }
 
 SessionStats decode_session_stats(Reader& reader) {
@@ -93,6 +102,19 @@ SessionStats decode_session_stats(Reader& reader) {
   stats.threads = reader.u64();
   stats.cache_enabled = reader.boolean();
   stats.uptime_seconds = reader.f64();
+  const std::uint64_t n_clients = reader.u64();
+  stats.clients.reserve(n_clients);
+  for (std::uint64_t i = 0; i < n_clients; ++i) {
+    ClientStats client;
+    client.client_id = reader.u64();
+    client.requests = reader.u64();
+    client.cells_executed = reader.u64();
+    client.anneals = reader.u64();
+    client.bytes_queued = reader.u64();
+    client.connected_seconds = reader.f64();
+    client.connected = reader.boolean();
+    stats.clients.push_back(client);
+  }
   return stats;
 }
 
@@ -111,40 +133,88 @@ std::string stats_line(std::uint64_t id) {
   return "STATS " + std::to_string(id) + '\n';
 }
 
+std::string stop_line(std::uint64_t id) {
+  return "STOP " + std::to_string(id) + '\n';
+}
+
 std::string quit_line() { return "QUIT\n"; }
 
+namespace {
+
+/// Whitespace-delimited tokens over the request line, yielded as views into
+/// the caller's buffer. A SUBMIT line is dominated by its spec hex — often
+/// megabytes — so the parser must never copy the line (the istringstream it
+/// replaced duplicated the whole buffer before reading one verb).
+class LineTokenizer {
+ public:
+  explicit LineTokenizer(std::string_view line) : line_(line) {}
+
+  /// The next token, or an empty view once the line is exhausted (empty
+  /// tokens cannot otherwise occur).
+  [[nodiscard]] std::string_view next() noexcept {
+    constexpr std::string_view kSpace = " \t\r\v\f";
+    const std::size_t begin = line_.find_first_not_of(kSpace, pos_);
+    if (begin == std::string_view::npos) {
+      pos_ = line_.size();
+      return {};
+    }
+    std::size_t end = line_.find_first_of(kSpace, begin);
+    if (end == std::string_view::npos) end = line_.size();
+    pos_ = end;
+    return line_.substr(begin, end - begin);
+  }
+
+  [[nodiscard]] bool exhausted() noexcept { return next().empty(); }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
 RequestLine parse_request_line(std::string_view line) {
-  std::istringstream in{std::string(line)};
-  std::string verb, id_token, payload_token, extra;
-  in >> verb;
+  LineTokenizer tokens(line);
+  const std::string_view verb = tokens.next();
   if (verb.empty()) throw ServeError("empty request line");
   RequestLine request;
   if (verb == "QUIT") {
-    if (in >> extra) throw ServeError("QUIT takes no arguments");
+    if (!tokens.exhausted()) throw ServeError("QUIT takes no arguments");
     request.verb = RequestLine::Verb::kQuit;
     return request;
   }
-  if (verb != "SUBMIT" && verb != "CANCEL" && verb != "STATS") {
-    throw ServeError("unknown request verb '" + verb +
-                     "' (use SUBMIT, CANCEL, STATS, QUIT)");
+  const bool is_submit = verb == "SUBMIT";
+  if (!is_submit && verb != "CANCEL" && verb != "STATS" && verb != "STOP") {
+    throw ServeError("unknown request verb '" + std::string(verb) +
+                     "' (use SUBMIT, CANCEL, STATS, STOP, QUIT)");
   }
-  if (!(in >> id_token)) throw ServeError(verb + " needs a request id");
+  const std::string_view id_token = tokens.next();
+  if (id_token.empty()) {
+    throw ServeError(std::string(verb) + " needs a request id");
+  }
   const auto id = util::parse_u64(id_token);
   if (!id) {
-    throw ServeError(verb + " request id '" + id_token +
+    throw ServeError(std::string(verb) + " request id '" +
+                     std::string(id_token) +
                      "' is not a non-negative integer");
   }
   request.id = *id;
-  if (verb == "CANCEL" || verb == "STATS") {
-    if (in >> extra) throw ServeError(verb + " takes only a request id");
-    request.verb = verb == "CANCEL" ? RequestLine::Verb::kCancel
-                                    : RequestLine::Verb::kStats;
+  if (!is_submit) {
+    if (!tokens.exhausted()) {
+      throw ServeError(std::string(verb) + " takes only a request id");
+    }
+    request.verb = verb == "CANCEL"  ? RequestLine::Verb::kCancel
+                   : verb == "STATS" ? RequestLine::Verb::kStats
+                                     : RequestLine::Verb::kStop;
     return request;
   }
-  if (!(in >> payload_token)) {
+  const std::string_view payload_token = tokens.next();
+  if (payload_token.empty()) {
     throw ServeError("SUBMIT needs a hex-encoded sweep spec");
   }
-  if (in >> extra) throw ServeError("SUBMIT takes exactly id and spec hex");
+  if (!tokens.exhausted()) {
+    throw ServeError("SUBMIT takes exactly id and spec hex");
+  }
   const auto bytes = hex_decode(payload_token);
   if (!bytes) {
     throw ServeError("SUBMIT payload is not valid hex");

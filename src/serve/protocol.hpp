@@ -8,8 +8,13 @@
 //                         (serialize_sweep_spec) in lowercase hex
 //   CANCEL <id>           cooperatively cancel an in-flight request
 //   STATS <id>            query session-wide accounting (requests served,
-//                         cells executed, cache hit/anneal counters)
-//   QUIT                  stop after draining in-flight requests
+//                         cells executed, cache hit/anneal counters, and
+//                         per-client rows since v3)
+//   STOP <id>             gracefully drain the whole session: the listener
+//                         stops accepting, in-flight tickets are cancelled,
+//                         every connection's done frames flush, the socket
+//                         file is unlinked; acknowledged with a kDone frame
+//   QUIT                  stop this connection after draining its requests
 //
 // Responses travel server -> client as length-prefixed binary frames, each
 // a fixed 40-byte header (magic, version, type, request id, payload size,
@@ -34,6 +39,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "shard/spec.hpp"
 #include "sweep/sweep.hpp"
@@ -49,13 +55,33 @@ class ServeError : public std::runtime_error {
 
 /// Bump to retire every peer speaking an older framing (encoding change).
 /// v2: STATS request verb + kStats response frame.
-inline constexpr std::uint32_t kServeVersion = 2;
+/// v3: multi-tenant farm — per-client rows in the kStats payload and the
+///     STOP (graceful session drain) request verb.
+inline constexpr std::uint32_t kServeVersion = 3;
 
 enum class FrameType : std::uint32_t {
   kCell = 1,
   kDone = 2,
   kError = 3,
   kStats = 4,
+};
+
+/// One client's row of the kStats payload (v3). Request/cell/anneal
+/// counters cover the client's *completed* requests, so summing the rows
+/// reproduces the session totals exactly; the connection-level fields
+/// (bytes queued, connected seconds) describe the live connection and are
+/// zero once the client disconnected (rows outlive their connections —
+/// accounting never vanishes with a departing peer).
+struct ClientStats {
+  std::uint64_t client_id = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t cells_executed = 0;
+  std::uint64_t anneals = 0;
+  /// Frame bytes accepted for this client but not yet written to its
+  /// socket (the backpressure quantity the per-client byte quota bounds).
+  std::uint64_t bytes_queued = 0;
+  double connected_seconds = 0.0;
+  bool connected = false;
 };
 
 /// Session-wide accounting snapshot — the kStats payload. Counters cover
@@ -75,6 +101,9 @@ struct SessionStats {
   std::uint64_t threads = 0;
   bool cache_enabled = false;
   double uptime_seconds = 0.0;
+  /// v3: one row per client the session has ever served, ascending
+  /// client_id. The request/cell/anneal columns sum to the totals above.
+  std::vector<ClientStats> clients;
 };
 
 /// Per-request completion summary — the kDone payload.
@@ -103,7 +132,7 @@ struct Summary {
 // --- request lines (client -> server) -----------------------------------------
 
 struct RequestLine {
-  enum class Verb { kSubmit, kCancel, kStats, kQuit };
+  enum class Verb { kSubmit, kCancel, kStats, kStop, kQuit };
   Verb verb = Verb::kQuit;
   std::uint64_t id = 0;
   /// kSubmit only.
@@ -114,6 +143,7 @@ struct RequestLine {
                                       const shard::SweepSpec& spec);
 [[nodiscard]] std::string cancel_line(std::uint64_t id);
 [[nodiscard]] std::string stats_line(std::uint64_t id);
+[[nodiscard]] std::string stop_line(std::uint64_t id);
 [[nodiscard]] std::string quit_line();
 
 /// Parses one request line (no trailing newline). Throws ServeError on an

@@ -1,17 +1,22 @@
 #include "serve/server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
-#include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "util/parse.hpp"
@@ -20,29 +25,126 @@ namespace parallax::serve {
 
 namespace {
 
-/// Shared sink for one connection's frames: worker threads (cell frames)
-/// and the dispatcher (done frames) interleave here, one frame at a time.
-/// The first failed write marks the peer dead; later frames are dropped and
+using Clock = std::chrono::steady_clock;
+
+/// Shared sink for one connection's frames: worker threads (cell frames),
+/// the dispatcher (done frames), and the serving thread (stats/error
+/// frames) interleave here, one frame at a time. Frames are enqueued under
+/// the lock but never written under it — a blocked peer must not serialize
+/// the whole farm through one connection's mutex. Two draining modes:
+///
+///   * blocking (no wake fd): whichever thread finds the sink idle becomes
+///     the flusher, swaps the queue out, and write_all()s it outside the
+///     critical section; other writers enqueue and return immediately.
+///   * event (wake fd set): nothing blocks — writers enqueue and poke the
+///     event loop's wake pipe, and the loop drains with MSG_DONTWAIT sends
+///     when poll() reports the fd writable.
+///
+/// The first failed write — or a frame that would push the unflushed bytes
+/// past max_pending — marks the peer dead; later frames are dropped and
 /// the injected on_dead hook cancels in-flight work exactly once.
 class FrameSink {
  public:
-  explicit FrameSink(int fd) : fd_(fd) {}
+  FrameSink(int fd, std::size_t max_pending)
+      : fd_(fd), max_pending_(max_pending) {}
 
   void set_on_dead(std::function<void()> on_dead) {
     on_dead_ = std::move(on_dead);
   }
+  /// Switches the sink to event mode: fd_ must be non-blocking, and the
+  /// poll loop owns the actual writes (on_writable).
+  void set_wake_fd(int wake_fd) { wake_fd_ = wake_fd; }
 
   void write_frame(const std::string& frame) {
+    std::function<void()> notify;
+    bool poke = false;
+    {
+      std::unique_lock lock(mutex_);
+      if (!dead_) {
+        if (max_pending_ > 0 && pending_bytes_ + frame.size() > max_pending_) {
+          dead_ = true;
+          cv_.notify_all();
+          notify = on_dead_;
+        } else {
+          if (pending_bytes_ == 0) last_progress_ = Clock::now();
+          pending_.push_back(frame);
+          pending_bytes_ += frame.size();
+          poke = wake_fd_ >= 0;
+          if (wake_fd_ < 0 && !flushing_) {
+            flushing_ = true;
+            notify = flush_locked(lock);
+          }
+        }
+      }
+    }
+    if (notify) notify();
+    if (poke) poke_wake();
+  }
+
+  /// Event mode: drains as much as the socket accepts right now. Called
+  /// from the poll thread; MSG_DONTWAIT keeps the held lock cheap (no
+  /// send() here ever blocks).
+  void on_writable() {
     std::function<void()> notify;
     {
       std::lock_guard lock(mutex_);
       if (dead_) return;
-      if (!write_all(fd_, frame)) {
-        dead_ = true;
-        notify = on_dead_;
+      while (!pending_.empty()) {
+        const std::string& front = pending_.front();
+        const ssize_t n =
+            ::send(fd_, front.data() + front_offset_,
+                   front.size() - front_offset_,
+                   MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          dead_ = true;
+          cv_.notify_all();
+          notify = on_dead_;
+          break;
+        }
+        last_progress_ = Clock::now();
+        pending_bytes_ -= static_cast<std::size_t>(n);
+        front_offset_ += static_cast<std::size_t>(n);
+        if (front_offset_ == front.size()) {
+          pending_.pop_front();
+          front_offset_ = 0;
+        }
       }
     }
     if (notify) notify();
+  }
+
+  /// Kills the sink from outside (stall detach, read error): drops pending
+  /// frames and fires on_dead exactly once.
+  void mark_dead() {
+    std::function<void()> notify;
+    {
+      std::lock_guard lock(mutex_);
+      if (dead_) return;
+      dead_ = true;
+      cv_.notify_all();
+      notify = on_dead_;
+    }
+    if (notify) notify();
+  }
+
+  /// Silences the sink before its fd closes (normal teardown, where no
+  /// producer is left): late frames are dropped without firing on_dead.
+  void retire() {
+    std::lock_guard lock(mutex_);
+    dead_ = true;
+    cv_.notify_all();
+  }
+
+  /// Blocking mode: waits until every accepted frame reached the fd (or
+  /// the sink died) — the teardown barrier that keeps a worker's in-flight
+  /// flush from outliving the connection.
+  void drain() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] {
+      return dead_ || (pending_.empty() && !flushing_);
+    });
   }
 
   [[nodiscard]] bool dead() const {
@@ -50,64 +152,175 @@ class FrameSink {
     return dead_;
   }
 
+  [[nodiscard]] std::size_t pending_bytes() const {
+    std::lock_guard lock(mutex_);
+    return pending_bytes_;
+  }
+
+  [[nodiscard]] bool want_write() const {
+    std::lock_guard lock(mutex_);
+    return !dead_ && pending_bytes_ > 0;
+  }
+
+  /// True when frames have been pending without a single byte of progress
+  /// for longer than `timeout` — the stalled-reader predicate.
+  [[nodiscard]] bool stalled(std::chrono::seconds timeout) const {
+    std::lock_guard lock(mutex_);
+    return !dead_ && pending_bytes_ > 0 &&
+           Clock::now() - last_progress_ > timeout;
+  }
+
  private:
+  /// Blocking-mode flusher; entered with the lock held and flushing_ just
+  /// claimed. Swaps the queue out and writes it unlocked, looping until no
+  /// new frames arrived behind its back. Returns the on_dead hook to run
+  /// (after unlock) if the peer died mid-flush.
+  std::function<void()> flush_locked(std::unique_lock<std::mutex>& lock) {
+    while (!pending_.empty() && !dead_) {
+      std::deque<std::string> batch;
+      batch.swap(pending_);
+      lock.unlock();
+      bool ok = true;
+      for (const std::string& chunk : batch) {
+        if (ok) ok = write_all(fd_, chunk);
+      }
+      lock.lock();
+      for (const std::string& chunk : batch) pending_bytes_ -= chunk.size();
+      if (!ok) {
+        dead_ = true;
+        flushing_ = false;
+        cv_.notify_all();
+        return on_dead_;
+      }
+    }
+    flushing_ = false;
+    cv_.notify_all();
+    return nullptr;
+  }
+
+  void poke_wake() const {
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(wake_fd_, "x", 1);
+  }
+
   const int fd_;
+  const std::size_t max_pending_;
+  int wake_fd_ = -1;
   mutable std::mutex mutex_;
+  std::condition_variable cv_;
   bool dead_ = false;
+  bool flushing_ = false;
+  std::deque<std::string> pending_;
+  std::size_t pending_bytes_ = 0;
+  std::size_t front_offset_ = 0;
+  Clock::time_point last_progress_ = Clock::now();
   std::function<void()> on_dead_;
 };
 
 /// Best-effort request id from a line that failed to parse, so the error
 /// frame still names the request when the id token itself was readable.
 std::uint64_t best_effort_id(std::string_view line) {
-  std::istringstream in{std::string(line)};
-  std::string verb, id_token;
-  if (!(in >> verb >> id_token)) return 0;
-  return util::parse_u64(id_token).value_or(0);
+  constexpr std::string_view kSpace = " \t\r\v\f";
+  std::size_t pos = 0;
+  const auto next_token = [&]() -> std::string_view {
+    const std::size_t begin = line.find_first_not_of(kSpace, pos);
+    if (begin == std::string_view::npos) {
+      pos = line.size();
+      return {};
+    }
+    std::size_t end = line.find_first_of(kSpace, begin);
+    if (end == std::string_view::npos) end = line.size();
+    pos = end;
+    return line.substr(begin, end - begin);
+  };
+  if (next_token().empty()) return 0;
+  return util::parse_u64(next_token()).value_or(0);
+}
+
+[[nodiscard]] bool blank_line(std::string_view line) {
+  return line.find_first_not_of(" \t\r\v\f") == std::string_view::npos;
+}
+
+std::string inflight_quota_message(std::size_t limit) {
+  return "SUBMIT rejected: client exceeds max in-flight requests (limit " +
+         std::to_string(limit) + ")";
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 }  // namespace
 
 std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
                              const ServerOptions& options) {
-  FrameSink sink(out_fd);
+  constexpr std::uint64_t kClientId = 0;
+  service.register_client(kClientId);
+  const Clock::time_point connected_at = Clock::now();
+  const auto sink =
+      std::make_shared<FrameSink>(out_fd, options.max_client_buffered_bytes);
 
-  // Tickets submitted on this connection: `inflight` powers CANCEL and
-  // duplicate-id rejection; `submitted` is what the teardown wait drains.
-  // `finished_early` closes the submit/on_done race: a request that
-  // completes before the submitting thread re-acquires the lock leaves a
-  // marker instead of an erase that found nothing, so the submitter knows
-  // not to park a completed ticket in `inflight` forever.
-  std::mutex tickets_mutex;
+  // Tickets submitted on this connection, keyed by request id. `inflight`
+  // powers CANCEL, duplicate-id rejection, the per-client quota, and the
+  // teardown wait; a ticket is erased the moment its done frame is written
+  // (pruned, not parked forever). `finished_early` closes the
+  // submit/on_done race: a request that completes before the submitting
+  // thread re-acquires the lock leaves a marker instead of an erase that
+  // found nothing, so the submitter knows not to park a completed ticket in
+  // `inflight` forever. Recursive because a done-frame write that kills the
+  // sink re-enters through on_dead on the same thread.
+  std::recursive_mutex tickets_mutex;
   std::map<std::uint64_t, std::shared_ptr<Ticket>> inflight;
   std::set<std::uint64_t> finished_early;
-  std::vector<std::shared_ptr<Ticket>> submitted;
+  std::size_t submitted_count = 0;
+  bool cancel_on_teardown = false;  // STOP drains by cancelling, EOF politely
 
-  sink.set_on_dead([&] {
+  sink->set_on_dead([&] {
     // The peer stopped reading; nobody will see these cells. Cancel what
     // is in flight so the session's pool goes back to idle.
     std::lock_guard lock(tickets_mutex);
     for (const auto& [id, ticket] : inflight) ticket->cancel();
   });
 
-  const auto process_line = [&](const std::string& line) -> bool {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+  const auto process_line = [&](std::string_view line) -> bool {
+    if (blank_line(line)) return true;
     RequestLine request;
     try {
       request = parse_request_line(line);
     } catch (const std::exception& error) {
-      sink.write_frame(error_frame(best_effort_id(line), error.what()));
+      sink->write_frame(error_frame(best_effort_id(line), error.what()));
       return true;
     }
     switch (request.verb) {
       case RequestLine::Verb::kQuit:
         return false;
-      case RequestLine::Verb::kStats:
+      case RequestLine::Verb::kStop: {
+        // Single-connection mode: drain this connection (cancelling its
+        // work) and propagate the session-wide stop to the embedder.
+        sink->write_frame(done_frame(request.id, Summary{}));
+        if (options.stop != nullptr) {
+          options.stop->store(true, std::memory_order_relaxed);
+        }
+        cancel_on_teardown = true;
+        return false;
+      }
+      case RequestLine::Verb::kStats: {
         // Answered immediately from this reader thread — a session-wide
         // snapshot must be queryable while a sweep is still in flight (the
         // FrameSink serializes it against concurrently streaming cells).
-        sink.write_frame(stats_frame(request.id, service.session_stats()));
+        SessionStats stats = service.session_stats();
+        for (ClientStats& row : stats.clients) {
+          if (row.client_id != kClientId) continue;
+          row.connected = true;
+          row.bytes_queued = sink->pending_bytes();
+          row.connected_seconds =
+              std::chrono::duration<double>(Clock::now() - connected_at)
+                  .count();
+        }
+        sink->write_frame(stats_frame(request.id, stats));
         return true;
+      }
       case RequestLine::Verb::kCancel: {
         std::shared_ptr<Ticket> ticket;
         {
@@ -120,7 +333,7 @@ std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
         if (ticket) {
           ticket->cancel();
         } else {
-          sink.write_frame(error_frame(
+          sink->write_frame(error_frame(
               request.id, "CANCEL names an unknown or completed request id"));
         }
         return true;
@@ -132,29 +345,38 @@ std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
     {
       std::lock_guard lock(tickets_mutex);
       if (inflight.count(id) != 0) {
-        sink.write_frame(
+        sink->write_frame(
             error_frame(id, "SUBMIT reuses an in-flight request id"));
+        return true;
+      }
+      if (options.max_inflight_per_client > 0 &&
+          inflight.size() >= options.max_inflight_per_client) {
+        sink->write_frame(error_frame(
+            id, inflight_quota_message(options.max_inflight_per_client)));
         return true;
       }
     }
     auto ticket = service.submit(
         std::move(request.spec),
-        [&sink, id](const sweep::Cell& cell) {
-          sink.write_frame(cell_frame(id, cell));
+        [sink, id](const sweep::Cell& cell) {
+          sink->write_frame(cell_frame(id, cell));
         },
-        [&sink, &tickets_mutex, &inflight, &finished_early,
+        [sink, &tickets_mutex, &inflight, &finished_early,
          id](const Summary& summary) {
-          sink.write_frame(done_frame(id, summary));
+          // One critical section for frame + prune: once the client can see
+          // the done frame, the id is already free again — a CANCEL or
+          // re-SUBMIT racing the completion can never hit the stale ticket.
           std::lock_guard lock(tickets_mutex);
+          sink->write_frame(done_frame(id, summary));
           if (inflight.erase(id) == 0) finished_early.insert(id);
         },
-        id);
+        id, kClientId);
+    ++submitted_count;
     {
       std::lock_guard lock(tickets_mutex);
       if (finished_early.erase(id) == 0) inflight[id] = ticket;
-      submitted.push_back(ticket);
     }
-    if (sink.dead()) ticket->cancel();
+    if (sink->dead()) ticket->cancel();
     return true;
   };
 
@@ -163,19 +385,22 @@ std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
   bool discarding = false;  // inside an overlong line, dropping to newline
   bool keep_reading = true;
   while (keep_reading) {
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      cancel_on_teardown = true;
+      break;
+    }
     for (;;) {
       const std::size_t newline = buffer.find('\n');
       if (newline == std::string::npos) break;
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
+      const std::string_view line(buffer.data(), newline);
       if (discarding) {
         discarding = false;  // the oversized line finally ended; drop it
-        continue;
-      }
-      if (!process_line(line)) {
+      } else if (!process_line(line)) {
         keep_reading = false;
-        break;
       }
+      buffer.erase(0, newline + 1);
+      if (!keep_reading) break;
     }
     if (!keep_reading) break;
     if (discarding) {
@@ -185,7 +410,7 @@ std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
     } else if (buffer.size() > options.max_line_bytes) {
       // Only the first few tokens can matter for the error frame; never
       // copy the oversized buffer to extract them.
-      sink.write_frame(
+      sink->write_frame(
           error_frame(best_effort_id(std::string_view(buffer).substr(0, 256)),
                       "request line exceeds the size limit"));
       buffer.clear();
@@ -200,17 +425,428 @@ std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
     buffer.append(chunk, static_cast<std::size_t>(got));
   }
 
-  // Input is done (QUIT or EOF) but submitted requests may still be
-  // compiling; wait() returns only after each request's done frame was
-  // written, so returning from here cannot race a dangling sink.
+  // Input is done (QUIT, STOP, or EOF) but submitted requests may still be
+  // compiling. No new submissions can arrive, so everything outstanding is
+  // in `inflight`; wait() returns only after each request's done frame was
+  // accepted by the sink, and drain() then flushes whatever a still-running
+  // flusher holds — returning from here cannot race a dangling sink.
   std::vector<std::shared_ptr<Ticket>> to_drain;
   {
     std::lock_guard lock(tickets_mutex);
-    to_drain = submitted;
+    to_drain.reserve(inflight.size());
+    for (const auto& [id, ticket] : inflight) to_drain.push_back(ticket);
   }
-  for (const auto& ticket : to_drain) (void)ticket->wait();
-  return to_drain.size();
+  for (const auto& ticket : to_drain) {
+    if (cancel_on_teardown) ticket->cancel();
+    (void)ticket->wait();
+  }
+  sink->drain();
+  return submitted_count;
 }
+
+namespace {
+
+/// One multiplexed farm connection. Owned (shared) by the event loop and by
+/// every submitted ticket's callbacks, so the sink outlives any late
+/// frame; the loop's bookkeeping fields (inbuf, reading, fd) are touched by
+/// the loop thread only.
+struct Connection {
+  int fd = -1;
+  std::uint64_t client_id = 0;
+  std::shared_ptr<FrameSink> sink;
+  Clock::time_point connected_at = Clock::now();
+
+  // Loop-thread-only input state.
+  std::string inbuf;
+  std::size_t scanned = 0;  // newline search resumes here, never rescans
+  bool discarding = false;
+  bool reading = true;
+
+  /// Recursive: a done-frame write that overflows the sink re-enters
+  /// through on_dead -> cancel_inflight on the same thread.
+  std::recursive_mutex tickets_mutex;
+  std::map<std::uint64_t, std::shared_ptr<Ticket>> inflight;
+  std::set<std::uint64_t> finished_early;
+
+  [[nodiscard]] bool inflight_empty() {
+    std::lock_guard lock(tickets_mutex);
+    return inflight.empty();
+  }
+
+  void cancel_inflight() {
+    std::lock_guard lock(tickets_mutex);
+    for (const auto& [id, ticket] : inflight) ticket->cancel();
+  }
+};
+
+/// The poll()-driven farm loop state; serve_unix_socket drives exactly one.
+class Farm {
+ public:
+  Farm(std::string path, int listener, int wake_read, int wake_write,
+       SweepService& service, const ServerOptions& options)
+      : path_(std::move(path)),
+        listener_(listener),
+        wake_read_(wake_read),
+        wake_write_(wake_write),
+        service_(service),
+        options_(options) {}
+
+  bool run() {
+    while (!(draining_ && connections_.empty())) {
+      if (options_.stop != nullptr &&
+          options_.stop->load(std::memory_order_relaxed)) {
+        begin_drain();
+      }
+      reap_connections();
+      if (draining_ && connections_.empty()) break;
+      poll_once();
+    }
+    if (!draining_) begin_drain();  // cannot happen today; belt and braces
+    if (!ok_ && saved_errno_ != 0) errno = saved_errno_;
+    return ok_;
+  }
+
+ private:
+  void begin_drain() {
+    if (draining_) return;
+    draining_ = true;
+    // Stop accepting and release the name first: a drained session must
+    // not leave a socket file that connects to nothing.
+    if (listener_ >= 0) {
+      ::close(listener_);
+      listener_ = -1;
+    }
+    ::unlink(path_.c_str());
+    for (const auto& connection : connections_) {
+      connection->reading = false;
+      connection->cancel_inflight();
+    }
+  }
+
+  void fail(int error) {
+    ok_ = false;
+    if (saved_errno_ == 0) saved_errno_ = error;
+    begin_drain();
+  }
+
+  /// Detaches a misbehaving connection: the sink dies (cancelling its
+  /// in-flight work), the fd closes immediately so poll() never waits on it
+  /// again, and the Connection lingers only until its tickets finish.
+  void detach(Connection& connection) {
+    connection.sink->mark_dead();
+    connection.reading = false;
+    if (connection.fd >= 0) {
+      ::close(connection.fd);
+      connection.fd = -1;
+    }
+  }
+
+  /// Per-iteration bookkeeping: stall detection, dead-sink detach, and
+  /// removal of connections that finished (input done, tickets done,
+  /// frames flushed).
+  void reap_connections() {
+    const auto timeout = std::chrono::seconds(options_.write_timeout_seconds);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      Connection& connection = **it;
+      if (connection.fd >= 0 && options_.write_timeout_seconds > 0 &&
+          connection.sink->stalled(timeout)) {
+        detach(connection);
+      }
+      if (connection.fd >= 0 && connection.sink->dead()) {
+        detach(connection);
+      }
+      const bool idle = connection.inflight_empty();
+      if (connection.fd < 0) {
+        // Already detached: linger until the cancelled tickets finish so a
+        // drain never returns with the service mid-request.
+        it = idle ? connections_.erase(it) : std::next(it);
+        continue;
+      }
+      if (!connection.reading && idle && !connection.sink->want_write()) {
+        connection.sink->retire();
+        ::close(connection.fd);
+        connection.fd = -1;
+        it = connections_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+  }
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    std::vector<Connection*> owners;  // parallel to fds; null for non-conns
+    fds.reserve(connections_.size() + 2);
+    if (listener_ >= 0 && !draining_) {
+      fds.push_back({listener_, POLLIN, 0});
+      owners.push_back(nullptr);
+    }
+    fds.push_back({wake_read_, POLLIN, 0});
+    owners.push_back(nullptr);
+    const std::size_t first_conn = fds.size();
+    for (const auto& connection : connections_) {
+      if (connection->fd < 0) continue;
+      short events = 0;
+      if (connection->reading) events |= POLLIN;
+      if (connection->sink->want_write()) events |= POLLOUT;
+      fds.push_back({connection->fd, events, 0});
+      owners.push_back(connection.get());
+    }
+    // 100ms tick: bounds the latency of the stop flag, stall detection,
+    // and ticket-finished cleanup even when no fd fires.
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (ready < 0) {
+      if (errno != EINTR) fail(errno);
+      return;
+    }
+    if (ready == 0) return;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const pollfd& entry = fds[i];
+      if (entry.revents == 0) continue;
+      if (entry.fd == wake_read_) {
+        char sinkhole[256];
+        while (::read(wake_read_, sinkhole, sizeof(sinkhole)) > 0) {
+        }
+        continue;
+      }
+      if (i < first_conn) {
+        accept_ready();
+        continue;
+      }
+      Connection* connection = owners[i];
+      // A reap above may have closed this fd after poll() returned; the
+      // owners pointer stays valid (connections_ holds shared_ptrs and
+      // reap runs before poll), but re-check liveness anyway.
+      if (connection == nullptr || connection->fd != entry.fd) continue;
+      if ((entry.revents & POLLOUT) != 0) connection->sink->on_writable();
+      if ((entry.revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          connection->reading) {
+        handle_readable(*connection);
+      }
+    }
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listener_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        // Surface the failure to the caller: a serve session that silently
+        // stopped accepting would strand the rest of a campaign. Drain
+        // first so connected clients still get their frames.
+        fail(errno);
+        return;
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      auto connection = std::make_shared<Connection>();
+      connection->fd = fd;
+      connection->client_id = next_client_id_++;
+      connection->sink = std::make_shared<FrameSink>(
+          fd, options_.max_client_buffered_bytes);
+      connection->sink->set_wake_fd(wake_write_);
+      // on_dead may fire from a worker thread mid-frame; it only touches
+      // the ticket map (its own mutex), and the loop's next reap notices
+      // dead() and detaches.
+      connection->sink->set_on_dead(
+          [weak = std::weak_ptr<Connection>(connection)] {
+            if (const auto alive = weak.lock()) alive->cancel_inflight();
+          });
+      service_.register_client(connection->client_id);
+      connections_.push_back(std::move(connection));
+    }
+  }
+
+  void handle_readable(Connection& connection) {
+    char chunk[1 << 16];
+    // Bounded per wakeup so one firehose client cannot monopolize the
+    // loop; poll() immediately reports the fd readable again.
+    for (int rounds = 0; rounds < 16 && connection.reading; ++rounds) {
+      const ssize_t got = ::read(connection.fd, chunk, sizeof(chunk));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        detach(connection);  // reset mid-stream: peer is gone
+        return;
+      }
+      if (got == 0) {
+        // Orderly EOF: stop reading, let in-flight work finish and flush.
+        connection.reading = false;
+        return;
+      }
+      connection.inbuf.append(chunk, static_cast<std::size_t>(got));
+      process_buffer(connection);
+    }
+  }
+
+  void process_buffer(Connection& connection) {
+    while (connection.reading) {
+      const std::size_t newline =
+          connection.inbuf.find('\n', connection.scanned);
+      if (newline == std::string::npos) {
+        if (connection.discarding) {
+          connection.inbuf.clear();
+          connection.scanned = 0;
+        } else if (connection.inbuf.size() > options_.max_line_bytes) {
+          connection.sink->write_frame(error_frame(
+              best_effort_id(
+                  std::string_view(connection.inbuf).substr(0, 256)),
+              "request line exceeds the size limit"));
+          connection.inbuf.clear();
+          connection.scanned = 0;
+          connection.discarding = true;
+        } else {
+          connection.scanned = connection.inbuf.size();
+        }
+        return;
+      }
+      const std::string_view line(connection.inbuf.data(), newline);
+      if (connection.discarding) {
+        connection.discarding = false;  // the oversized line finally ended
+      } else {
+        handle_line(connection, line);
+      }
+      connection.inbuf.erase(0, newline + 1);
+      connection.scanned = 0;
+    }
+  }
+
+  void handle_line(Connection& connection, std::string_view line) {
+    if (blank_line(line)) return;
+    const std::shared_ptr<FrameSink>& sink = connection.sink;
+    RequestLine request;
+    try {
+      request = parse_request_line(line);
+    } catch (const std::exception& error) {
+      sink->write_frame(error_frame(best_effort_id(line), error.what()));
+      return;
+    }
+    switch (request.verb) {
+      case RequestLine::Verb::kQuit:
+        connection.reading = false;
+        return;
+      case RequestLine::Verb::kStop:
+        // Acknowledge before draining so the requester sees the ack even
+        // though drain stops all reading; the frame flushes with the rest.
+        sink->write_frame(done_frame(request.id, Summary{}));
+        begin_drain();
+        return;
+      case RequestLine::Verb::kStats:
+        sink->write_frame(
+            stats_frame(request.id, snapshot_stats()));
+        return;
+      case RequestLine::Verb::kCancel: {
+        std::shared_ptr<Ticket> ticket;
+        {
+          std::lock_guard lock(connection.tickets_mutex);
+          if (const auto it = connection.inflight.find(request.id);
+              it != connection.inflight.end()) {
+            ticket = it->second;
+          }
+        }
+        if (ticket) {
+          ticket->cancel();
+        } else {
+          sink->write_frame(error_frame(
+              request.id, "CANCEL names an unknown or completed request id"));
+        }
+        return;
+      }
+      case RequestLine::Verb::kSubmit:
+        break;
+    }
+    const std::uint64_t id = request.id;
+    {
+      std::lock_guard lock(connection.tickets_mutex);
+      if (connection.inflight.count(id) != 0) {
+        sink->write_frame(
+            error_frame(id, "SUBMIT reuses an in-flight request id"));
+        return;
+      }
+      if (options_.max_inflight_per_client > 0 &&
+          connection.inflight.size() >= options_.max_inflight_per_client) {
+        sink->write_frame(error_frame(
+            id, inflight_quota_message(options_.max_inflight_per_client)));
+        return;
+      }
+    }
+    // Callbacks share ownership of the Connection, so a ticket finishing
+    // after detach still has a (dead, harmless) sink to drop frames into.
+    auto shared = shared_connection(connection);
+    auto ticket = service_.submit(
+        std::move(request.spec),
+        [sink, id](const sweep::Cell& cell) {
+          sink->write_frame(cell_frame(id, cell));
+        },
+        [shared, id](const Summary& summary) {
+          // Frame + prune in one critical section: a CANCEL or re-SUBMIT
+          // racing the completion blocks on the mutex until the id is
+          // pruned, so it can never hit the stale ticket. The enqueue also
+          // pokes the wake pipe *before* the erase, so the loop cannot
+          // miss the transition to idle and close the pipe under a later
+          // poke.
+          std::lock_guard lock(shared->tickets_mutex);
+          shared->sink->write_frame(done_frame(id, summary));
+          if (shared->inflight.erase(id) == 0) {
+            shared->finished_early.insert(id);
+          }
+        },
+        id, connection.client_id);
+    {
+      std::lock_guard lock(connection.tickets_mutex);
+      if (connection.finished_early.erase(id) == 0) {
+        connection.inflight[id] = ticket;
+      }
+    }
+    if (sink->dead()) ticket->cancel();
+  }
+
+  [[nodiscard]] std::shared_ptr<Connection> shared_connection(
+      Connection& connection) const {
+    for (const auto& candidate : connections_) {
+      if (candidate.get() == &connection) return candidate;
+    }
+    return nullptr;  // unreachable: handle_line runs on listed connections
+  }
+
+  /// The service's session totals with the connection-level columns only
+  /// the server knows (unflushed bytes, connection age) overlaid for every
+  /// still-connected client.
+  [[nodiscard]] SessionStats snapshot_stats() const {
+    SessionStats stats = service_.session_stats();
+    const Clock::time_point now = Clock::now();
+    for (ClientStats& row : stats.clients) {
+      for (const auto& connection : connections_) {
+        if (connection->client_id != row.client_id || connection->fd < 0) {
+          continue;
+        }
+        row.connected = true;
+        row.bytes_queued = connection->sink->pending_bytes();
+        row.connected_seconds =
+            std::chrono::duration<double>(now - connection->connected_at)
+                .count();
+      }
+    }
+    return stats;
+  }
+
+  const std::string path_;
+  int listener_;
+  const int wake_read_;
+  const int wake_write_;
+  SweepService& service_;
+  const ServerOptions& options_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_client_id_ = 1;  // 0 is the stdio/legacy client
+  bool draining_ = false;
+  bool ok_ = true;
+  int saved_errno_ = 0;
+};
+
+}  // namespace
 
 bool serve_unix_socket(const std::string& path, SweepService& service,
                        const ServerOptions& options) {
@@ -226,37 +862,31 @@ bool serve_unix_socket(const std::string& path, SweepService& service,
   ::unlink(path.c_str());
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listener, 8) != 0) {
+      ::listen(listener, 16) != 0 || !set_nonblocking(listener)) {
     const int saved = errno;
     ::close(listener);
+    ::unlink(path.c_str());  // listen/fcntl failure leaves the bound file
     errno = saved;
     return false;
   }
-  for (;;) {
-    const int connection = ::accept(listener, nullptr, nullptr);
-    if (connection < 0) {
-      if (errno == EINTR) continue;
-      // Surface the failure to the caller: a serve session that silently
-      // stopped accepting would strand the rest of a campaign.
-      const int saved = errno;
-      ::close(listener);
-      errno = saved;
-      return false;
-    }
-    // Bound every frame write: a connected-but-not-reading peer would
-    // otherwise block a worker in send() forever (the sink only detects
-    // peers whose writes FAIL), wedging this one-connection-at-a-time
-    // loop. With the timeout, a stalled send degrades into the handled
-    // dead-peer path and the session moves on.
-    if (options.write_timeout_seconds > 0) {
-      timeval timeout{};
-      timeout.tv_sec = static_cast<time_t>(options.write_timeout_seconds);
-      (void)::setsockopt(connection, SOL_SOCKET, SO_SNDTIMEO, &timeout,
-                         sizeof(timeout));
-    }
-    (void)serve_connection(connection, connection, service, options);
-    ::close(connection);
+  int wake[2] = {-1, -1};
+  if (::pipe(wake) != 0 || !set_nonblocking(wake[0]) ||
+      !set_nonblocking(wake[1])) {
+    const int saved = errno;
+    if (wake[0] >= 0) ::close(wake[0]);
+    if (wake[1] >= 0) ::close(wake[1]);
+    ::close(listener);
+    ::unlink(path.c_str());
+    errno = saved;
+    return false;
   }
+  Farm farm(path, listener, wake[0], wake[1], service, options);
+  const bool ok = farm.run();
+  const int saved = errno;
+  ::close(wake[0]);
+  ::close(wake[1]);
+  errno = saved;
+  return ok;
 }
 
 }  // namespace parallax::serve

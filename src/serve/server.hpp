@@ -1,16 +1,39 @@
-// The connection loop of `parallax serve`: line-framed requests in,
-// length-prefixed frames out, over any pair of file descriptors — stdio for
-// `parallax serve` in a pipeline, an accepted AF_UNIX connection for the
-// socket mode the bench harness targets through PARALLAX_SERVE.
+// The farm front-end of `parallax serve`: line-framed requests in,
+// length-prefixed frames out. Two modes share one protocol:
+//
+//   * serve_connection — one connection over an arbitrary fd pair (stdio
+//     for `parallax serve` in a pipeline, a socketpair in tests). Blocking
+//     writes, drained by whichever thread finds the sink idle.
+//   * serve_unix_socket — the multi-tenant event loop the bench harness
+//     targets through PARALLAX_SERVE: a poll()-driven front-end accepting
+//     and multiplexing many concurrent AF_UNIX connections over one
+//     SweepService, with non-blocking per-connection write buffers.
 //
 // Fault containment: a malformed request line (bad verb, bad hex, corrupt
 // spec bytes, unknown cancel id, duplicate submit id, overlong line) is
 // answered with a kError frame and the connection keeps serving — only
-// QUIT, input EOF, or an unwritable output ends a connection. A client that
-// disappears mid-request (write failure) implicitly cancels its in-flight
-// work so the session's pool is not burned for a reader that is gone.
+// QUIT, input EOF, STOP, or an unwritable output ends a connection. A
+// client that disappears or stops reading mid-request (write failure,
+// buffered-byte overflow, write-timeout stall) is detached: its in-flight
+// work is cancelled so the session's pool is not burned for a reader that
+// is gone, and every other client's frames keep flowing.
+//
+// Tenancy: each accepted connection is one client (accept-order client id).
+// Quotas bound what any one client can hold — queued-but-unfinished
+// requests (rejected with a kError frame naming the limit) and unflushed
+// frame bytes (overflow detaches the connection). Scheduling across
+// clients is the service's round-robin, so quotas plus fair-share keep one
+// tenant from starving the rest.
+//
+// Shutdown: a STOP request, the ServerOptions::stop flag (the CLI's signal
+// handlers), or an accept failure all drain the session gracefully — the
+// listener closes and the socket file is unlinked immediately, in-flight
+// tickets are cancelled, every connection's done frames flush, and
+// serve_unix_socket returns. Every exit path closes the listener and
+// unlinks the socket.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 
@@ -24,22 +47,37 @@ struct ServerOptions {
   /// that streams garbage without newlines. The default comfortably fits a
   /// paper-scale sweep spec in hex.
   std::size_t max_line_bytes = 256ull << 20;
-  /// Socket mode only: SO_SNDTIMEO per frame write, so a connected peer
-  /// that stops reading stalls a worker for at most this long before the
-  /// write fails into the dead-peer path (in-flight work cancelled, next
-  /// connection accepted). 0 disables the bound.
+  /// Socket mode: a connection whose peer accepts no bytes for this long
+  /// while frames are pending is detached (in-flight work cancelled, fd
+  /// closed) — a stalled reader costs the farm one timeout, never a wedged
+  /// worker. 0 disables the bound.
   std::size_t write_timeout_seconds = 60;
+  /// Per-client cap on requests submitted but not yet finished; a SUBMIT
+  /// over the cap is rejected with a kError frame naming the limit.
+  std::size_t max_inflight_per_client = 64;
+  /// Per-client cap on frame bytes accepted for the connection but not yet
+  /// written to it. A frame that would exceed it marks the client dead and
+  /// detaches it — the bound that keeps a slow reader from buffering the
+  /// session's memory away. 0 disables the bound.
+  std::size_t max_client_buffered_bytes = 256ull << 20;
+  /// External graceful-drain request (the CLI points its SIGINT/SIGTERM
+  /// handlers here). Polled ~10x per second by serve_unix_socket; also
+  /// honored by serve_connection between request lines.
+  std::atomic<bool>* stop = nullptr;
 };
 
-/// Serves one connection until QUIT, input EOF, or output failure; blocks
-/// until every request submitted on the connection has finished and its
-/// frames are written. Returns the number of requests submitted.
+/// Serves one connection until QUIT, STOP, input EOF, or output failure;
+/// blocks until every request submitted on the connection has finished and
+/// its frames are flushed. Returns the number of requests submitted.
 std::size_t serve_connection(int in_fd, int out_fd, SweepService& service,
                              const ServerOptions& options = {});
 
 /// Binds an AF_UNIX socket at `path` (replacing any stale socket file) and
-/// serves connections one at a time, forever. Returns false only when the
-/// socket cannot be created/bound/listened (errno describes why).
+/// multiplexes concurrent connections over one poll() loop until a STOP
+/// request or ServerOptions::stop drains the session — then returns true.
+/// Returns false when the socket cannot be created/bound/listened or
+/// accept fails hard (errno describes why); the listener is closed and the
+/// socket file unlinked on every exit path, graceful or not.
 bool serve_unix_socket(const std::string& path, SweepService& service,
                        const ServerOptions& options = {});
 

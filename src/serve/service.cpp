@@ -2,14 +2,14 @@
 
 #include <utility>
 
-#include "placement/graphine.hpp"
-
 namespace parallax::serve {
 
-Ticket::Ticket(std::uint64_t id, shard::SweepSpec spec,
+Ticket::Ticket(std::uint64_t id, std::uint64_t client_id,
+               shard::SweepSpec spec,
                std::function<void(const sweep::Cell&)> on_cell,
                std::function<void(const Summary&)> on_done)
     : id_(id),
+      client_id_(client_id),
       spec_(std::move(spec)),
       on_cell_(std::move(on_cell)),
       on_done_(std::move(on_done)),
@@ -55,8 +55,11 @@ SweepService::~SweepService() {
     std::lock_guard lock(mutex_);
     stop_ = true;
     // Queued and running requests finish as cancelled, fast — the
-    // dispatcher drains the queue before exiting, so every wait() releases.
-    for (const auto& ticket : queue_) ticket->cancel();
+    // dispatcher drains every queue before exiting, so every wait()
+    // releases.
+    for (const auto& [client_id, queue] : queues_) {
+      for (const auto& ticket : queue) ticket->cancel();
+    }
     if (running_) running_->cancel();
   }
   cv_.notify_all();
@@ -65,16 +68,19 @@ SweepService::~SweepService() {
 
 std::shared_ptr<Ticket> SweepService::submit(
     shard::SweepSpec spec, std::function<void(const sweep::Cell&)> on_cell,
-    std::function<void(const Summary&)> on_done, std::uint64_t id) {
+    std::function<void(const Summary&)> on_done, std::uint64_t id,
+    std::uint64_t client_id) {
   std::shared_ptr<Ticket> ticket(new Ticket(
-      id, std::move(spec), std::move(on_cell), std::move(on_done)));
+      id, client_id, std::move(spec), std::move(on_cell), std::move(on_done)));
+  register_client(client_id);
   bool rejected = false;
   {
     std::lock_guard lock(mutex_);
     if (stop_) {
       rejected = true;
     } else {
-      queue_.push_back(ticket);
+      queues_[client_id].push_back(ticket);
+      ++queued_;
     }
   }
   if (rejected) {
@@ -88,15 +94,41 @@ std::shared_ptr<Ticket> SweepService::submit(
   return ticket;
 }
 
+void SweepService::register_client(std::uint64_t client_id) {
+  std::lock_guard lock(accounts_mutex_);
+  accounts_.try_emplace(client_id);
+}
+
+std::shared_ptr<Ticket> SweepService::pop_next_locked() {
+  if (queued_ == 0) return nullptr;
+  // The first non-empty queue strictly after the last-served client id,
+  // wrapping to the smallest — deterministic round-robin regardless of
+  // which client ids exist (ids are sparse: they are accept-order serials).
+  auto pick = [this](auto begin, auto end) -> std::shared_ptr<Ticket> {
+    for (auto it = begin; it != end; ++it) {
+      if (it->second.empty()) continue;
+      std::shared_ptr<Ticket> ticket = std::move(it->second.front());
+      it->second.pop_front();
+      --queued_;
+      last_served_ = it->first;
+      return ticket;
+    }
+    return nullptr;
+  };
+  if (auto ticket = pick(queues_.upper_bound(last_served_), queues_.end())) {
+    return ticket;
+  }
+  return pick(queues_.begin(), queues_.upper_bound(last_served_));
+}
+
 void SweepService::dispatch_loop() {
   for (;;) {
     std::shared_ptr<Ticket> ticket;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      ticket = queue_.front();
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      ticket = pop_next_locked();
+      if (!ticket) return;  // stop_ set and nothing left to drain
       running_ = ticket;
     }
     Summary summary = execute(*ticket);
@@ -105,6 +137,13 @@ void SweepService::dispatch_loop() {
                               std::memory_order_relaxed);
     cells_failed_.fetch_add(summary.failed_cells, std::memory_order_relaxed);
     anneals_.fetch_add(summary.anneals, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(accounts_mutex_);
+      ClientAccount& account = accounts_[ticket->client_id_];
+      ++account.requests;
+      account.cells_executed += summary.executed_cells;
+      account.anneals += summary.anneals;
+    }
     {
       std::lock_guard lock(mutex_);
       running_.reset();
@@ -132,6 +171,18 @@ SessionStats SweepService::session_stats() const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_)
           .count();
+  {
+    std::lock_guard lock(accounts_mutex_);
+    stats.clients.reserve(accounts_.size());
+    for (const auto& [client_id, account] : accounts_) {
+      ClientStats row;
+      row.client_id = client_id;
+      row.requests = account.requests;
+      row.cells_executed = account.cells_executed;
+      row.anneals = account.anneals;
+      stats.clients.push_back(row);
+    }
+  }
   return stats;
 }
 
@@ -150,8 +201,13 @@ Summary SweepService::execute(Ticket& ticket) {
   options.cache = options_.cache;
   options.on_cell = ticket.on_cell_;
   options.cancel = ticket.token_;
+  // Per-request anneal ledger: the run increments it at each anneal it
+  // actually pays for, so the charge is right even when the run throws
+  // midway, and never picks up anneals a concurrent compile in the same
+  // process happens to perform (the process-global counter both did).
+  const auto anneal_counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+  options.anneal_counter = anneal_counter;
 
-  const std::uint64_t anneals_before = placement::annealing_invocations();
   try {
     const sweep::Result result =
         sweep::run(ticket.spec_.circuits, ticket.spec_.techniques,
@@ -171,7 +227,7 @@ Summary SweepService::execute(Ticket& ticket) {
       }
     }
   } catch (const std::exception& error) {
-    summary.anneals = placement::annealing_invocations() - anneals_before;
+    summary.anneals = anneal_counter->load(std::memory_order_relaxed);
     summary.error = error.what();
   }
   return summary;

@@ -11,11 +11,14 @@
 // cells not yet started never run, so aborting an in-flight request costs
 // at most one cell's compile time.
 //
-// Execution model: requests run one at a time, FIFO, on a dedicated
-// dispatcher thread; each request's cells fan out across the shared pool.
-// Serializing requests is deliberate — overlapping sweeps would fight for
-// the same cores, and the second of two overlapping requests is exactly the
-// case the result cache turns into a no-compute replay.
+// Execution model: requests run one at a time on a dedicated dispatcher
+// thread; each request's cells fan out across the shared pool. Serializing
+// requests is deliberate — overlapping sweeps would fight for the same
+// cores, and the second of two overlapping requests is exactly the case the
+// result cache turns into a no-compute replay. Across clients the
+// dispatcher is fair-share, not FIFO: each client has its own queue and the
+// dispatcher round-robins over clients in ascending id order, so one tenant
+// queueing a hundred sweeps cannot starve another's first.
 #pragma once
 
 #include <atomic>
@@ -24,9 +27,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "serve/protocol.hpp"
@@ -59,17 +64,19 @@ class Ticket {
 
   [[nodiscard]] bool done() const;
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t client_id() const noexcept { return client_id_; }
 
  private:
   friend class SweepService;
 
-  Ticket(std::uint64_t id, shard::SweepSpec spec,
+  Ticket(std::uint64_t id, std::uint64_t client_id, shard::SweepSpec spec,
          std::function<void(const sweep::Cell&)> on_cell,
          std::function<void(const Summary&)> on_done);
   /// Publishes the summary: runs on_done, then releases wait()ers.
   void finish(Summary summary);
 
   const std::uint64_t id_;
+  const std::uint64_t client_id_;
   shard::SweepSpec spec_;
   std::function<void(const sweep::Cell&)> on_cell_;
   std::function<void(const Summary&)> on_done_;
@@ -86,22 +93,32 @@ class SweepService {
   explicit SweepService(
       ServiceOptions options = {},
       const technique::Registry& registry = technique::Registry::global());
-  /// Cancels the in-flight request and the queue (their waiters all
+  /// Cancels the in-flight request and every queue (their waiters all
   /// release, summaries marked cancelled), then joins the dispatcher.
   ~SweepService();
 
   SweepService(const SweepService&) = delete;
   SweepService& operator=(const SweepService&) = delete;
 
-  /// Enqueues a request. Never blocks on compilation. `on_cell` fires once
-  /// per executed cell from worker threads (see sweep::Options::on_cell for
-  /// the concurrency contract); `on_done` fires exactly once, from the
-  /// dispatcher thread, after the last on_cell and before wait() releases.
-  /// `id` is an opaque caller label carried into Ticket::id().
+  /// Enqueues a request on `client_id`'s queue. Never blocks on
+  /// compilation. `on_cell` fires once per executed cell from worker
+  /// threads (see sweep::Options::on_cell for the concurrency contract);
+  /// `on_done` fires exactly once, from the dispatcher thread, after the
+  /// last on_cell and before wait() releases. `id` is an opaque caller
+  /// label carried into Ticket::id(); requests sharing a client id execute
+  /// in submission order relative to each other.
   std::shared_ptr<Ticket> submit(
       shard::SweepSpec spec,
       std::function<void(const sweep::Cell&)> on_cell = {},
-      std::function<void(const Summary&)> on_done = {}, std::uint64_t id = 0);
+      std::function<void(const Summary&)> on_done = {}, std::uint64_t id = 0,
+      std::uint64_t client_id = 0);
+
+  /// Ensures `client_id` has an accounting row (all-zero until its first
+  /// request completes). The server calls this at accept time so a STATS
+  /// snapshot lists connected-but-idle clients too. Rows are never removed:
+  /// a disconnected client's work stays attributed, which is what keeps the
+  /// per-client columns summing to the session totals.
+  void register_client(std::uint64_t client_id);
 
   [[nodiscard]] const std::shared_ptr<cache::CompilationCache>& cache()
       const noexcept {
@@ -110,15 +127,28 @@ class SweepService {
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
 
   /// Session-wide accounting since construction: completed requests, cells
-  /// executed/failed, anneals paid, and the session cache's own hit/miss
-  /// counters. Callable from any thread (this is what a STATS request line
-  /// reads, answered from the connection's reader thread while a sweep may
-  /// be in flight).
+  /// executed/failed, anneals paid, the session cache's own hit/miss
+  /// counters, and one ClientStats row per registered client (ascending
+  /// client_id; connection-level fields left zero — the server overlays
+  /// those, since only it knows about sockets). Callable from any thread
+  /// while a sweep is in flight.
   [[nodiscard]] SessionStats session_stats() const;
 
  private:
+  /// Per-client ledger folded in on the dispatcher thread as each request
+  /// completes, so one mutex acquisition per *request* — not per cell.
+  struct ClientAccount {
+    std::uint64_t requests = 0;
+    std::uint64_t cells_executed = 0;
+    std::uint64_t anneals = 0;
+  };
+
   void dispatch_loop();
   [[nodiscard]] Summary execute(Ticket& ticket);
+  /// The next ticket under the fair-share policy: the first non-empty
+  /// queue whose client id follows last_served_ in ascending-wrapping
+  /// order. Caller holds mutex_; returns null when every queue is empty.
+  [[nodiscard]] std::shared_ptr<Ticket> pop_next_locked();
 
   ServiceOptions options_;
   const technique::Registry& registry_;
@@ -132,9 +162,16 @@ class SweepService {
   std::atomic<std::uint64_t> cells_failed_{0};
   std::atomic<std::uint64_t> anneals_{0};
 
+  mutable std::mutex accounts_mutex_;
+  std::map<std::uint64_t, ClientAccount> accounts_;
+
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::shared_ptr<Ticket>> queue_;
+  /// One FIFO per client; fairness happens across the map, order within a
+  /// client's own queue is preserved.
+  std::map<std::uint64_t, std::deque<std::shared_ptr<Ticket>>> queues_;
+  std::size_t queued_ = 0;
+  std::uint64_t last_served_ = 0;
   std::shared_ptr<Ticket> running_;
   bool stop_ = false;
   std::thread dispatcher_;

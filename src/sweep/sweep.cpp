@@ -181,6 +181,17 @@ Result run(const std::vector<CircuitSpec>& circuits,
   std::atomic<std::size_t> result_cache_hits{0};
   std::atomic<std::size_t> result_cache_misses{0};
 
+  // Per-run anneal accounting: every site that actually runs a Graphine
+  // anneal on behalf of this run (the placement memo below, or a pipeline
+  // placement pass when no placement is injected) increments this counter —
+  // never a process-global one, so concurrent runs stay disentangled.
+  const std::shared_ptr<std::atomic<std::uint64_t>> anneal_counter =
+      options.anneal_counter != nullptr
+          ? options.anneal_counter
+          : std::make_shared<std::atomic<std::uint64_t>>(0);
+  const std::uint64_t anneals_before =
+      anneal_counter->load(std::memory_order_relaxed);
+
   // The serve layer lends its persistent pool across requests; everyone
   // else gets a private pool for this run.
   std::optional<util::ThreadPool> owned_pool;
@@ -204,6 +215,9 @@ Result run(const std::vector<CircuitSpec>& circuits,
       // keys, cache fingerprints, and the pipeline all see the same
       // effective options.
       registry.apply_tuning(cell.technique, opts);
+      // Runtime-only hook (never fingerprinted): anneals a placement pass
+      // runs inside the pipeline are charged to this run.
+      opts.anneal_counter = anneal_counter;
 
       // Shared transpilation (no-op when the caller's inputs are already in
       // the {U3, CZ} basis). Keyed on the cell's effective transpile options
@@ -300,6 +314,7 @@ Result run(const std::vector<CircuitSpec>& circuits,
                   return std::move(*stored);
                 }
                 placement_annealed_here = true;
+                anneal_counter->fetch_add(1, std::memory_order_relaxed);
                 const circuit::InteractionGraph graph(*input);
                 placement::Topology topology =
                     placement::graphine_place(graph, popts, &stats);
@@ -308,6 +323,7 @@ Result run(const std::vector<CircuitSpec>& circuits,
                 return topology;
               }
               placement_annealed_here = true;
+              anneal_counter->fetch_add(1, std::memory_order_relaxed);
               const circuit::InteractionGraph graph(*input);
               placement::Topology topology =
                   placement::graphine_place(graph, popts, &stats);
@@ -406,10 +422,9 @@ Result run(const std::vector<CircuitSpec>& circuits,
     if (options.on_cell) options.on_cell(cell);
   };
 
-  const std::uint64_t anneals_before = placement::annealing_invocations();
   pool->parallel_for(sweep_result.cells.size(), run_cell);
   sweep_result.anneals = static_cast<std::size_t>(
-      placement::annealing_invocations() - anneals_before);
+      anneal_counter->load(std::memory_order_relaxed) - anneals_before);
   for (const Cell& cell : sweep_result.cells) {
     if (cell.cancelled) {
       sweep_result.cancelled = true;

@@ -123,6 +123,14 @@ struct Options {
   /// from one of the pool's own worker threads (the fan-out blocks its
   /// caller). Runtime-only.
   util::ThreadPool* pool = nullptr;
+  /// Per-run anneal accounting. When set, incremented once per Graphine
+  /// anneal this run actually pays for (never for memo, disk, or preset
+  /// placements), and Result::anneals reports the same delta — so callers
+  /// that run sweeps concurrently in one process (the serve farm, a sweep
+  /// next to a CLI compile) each see only their own anneals instead of a
+  /// process-global drift. Null keeps a private counter. Runtime-only,
+  /// like on_cell.
+  std::shared_ptr<std::atomic<std::uint64_t>> anneal_counter;
 };
 
 /// One (circuit, technique, machine) result.
@@ -179,10 +187,9 @@ struct Result {
   std::size_t result_cache_hits = 0;
   std::size_t result_cache_misses = 0;
   /// Graphine anneals this run actually paid for — 0 for a fully warm sweep.
-  /// Counted from the process-global placement::annealing_invocations()
-  /// counter, so two sweep::run calls executing concurrently in one process
-  /// attribute each other's anneals; every driver in the repo (bench, shard,
-  /// serve) runs sweeps sequentially.
+  /// Counted per run (each anneal site this run executes increments
+  /// Options::anneal_counter or a private equivalent), so concurrent
+  /// sweep::run calls in one process never attribute each other's anneals.
   std::size_t anneals = 0;
 
   /// Cell lookup by labels; empty `machine` matches the sole machine of a

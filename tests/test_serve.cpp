@@ -6,14 +6,26 @@
 // with corruption rejection, the sweep core's on_cell/cancel/pool hooks,
 // and the connection loop's fault containment (malformed frames answered
 // with kError, the service keeps serving).
+//
+// The farm suites cover the multi-tenant socket front-end: N concurrent
+// clients reassembling byte-identical results over one session, the
+// dispatcher's deterministic round-robin across client queues, per-client
+// STATS rows summing to the session totals, the in-flight quota's kError,
+// slow-reader detachment that never delays the other tenants, and graceful
+// drain (STOP / the stop flag) unlinking the socket file.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -700,4 +712,687 @@ TEST(ServeEndToEnd, ClientStatsQueriesTheSession) {
     client.quit();
   }
   server.join();
+}
+
+// --- protocol v3: STOP, per-client stats rows, in-place line parsing ----------
+
+TEST(ServeProtocol, StopLineRoundTrips) {
+  const sv::RequestLine parsed = sv::parse_request_line("STOP 4");
+  EXPECT_EQ(parsed.verb, sv::RequestLine::Verb::kStop);
+  EXPECT_EQ(parsed.id, 4u);
+  std::string line = sv::stop_line(4);
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  EXPECT_EQ(sv::parse_request_line(line).verb, sv::RequestLine::Verb::kStop);
+  EXPECT_THROW((void)sv::parse_request_line("STOP"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("STOP banana"), sv::ServeError);
+  EXPECT_THROW((void)sv::parse_request_line("STOP 1 2"), sv::ServeError);
+}
+
+TEST(ServeProtocol, StatsFrameCarriesPerClientRows) {
+  sv::SessionStats stats;
+  stats.requests = 5;
+  stats.cells_executed = 30;
+  stats.anneals = 7;
+  sv::ClientStats alpha;
+  alpha.client_id = 1;
+  alpha.requests = 3;
+  alpha.cells_executed = 18;
+  alpha.anneals = 7;
+  alpha.bytes_queued = 4096;
+  alpha.connected_seconds = 2.5;
+  alpha.connected = true;
+  sv::ClientStats beta;
+  beta.client_id = 9;
+  beta.requests = 2;
+  beta.cells_executed = 12;
+  stats.clients = {alpha, beta};
+
+  const std::string frame = sv::stats_frame(3, stats);
+  const sv::Frame decoded = sv::decode_frame(
+      sv::parse_frame_header(frame.substr(0, sv::kFrameHeaderBytes)),
+      frame.substr(sv::kFrameHeaderBytes));
+  ASSERT_EQ(decoded.stats.clients.size(), 2u);
+  const sv::ClientStats& first = decoded.stats.clients[0];
+  EXPECT_EQ(first.client_id, 1u);
+  EXPECT_EQ(first.requests, 3u);
+  EXPECT_EQ(first.cells_executed, 18u);
+  EXPECT_EQ(first.anneals, 7u);
+  EXPECT_EQ(first.bytes_queued, 4096u);
+  EXPECT_DOUBLE_EQ(first.connected_seconds, 2.5);
+  EXPECT_TRUE(first.connected);
+  const sv::ClientStats& second = decoded.stats.clients[1];
+  EXPECT_EQ(second.client_id, 9u);
+  EXPECT_EQ(second.requests, 2u);
+  EXPECT_EQ(second.bytes_queued, 0u);
+  EXPECT_FALSE(second.connected);
+}
+
+TEST(ServeProtocol, MultiMegabyteSubmitLineParsesInPlace) {
+  // A sweep whose hex payload crosses 4 MiB: the tokenizer must hand the
+  // payload to the decoder without copying the line into a stream first
+  // (the regression this guards was an istringstream copy of the whole
+  // line per request).
+  sh::SweepSpec spec = small_spec();
+  spec.techniques = {"parallax"};
+  std::string line;
+  for (std::size_t reps = 1u << 13; reps <= (1u << 18); reps *= 2) {
+    pcir::Circuit big(8, "big");
+    big.h(0);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      for (std::int32_t q = 0; q + 1 < 8; ++q) big.cx(q, q + 1);
+    }
+    big.measure_all();
+    spec.circuits = {{"big", big}};
+    line = sv::submit_line(3, spec);
+    if (line.size() > (4u << 20)) break;
+  }
+  ASSERT_GT(line.size(), 4u << 20);
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  const sv::RequestLine parsed = sv::parse_request_line(line);
+  EXPECT_EQ(parsed.verb, sv::RequestLine::Verb::kSubmit);
+  EXPECT_EQ(parsed.id, 3u);
+  EXPECT_EQ(sh::spec_digest(parsed.spec), sh::spec_digest(spec));
+}
+
+// --- service: fair share + per-client/per-request accounting ------------------
+
+TEST(SweepService, DispatcherRoundRobinsAcrossClientsNotFifo) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+
+  // Gate the first request open-ended so the others all queue behind it;
+  // FIFO would then serve client 1's backlog before client 2's first.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  const auto gate = [&](const sw::Cell&) {
+    std::unique_lock lock(mutex);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+
+  std::mutex order_mutex;
+  std::vector<std::uint64_t> order;
+  const auto record = [&](std::uint64_t tag) {
+    return [&order, &order_mutex, tag](const sv::Summary&) {
+      std::lock_guard lock(order_mutex);
+      order.push_back(tag);
+    };
+  };
+
+  const auto blocker = service.submit(spec, gate, record(11), 11, 1);
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return started; });
+  }
+  const auto second_a = service.submit(spec, {}, record(12), 12, 1);
+  const auto third_a = service.submit(spec, {}, record(13), 13, 1);
+  const auto first_b = service.submit(spec, {}, record(21), 21, 2);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  for (const auto& ticket : {blocker, second_a, third_a, first_b}) {
+    ASSERT_TRUE(ticket->wait().ok()) << ticket->wait().error;
+  }
+  // Client 2's request jumps client 1's backlog, then the wrap comes back.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{11, 21, 12, 13}));
+}
+
+TEST(SweepService, ClientRowsSumToSessionTotals) {
+  const sh::SweepSpec spec = small_spec();
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("rows")});
+  sv::SweepService service(service_options);
+
+  ASSERT_TRUE(service.submit(spec, {}, {}, 1, 1)->wait().ok());
+  ASSERT_TRUE(service.submit(spec, {}, {}, 2, 2)->wait().ok());
+  ASSERT_TRUE(service.submit(spec, {}, {}, 3, 2)->wait().ok());
+  service.register_client(7);  // connected but idle: a row, all zero
+
+  const sv::SessionStats stats = service.session_stats();
+  ASSERT_EQ(stats.clients.size(), 3u);
+  EXPECT_EQ(stats.clients[0].client_id, 1u);
+  EXPECT_EQ(stats.clients[1].client_id, 2u);
+  EXPECT_EQ(stats.clients[2].client_id, 7u);
+
+  EXPECT_EQ(stats.clients[0].requests, 1u);
+  EXPECT_EQ(stats.clients[0].cells_executed, spec.total_cells());
+  EXPECT_GT(stats.clients[0].anneals, 0u);  // the cold compile
+  EXPECT_EQ(stats.clients[1].requests, 2u);
+  EXPECT_EQ(stats.clients[1].cells_executed, 2 * spec.total_cells());
+  EXPECT_EQ(stats.clients[1].anneals, 0u);  // pure replays
+  EXPECT_EQ(stats.clients[2].requests, 0u);
+  EXPECT_EQ(stats.clients[2].cells_executed, 0u);
+
+  std::uint64_t requests = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t anneals = 0;
+  for (const sv::ClientStats& row : stats.clients) {
+    requests += row.requests;
+    cells += row.cells_executed;
+    anneals += row.anneals;
+  }
+  EXPECT_EQ(requests, stats.requests);
+  EXPECT_EQ(cells, stats.cells_executed);
+  EXPECT_EQ(anneals, stats.anneals);
+}
+
+TEST(SweepService, RequestAnnealAccountingIgnoresConcurrentProcessAnneals) {
+  const sh::SweepSpec spec = small_spec();
+
+  // The request's true cost, measured with the sweep core's own counter.
+  std::uint64_t expected = 0;
+  {
+    sw::Options options = spec.options;
+    const auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+    options.anneal_counter = counter;
+    (void)sw::run(spec.circuits, spec.techniques, spec.machines, options);
+    expected = counter->load();
+    ASSERT_GT(expected, 0u);
+  }
+
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  const auto gate = [&](const sw::Cell&) {
+    std::unique_lock lock(mutex);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  const auto ticket = service.submit(spec, gate, {}, 1, 1);
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return started; });
+  }
+  // While the service request is pinned mid-flight, anneal elsewhere in the
+  // process. A global before/after delta (the old accounting) would charge
+  // these to the ticket.
+  (void)sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  const sv::Summary& summary = ticket->wait();
+  ASSERT_TRUE(summary.ok()) << summary.error;
+  EXPECT_EQ(summary.anneals, expected);
+  EXPECT_EQ(service.session_stats().anneals, expected);
+}
+
+TEST(SweepService, FailedRequestIsChargedZeroAnneals) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  // Move the session's anneal counters first so a delta-style regression
+  // would have something to misattribute.
+  ASSERT_TRUE(service.submit(spec, {}, {}, 1, 1)->wait().ok());
+  const std::uint64_t before = service.session_stats().anneals;
+  ASSERT_GT(before, 0u);
+
+  sh::SweepSpec bad = spec;
+  bad.techniques.push_back("nope");
+  const sv::Summary& failed = service.submit(bad, {}, {}, 2, 3)->wait();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.anneals, 0u);  // validation throws before any anneal
+
+  const sv::SessionStats stats = service.session_stats();
+  EXPECT_EQ(stats.anneals, before);
+  ASSERT_EQ(stats.clients.size(), 2u);
+  EXPECT_EQ(stats.clients[1].client_id, 3u);
+  EXPECT_EQ(stats.clients[1].requests, 1u);
+  EXPECT_EQ(stats.clients[1].anneals, 0u);
+}
+
+// --- connection: multiplexing, pruning, quotas, STOP --------------------------
+
+TEST(ServeConnection, CompletedRequestIdsArePrunedAndReusable) {
+  const sh::SweepSpec spec = small_spec();
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("prune")});
+  sv::SweepService service(service_options);
+  PipePair pipes;
+  std::thread server([&] {
+    EXPECT_EQ(sv::serve_connection(pipes.in[0], pipes.out[1], service), 2u);
+    ::close(pipes.out[1]);
+    pipes.out[1] = -1;
+  });
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::submit_line(5, spec)));
+  sv::Frame frame;
+  do {
+    frame = read_frame(pipes.out[0]);
+    ASSERT_EQ(frame.request_id, 5u);
+  } while (frame.type != sv::FrameType::kDone);
+  ASSERT_TRUE(frame.summary.ok());
+
+  // The finished ticket must be pruned: cancelling its id is an unknown-id
+  // error, not a silent hit on a parked ticket.
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::cancel_line(5)));
+  frame = read_frame(pipes.out[0]);
+  EXPECT_EQ(frame.type, sv::FrameType::kError);
+  EXPECT_EQ(frame.request_id, 5u);
+  EXPECT_NE(frame.message.find("unknown or completed"), std::string::npos);
+
+  // And its id is free for reuse — not a duplicate-submit rejection.
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::submit_line(5, spec)));
+  std::size_t cells = 0;
+  for (;;) {
+    frame = read_frame(pipes.out[0]);
+    ASSERT_EQ(frame.request_id, 5u);
+    if (frame.type == sv::FrameType::kDone) break;
+    ASSERT_EQ(frame.type, sv::FrameType::kCell);
+    ++cells;
+  }
+  EXPECT_EQ(cells, spec.total_cells());
+  EXPECT_TRUE(frame.summary.ok());
+  EXPECT_EQ(frame.summary.anneals, 0u);  // warm replay off the session cache
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::quit_line()));
+  server.join();
+}
+
+TEST(ServeConnection, SubmitOverTheInflightQuotaIsRejectedNamingTheLimit) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  sv::ServerOptions options;
+  options.max_inflight_per_client = 1;
+  PipePair pipes;
+  std::thread server([&] {
+    (void)sv::serve_connection(pipes.in[0], pipes.out[1], service, options);
+    ::close(pipes.out[1]);
+    pipes.out[1] = -1;
+  });
+
+  // Both lines land in one read: the second is checked while the first is
+  // still compiling, so the quota trips deterministically.
+  ASSERT_TRUE(sv::write_all(pipes.in[1],
+                            sv::submit_line(1, spec) + sv::submit_line(2, spec)));
+  std::size_t cells = 0;
+  bool rejected = false;
+  for (;;) {
+    const sv::Frame frame = read_frame(pipes.out[0]);
+    if (frame.type == sv::FrameType::kError) {
+      EXPECT_EQ(frame.request_id, 2u);
+      EXPECT_NE(frame.message.find("max in-flight"), std::string::npos);
+      EXPECT_NE(frame.message.find("limit 1"), std::string::npos);
+      rejected = true;
+      continue;
+    }
+    ASSERT_EQ(frame.request_id, 1u);
+    if (frame.type == sv::FrameType::kDone) {
+      EXPECT_TRUE(frame.summary.ok());
+      break;
+    }
+    ++cells;
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(cells, spec.total_cells());
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::quit_line()));
+  server.join();
+}
+
+TEST(ServeConnection, OneConnectionMultiplexesOutstandingRequests) {
+  const sh::SweepSpec spec = small_spec();
+  const sw::Result reference =
+      sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("mux")});
+  sv::SweepService service(service_options);
+  PipePair pipes;
+  std::thread server([&] {
+    EXPECT_EQ(sv::serve_connection(pipes.in[0], pipes.out[1], service), 2u);
+    ::close(pipes.out[1]);
+    pipes.out[1] = -1;
+  });
+
+  // Two outstanding submits on one connection; their frames demultiplex by
+  // request id and each reassembles byte-identically.
+  ASSERT_TRUE(sv::write_all(pipes.in[1],
+                            sv::submit_line(1, spec) + sv::submit_line(2, spec)));
+  std::map<std::uint64_t, std::vector<sw::Cell>> cells;
+  std::map<std::uint64_t, sv::Summary> done;
+  while (done.size() < 2) {
+    sv::Frame frame = read_frame(pipes.out[0]);
+    ASSERT_TRUE(frame.request_id == 1 || frame.request_id == 2);
+    if (frame.type == sv::FrameType::kDone) {
+      done[frame.request_id] = std::move(frame.summary);
+    } else {
+      ASSERT_EQ(frame.type, sv::FrameType::kCell);
+      cells[frame.request_id].push_back(std::move(frame.cell));
+    }
+  }
+  for (const std::uint64_t id : {1u, 2u}) {
+    ASSERT_TRUE(done[id].ok()) << done[id].error;
+    EXPECT_EQ(sh::canonical_bytes(assemble(spec, cells[id])),
+              sh::canonical_bytes(reference));
+  }
+  EXPECT_GT(done[1].anneals, 0u);
+  EXPECT_EQ(done[2].anneals, 0u);  // replayed from the session cache
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1], sv::quit_line()));
+  server.join();
+}
+
+TEST(ServeConnection, StopAcksCancelsInflightAndSetsTheSessionFlag) {
+  // Heavy enough that the sweep is still mid-cell when the STOP line is
+  // processed microseconds later; cooperative cancel then skips the rest.
+  sh::SweepSpec spec = small_spec();
+  spec.options.compile.placement.anneal_iterations = 20000;
+  spec.options.compile.placement.local_search_evaluations = 5000;
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  std::atomic<bool> stop{false};
+  sv::ServerOptions options;
+  options.stop = &stop;
+  PipePair pipes;
+  std::thread server([&] {
+    EXPECT_EQ(sv::serve_connection(pipes.in[0], pipes.out[1], service,
+                                   options),
+              1u);
+    ::close(pipes.out[1]);
+    pipes.out[1] = -1;
+  });
+
+  ASSERT_TRUE(sv::write_all(pipes.in[1],
+                            sv::submit_line(1, spec) + sv::stop_line(99)));
+  bool acked = false;
+  sv::Summary summary;
+  bool summary_seen = false;
+  while (!acked || !summary_seen) {
+    const sv::Frame frame = read_frame(pipes.out[0]);
+    if (frame.request_id == 99) {
+      ASSERT_EQ(frame.type, sv::FrameType::kDone);
+      acked = true;
+      continue;
+    }
+    ASSERT_EQ(frame.request_id, 1u);
+    if (frame.type == sv::FrameType::kDone) {
+      summary = frame.summary;
+      summary_seen = true;
+    }
+  }
+  // STOP drains by cancelling: the submit finishes as cancelled, and the
+  // session-wide flag propagates to the embedder (the CLI's farm loop).
+  EXPECT_TRUE(summary.cancelled);
+  EXPECT_TRUE(stop.load());
+  server.join();
+}
+
+// --- the farm: concurrent tenants over one unix socket ------------------------
+
+namespace {
+
+std::string fresh_socket_path(const std::string& tag) {
+  static int counter = 0;
+  return std::string(::testing::TempDir()) + "parallax_farm_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+         ".sock";
+}
+
+bool wait_for_socket(const std::string& path) {
+  for (int i = 0; i < 2000; ++i) {
+    if (fs::exists(path)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+TEST(ServeFarm, ThreeConcurrentClientsReassembleByteIdenticalResults) {
+  const sh::SweepSpec spec = small_spec();
+  const sw::Result reference =
+      sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("farm3")});
+  sv::SweepService service(service_options);
+
+  const std::string socket_path = fresh_socket_path("three");
+  const sv::ServerOptions options;
+  std::atomic<bool> server_ok{false};
+  std::thread server([&] {
+    server_ok = sv::serve_unix_socket(socket_path, service, options);
+  });
+  ASSERT_TRUE(wait_for_socket(socket_path));
+
+  struct Outcome {
+    sv::ClientOutcome cold;
+    sv::ClientOutcome warm;
+    std::string error;
+  };
+  std::vector<Outcome> outcomes(3);
+  std::vector<std::thread> clients;
+  clients.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        sv::Client client(socket_path);
+        outcomes[i].cold = client.run(spec);
+        outcomes[i].warm = client.run(spec);
+        client.quit();
+      } catch (const std::exception& error) {
+        outcomes[i].error = error.what();
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+
+  std::uint64_t summed_anneals = 0;
+  for (const Outcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.error.empty()) << outcome.error;
+    ASSERT_TRUE(outcome.cold.summary.ok()) << outcome.cold.summary.error;
+    ASSERT_TRUE(outcome.warm.summary.ok()) << outcome.warm.summary.error;
+    EXPECT_EQ(sh::canonical_bytes(outcome.cold.result),
+              sh::canonical_bytes(reference));
+    EXPECT_EQ(sh::canonical_bytes(outcome.warm.result),
+              sh::canonical_bytes(reference));
+    // Each client's second pass replays from the shared session cache.
+    EXPECT_EQ(outcome.warm.summary.anneals, 0u);
+    summed_anneals += outcome.cold.summary.anneals;
+    summed_anneals += outcome.warm.summary.anneals;
+  }
+
+  // The per-client rows reproduce the session totals exactly.
+  sv::Client admin(socket_path);
+  const sv::SessionStats stats = admin.stats();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.cells_executed, 6 * spec.total_cells());
+  EXPECT_GT(stats.anneals, 0u);
+  EXPECT_EQ(stats.anneals, summed_anneals);
+  ASSERT_EQ(stats.clients.size(), 4u);  // three tenants + this connection
+  std::uint64_t row_requests = 0;
+  std::uint64_t row_cells = 0;
+  std::uint64_t row_anneals = 0;
+  std::uint64_t previous_id = 0;
+  for (const sv::ClientStats& row : stats.clients) {
+    EXPECT_GT(row.client_id, previous_id);  // ascending, ids start at 1
+    previous_id = row.client_id;
+    row_requests += row.requests;
+    row_cells += row.cells_executed;
+    row_anneals += row.anneals;
+  }
+  EXPECT_EQ(row_requests, stats.requests);
+  EXPECT_EQ(row_cells, stats.cells_executed);
+  EXPECT_EQ(row_anneals, stats.anneals);
+  // This connection is live, so its row carries the connection overlay.
+  EXPECT_TRUE(stats.clients.back().connected);
+  EXPECT_GE(stats.clients.back().connected_seconds, 0.0);
+
+  // Graceful drain: STOP is acked, the farm returns true, the socket file
+  // is gone.
+  admin.stop();
+  server.join();
+  EXPECT_TRUE(server_ok.load());
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+TEST(ServeFarm, SubmitOverTheInflightQuotaGetsAnErrorNamingTheLimit) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 1, .cache = nullptr});
+  const std::string socket_path = fresh_socket_path("quota");
+  sv::ServerOptions options;
+  options.max_inflight_per_client = 1;
+  std::atomic<bool> server_ok{false};
+  std::thread server([&] {
+    server_ok = sv::serve_unix_socket(socket_path, service, options);
+  });
+  ASSERT_TRUE(wait_for_socket(socket_path));
+
+  const int fd = connect_unix(socket_path);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(sv::write_all(fd,
+                            sv::submit_line(1, spec) + sv::submit_line(2, spec)));
+  std::size_t cells = 0;
+  bool rejected = false;
+  for (;;) {
+    const sv::Frame frame = read_frame(fd);
+    if (frame.type == sv::FrameType::kError) {
+      EXPECT_EQ(frame.request_id, 2u);
+      EXPECT_NE(frame.message.find("max in-flight"), std::string::npos);
+      EXPECT_NE(frame.message.find("limit 1"), std::string::npos);
+      rejected = true;
+      continue;
+    }
+    ASSERT_EQ(frame.request_id, 1u);
+    if (frame.type == sv::FrameType::kDone) {
+      EXPECT_TRUE(frame.summary.ok());
+      break;
+    }
+    ++cells;
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(cells, spec.total_cells());
+  ::close(fd);
+
+  sv::Client admin(socket_path);
+  admin.stop();
+  server.join();
+  EXPECT_TRUE(server_ok.load());
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+TEST(ServeFarm, SlowReaderIsDetachedWithoutStallingTheFarm) {
+  const sh::SweepSpec spec = small_spec();
+  const sw::Result reference =
+      sw::run(spec.circuits, spec.techniques, spec.machines, spec.options);
+
+  sv::ServiceOptions service_options;
+  service_options.n_threads = 2;
+  service_options.cache =
+      pc::CompilationCache::open({.directory = fresh_dir("slow")});
+  sv::SweepService service(service_options);
+
+  const std::string socket_path = fresh_socket_path("slow");
+  sv::ServerOptions options;
+  options.write_timeout_seconds = 1;
+  options.max_inflight_per_client = 0;  // unbounded count: bytes do the work
+  options.max_client_buffered_bytes = 1u << 20;
+  std::atomic<bool> server_ok{false};
+  std::thread server([&] {
+    server_ok = sv::serve_unix_socket(socket_path, service, options);
+  });
+  ASSERT_TRUE(wait_for_socket(socket_path));
+
+  // A tenant that submits a pile of sweeps and never reads a byte. Sized so
+  // its unread frames overrun the socket buffer and the per-client byte cap,
+  // whichever the kernel's buffering exposes first.
+  const std::size_t frame_bytes =
+      sv::cell_frame(1, reference.cells.front()).size();
+  const std::size_t per_request = frame_bytes * spec.total_cells();
+  const std::size_t n_requests =
+      std::min<std::size_t>(512, (3u << 20) / per_request + 8);
+  const int slow_fd = connect_unix(socket_path);
+  ASSERT_GE(slow_fd, 0);
+  std::string backlog;
+  for (std::size_t id = 1; id <= n_requests; ++id) {
+    backlog += sv::submit_line(id, spec);
+  }
+  ASSERT_TRUE(sv::write_all(slow_fd, backlog));
+
+  // A well-behaved tenant connects after it and must be served promptly —
+  // round-robin interleaves it past the slow reader's backlog, and the
+  // detach never blocks the loop.
+  sv::Client good(socket_path);
+  const sv::ClientOutcome outcome = good.run(spec);
+  ASSERT_TRUE(outcome.summary.ok()) << outcome.summary.error;
+  EXPECT_EQ(sh::canonical_bytes(outcome.result),
+            sh::canonical_bytes(reference));
+
+  // The slow reader ends up detached (connected=false) and all its requests
+  // accounted — completed or cancelled, never leaked.
+  bool detached = false;
+  for (int i = 0; i < 4000 && !detached; ++i) {
+    const sv::SessionStats stats = good.stats();
+    for (const sv::ClientStats& row : stats.clients) {
+      // The slow tenant is the one holding the n_requests backlog; the good
+      // client's row never climbs past its own handful.
+      if (row.requests == n_requests && !row.connected) detached = true;
+    }
+    if (!detached) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(detached);
+  ::close(slow_fd);
+
+  good.stop();
+  server.join();
+  EXPECT_TRUE(server_ok.load());
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+TEST(ServeFarm, StopFlagDrainsAndUnlinksTheSocket) {
+  const sh::SweepSpec spec = small_spec();
+  sv::SweepService service({.n_threads = 2, .cache = nullptr});
+  const std::string socket_path = fresh_socket_path("flag");
+  std::atomic<bool> stop{false};
+  sv::ServerOptions options;
+  options.stop = &stop;
+  std::atomic<bool> server_ok{false};
+  std::thread server([&] {
+    server_ok = sv::serve_unix_socket(socket_path, service, options);
+  });
+  ASSERT_TRUE(wait_for_socket(socket_path));
+  {
+    sv::Client client(socket_path);
+    const sv::ClientOutcome outcome = client.run(spec);
+    ASSERT_TRUE(outcome.summary.ok()) << outcome.summary.error;
+    // The CLI's signal handler path: flip the flag, the loop notices on its
+    // next tick and drains without any request in flight.
+    stop.store(true);
+    server.join();
+  }
+  EXPECT_TRUE(server_ok.load());
+  EXPECT_FALSE(fs::exists(socket_path));
 }

@@ -7,7 +7,7 @@
 //   parallax_cli bench [--all|NAME...] [options]
 //   parallax_cli cache stats|clear|prewarm [options]
 //   parallax_cli shard plan|run|merge [options]
-//   parallax_cli serve [start|spec|submit] [options]
+//   parallax_cli serve [start|spec|submit|stats|stop] [options]
 //   parallax_cli sim (--benchmark NAME | --circuit FILE.qasm) [options]
 //
 // Options:
@@ -80,11 +80,14 @@
 // CompilationCache is the session state, so repeated/overlapping requests
 // replay from result hits with zero anneals):
 //   serve [start] [--socket PATH] [--cache-dir DIR] [--no-cache]
-//                 [--threads N] [--max-disk-bytes N]
-//                 serve line-framed requests (SUBMIT/CANCEL/QUIT) from
-//                 stdin, streaming length-prefixed cell frames to stdout;
-//                 --socket serves an AF_UNIX socket instead (what
-//                 PARALLAX_SERVE points the bench harness at)
+//                 [--threads N] [--max-disk-bytes N] [--max-inflight N]
+//                 [--max-client-bytes N]
+//                 serve line-framed requests (SUBMIT/CANCEL/STATS/STOP/QUIT)
+//                 from stdin, streaming length-prefixed cell frames to
+//                 stdout; --socket runs the multi-tenant poll() farm on an
+//                 AF_UNIX socket instead (what PARALLAX_SERVE points the
+//                 bench harness at), multiplexing concurrent clients with
+//                 per-client quotas. SIGINT/SIGTERM drain gracefully.
 //   serve spec    --out FILE [--benchmarks A,B,...] [--machine M]
 //                 [--technique NAME|all] [--seed N] [--spread F]
 //                 [--no-home-return] [--shots] [--aod-count N]
@@ -92,6 +95,13 @@
 //   serve submit  --socket PATH --spec FILE [--out FILE]
 //                 submit a spec to a running service, wait for the
 //                 streamed cells, and write the canonical result bytes
+//   serve stats   --socket PATH
+//                 print the running session's totals plus one accounting
+//                 row per client (requests, cells, anneals, bytes queued)
+//   serve stop    --socket PATH
+//                 gracefully drain a running session (STOP): it stops
+//                 accepting, cancels in-flight work, flushes every done
+//                 frame, and unlinks its socket
 //
 // Sim subcommand (the discrete-event schedule simulator, src/sim): compiles
 // the circuit with recorded positions, replays it shot-by-shot with
@@ -103,7 +113,10 @@
 //       [--technique NAME|all] [--machine M] [--shots N] [--seed N]
 //       [--threads N] [--json] [--aod-count N] [--no-home-return]
 //       [--spread F] [--cache-dir DIR] [--no-cache] [--max-disk-bytes N]
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -171,8 +184,10 @@ struct CliOptions {
   bool shots = false;
   std::vector<std::string> inputs;  // shard merge positional run files
   // serve subcommand state
-  std::string serve_command;  // "start" | "spec" | "submit"
+  std::string serve_command;  // "start" | "spec" | "submit" | "stats" | "stop"
   std::string socket_path;
+  std::uint64_t max_inflight = 0;      // 0 => ServerOptions default
+  std::uint64_t max_client_bytes = 0;  // 0 => ServerOptions default
   // sim subcommand state
   bool sim_command = false;
   std::int64_t sim_shots = 4096;
@@ -214,13 +229,17 @@ struct CliOptions {
                "       %s shard merge --out FILE RUN_FILE...\n"
                "       %s serve [start] [--socket PATH] [--cache-dir DIR] "
                "[--no-cache]\n"
-               "               [--threads N] [--max-disk-bytes N]\n"
+               "               [--threads N] [--max-disk-bytes N] "
+               "[--max-inflight N]\n"
+               "               [--max-client-bytes N]\n"
                "       %s serve spec --out FILE [--benchmarks A,B,...] "
                "[--machine M]\n"
                "               [--technique NAME|all] [--seed N] [--spread F]"
                " [--shots]\n"
                "       %s serve submit --socket PATH --spec FILE "
                "[--out FILE]\n"
+               "       %s serve stats --socket PATH\n"
+               "       %s serve stop --socket PATH\n"
                "       %s bench (--list | --all | NAME...) "
                "[--serve auto|off|SOCKET]\n"
                "               [--format table|csv|json] "
@@ -239,7 +258,7 @@ struct CliOptions {
                "               [--cache-dir DIR] [--no-cache] "
                "[--max-disk-bytes N]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -314,8 +333,10 @@ CliOptions parse_cli(int argc, char** argv) {
       first = 2;
     }
     if (options.serve_command != "start" && options.serve_command != "spec" &&
-        options.serve_command != "submit") {
-      usage(argv[0], "unknown serve subcommand (use start, spec, submit)");
+        options.serve_command != "submit" &&
+        options.serve_command != "stats" && options.serve_command != "stop") {
+      usage(argv[0],
+            "unknown serve subcommand (use start, spec, submit, stats, stop)");
     }
     options.technique = "all";  // spec default: every technique
   } else if (argc > 1 && !std::strcmp(argv[1], "sim")) {
@@ -379,6 +400,12 @@ CliOptions parse_cli(int argc, char** argv) {
       options.shards = static_cast<std::uint32_t>(n);
     } else if (!std::strcmp(arg, "--socket")) {
       options.socket_path = need_value(i);
+    } else if (!std::strcmp(arg, "--max-inflight")) {
+      options.max_inflight =
+          u64_flag(argv[0], "--max-inflight", need_value(i));
+    } else if (!std::strcmp(arg, "--max-client-bytes")) {
+      options.max_client_bytes =
+          u64_flag(argv[0], "--max-client-bytes", need_value(i));
     } else if (!std::strcmp(arg, "--out-dir")) {
       options.out_dir = need_value(i);
     } else if (!std::strcmp(arg, "--spec")) {
@@ -547,8 +574,9 @@ CliOptions parse_cli(int argc, char** argv) {
     }
   } else if (!options.serve_command.empty()) {
     if (options.serve_command == "start") {
-      allow_only("serve start", {"--socket", "--cache-dir", "--no-cache",
-                                 "--threads", "--max-disk-bytes"});
+      allow_only("serve start",
+                 {"--socket", "--cache-dir", "--no-cache", "--threads",
+                  "--max-disk-bytes", "--max-inflight", "--max-client-bytes"});
       if (!options.use_cache &&
           (!options.cache_dir.empty() || options.max_disk_bytes != 0)) {
         usage(argv[0],
@@ -563,13 +591,20 @@ CliOptions parse_cli(int argc, char** argv) {
       if (options.out_file.empty()) {
         usage(argv[0], "serve spec needs --out FILE");
       }
-    } else {  // submit
+    } else if (options.serve_command == "submit") {
       allow_only("serve submit", {"--socket", "--spec", "--out"});
       if (options.socket_path.empty()) {
         usage(argv[0], "serve submit needs --socket PATH");
       }
       if (options.spec_file.empty()) {
         usage(argv[0], "serve submit needs --spec FILE");
+      }
+    } else {  // stats | stop
+      allow_only("serve " + options.serve_command, {"--socket"});
+      if (options.socket_path.empty()) {
+        usage(argv[0], ("serve " + options.serve_command +
+                        " needs --socket PATH")
+                           .c_str());
       }
     }
   } else if (options.sim_command) {
@@ -882,12 +917,39 @@ int run_shard_command(const CliOptions& cli, const char* argv0) {
   }
 }
 
+/// SIGINT/SIGTERM land here; the serve loops poll it and drain gracefully
+/// (cancel in-flight tickets, flush done frames, unlink the socket).
+std::atomic<bool> g_serve_stop{false};
+
+void install_serve_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = [](int) {
+    g_serve_stop.store(true, std::memory_order_relaxed);
+  };
+  ::sigemptyset(&action.sa_mask);
+  // No SA_RESTART: accept/read/poll must return EINTR so the stop flag is
+  // observed promptly instead of after the next client activity.
+  (void)::sigaction(SIGINT, &action, nullptr);
+  (void)::sigaction(SIGTERM, &action, nullptr);
+}
+
 int run_serve_start(const CliOptions& cli) {
   namespace sv = parallax::serve;
   sv::ServiceOptions service_options;
   service_options.n_threads = cli.threads;
   service_options.cache = open_cache(cli);
   sv::SweepService service(service_options);
+  sv::ServerOptions server_options;
+  if (cli.max_inflight != 0) {
+    server_options.max_inflight_per_client =
+        static_cast<std::size_t>(cli.max_inflight);
+  }
+  if (cli.max_client_bytes != 0) {
+    server_options.max_client_buffered_bytes =
+        static_cast<std::size_t>(cli.max_client_bytes);
+  }
+  install_serve_signal_handlers();
+  server_options.stop = &g_serve_stop;
   if (service_options.cache) {
     std::fprintf(stderr, "serve: session cache at %s\n",
                  service_options.cache->directory().c_str());
@@ -896,18 +958,37 @@ int run_serve_start(const CliOptions& cli) {
     std::fprintf(stderr,
                  "serve: reading requests from stdin (%zu worker threads)\n",
                  service.threads());
-    const std::size_t served = sv::serve_connection(0, 1, service);
+    const std::size_t served =
+        sv::serve_connection(0, 1, service, server_options);
     std::fprintf(stderr, "serve: connection closed after %zu requests\n",
                  served);
     return 0;
   }
   std::fprintf(stderr, "serve: listening on %s (%zu worker threads)\n",
                cli.socket_path.c_str(), service.threads());
-  if (!sv::serve_unix_socket(cli.socket_path, service)) {
+  if (!sv::serve_unix_socket(cli.socket_path, service, server_options)) {
     std::fprintf(stderr, "serve: cannot listen on %s: %s\n",
                  cli.socket_path.c_str(), std::strerror(errno));
     return 1;
   }
+  std::fprintf(stderr, "serve: session drained, socket unlinked\n");
+  return 0;
+}
+
+int run_serve_stop(const CliOptions& cli) {
+  namespace sv = parallax::serve;
+  sv::Client client(cli.socket_path);
+  client.stop();
+  std::fprintf(stderr, "serve: session at %s draining\n",
+               cli.socket_path.c_str());
+  return 0;
+}
+
+int run_serve_stats(const CliOptions& cli) {
+  namespace sv = parallax::serve;
+  sv::Client client(cli.socket_path);
+  const sv::SessionStats stats = client.stats();
+  parallax::report::print_server_stats(stderr, stats);
   return 0;
 }
 
@@ -966,6 +1047,8 @@ int run_serve_command(const CliOptions& cli, const char* argv0) {
   try {
     if (cli.serve_command == "start") return run_serve_start(cli);
     if (cli.serve_command == "spec") return run_serve_spec(cli, argv0);
+    if (cli.serve_command == "stats") return run_serve_stats(cli);
+    if (cli.serve_command == "stop") return run_serve_stop(cli);
     return run_serve_submit(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "serve %s failed: %s\n", cli.serve_command.c_str(),
