@@ -92,6 +92,22 @@ void feed(Fingerprinter& fp, const placement::GraphineOptions& options) {
     fp.i32(static_cast<std::int32_t>(options.proposal));
     fp.i32(options.chains);
   }
+  // Same deal for windowing: callers normalize max_window_qubits to 0 when
+  // the circuit fits in one window, so the field is hashed only when the
+  // windowed path actually changes the layout.
+  if (options.max_window_qubits != 0) {
+    fp.i32(options.max_window_qubits);
+  }
+}
+
+void feed(Fingerprinter& fp, const circuit::InteractionGraph& graph) {
+  fp.i32(graph.n_qubits());
+  fp.u64(graph.edges().size());
+  for (const circuit::WeightedEdge& e : graph.edges()) {
+    fp.i32(e.a);
+    fp.i32(e.b);
+    fp.i64(e.weight);
+  }
 }
 
 void feed(Fingerprinter& fp, const placement::Topology& topology) {
@@ -168,6 +184,8 @@ enum class Domain : std::uint8_t {
   kCompileOptions = 5,
   kPlacementKey = 6,
   kResultKey = 7,
+  kFileContent = 8,
+  kInteractionGraph = 9,
 };
 
 Fingerprinter begin(Domain domain) {
@@ -176,7 +194,76 @@ Fingerprinter begin(Domain domain) {
   return fp;
 }
 
+/// Schema-seeded raw-byte hash opened with a domain tag; file-content
+/// digests hash the byte stream directly (no length prefix — the stream is
+/// the entire input, so self-delimiting framing buys nothing).
+util::Hash128 begin_raw(Domain domain) {
+  util::Hash128 hash(kFingerprintSchema);
+  const auto tag = static_cast<std::uint8_t>(domain);
+  hash.update(&tag, 1);
+  return hash;
+}
+
 }  // namespace
+
+// --- streaming content fingerprints -------------------------------------------
+
+HashingStreamBuf::HashingStreamBuf(std::streambuf* source)
+    : source_(source), hash_(begin_raw(Domain::kFileContent)) {}
+
+Digest128 HashingStreamBuf::content_digest() const noexcept {
+  return hash_.digest();
+}
+
+HashingStreamBuf::int_type HashingStreamBuf::underflow() {
+  if (!have_pending_) {
+    const int_type c = source_->sbumpc();
+    if (traits_type::eq_int_type(c, traits_type::eof())) return c;
+    pending_ = traits_type::to_char_type(c);
+    have_pending_ = true;
+    hash_.update(&pending_, 1);
+    ++n_;
+  }
+  return traits_type::to_int_type(pending_);
+}
+
+HashingStreamBuf::int_type HashingStreamBuf::uflow() {
+  const int_type c = underflow();
+  have_pending_ = false;
+  return c;
+}
+
+std::streamsize HashingStreamBuf::xsgetn(char_type* s, std::streamsize n) {
+  std::streamsize got = 0;
+  if (n > 0 && have_pending_) {
+    *s++ = pending_;
+    have_pending_ = false;
+    ++got;
+    --n;
+  }
+  if (n > 0) {
+    const std::streamsize direct = source_->sgetn(s, n);
+    if (direct > 0) {
+      hash_.update(s, static_cast<std::size_t>(direct));
+      n_ += static_cast<std::uint64_t>(direct);
+      got += direct;
+    }
+  }
+  return got;
+}
+
+Digest128 fingerprint_stream(std::istream& in) {
+  util::Hash128 hash = begin_raw(Domain::kFileContent);
+  char buf[std::size_t{1} << 16];
+  std::streambuf* source = in.rdbuf();
+  for (;;) {
+    const std::streamsize got =
+        source->sgetn(buf, static_cast<std::streamsize>(sizeof buf));
+    if (got <= 0) break;
+    hash.update(buf, static_cast<std::size_t>(got));
+  }
+  return hash.digest();
+}
 
 Digest128 fingerprint(const circuit::Circuit& circuit) {
   Fingerprinter fp = begin(Domain::kCircuit);
@@ -199,6 +286,12 @@ Digest128 fingerprint(const placement::GraphineOptions& options) {
 Digest128 fingerprint(const placement::Topology& topology) {
   Fingerprinter fp = begin(Domain::kTopology);
   feed(fp, topology);
+  return fp.finish();
+}
+
+Digest128 fingerprint(const circuit::InteractionGraph& graph) {
+  Fingerprinter fp = begin(Domain::kInteractionGraph);
+  feed(fp, graph);
   return fp.finish();
 }
 

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <streambuf>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +62,42 @@ class Fingerprinter {
   util::Hash128 hash_;
 };
 
+// --- streaming content fingerprints -------------------------------------------
+
+/// Streambuf decorator that hashes every byte pulled through it. Wrapping a
+/// file's streambuf and handing the wrapper to qasm::StreamParser
+/// fingerprints the raw file content in the same single pass that parses it
+/// — no second read, O(1) extra memory. The digest is chunking-independent
+/// and equals fingerprint_stream() over the same bytes, but only once the
+/// stream has been fully drained.
+class HashingStreamBuf final : public std::streambuf {
+ public:
+  explicit HashingStreamBuf(std::streambuf* source);
+
+  /// Digest of the bytes consumed so far (domain-tagged file content).
+  [[nodiscard]] Digest128 content_digest() const noexcept;
+  /// Total bytes pulled through this buffer so far.
+  [[nodiscard]] std::uint64_t bytes_hashed() const noexcept { return n_; }
+
+ protected:
+  int_type underflow() override;
+  int_type uflow() override;
+  std::streamsize xsgetn(char_type* s, std::streamsize n) override;
+
+ private:
+  std::streambuf* source_;
+  util::Hash128 hash_;
+  std::uint64_t n_ = 0;
+  char_type pending_ = 0;      // the character exposed by underflow()
+  bool have_pending_ = false;  // pending_ read from source but not consumed
+};
+
+/// One-shot content digest of everything remaining in `in`. Equal bytes give
+/// equal digests across runs and platforms; the digest domain is disjoint
+/// from every structured fingerprint below, so a file's raw bytes can never
+/// collide with, say, a circuit fingerprint.
+[[nodiscard]] Digest128 fingerprint_stream(std::istream& in);
+
 // --- component fingerprints ---------------------------------------------------
 
 /// Gates, qubit count, and name (seeds derive from the name, so two
@@ -72,6 +110,13 @@ class Fingerprinter {
 
 [[nodiscard]] Digest128 fingerprint(const placement::GraphineOptions& options);
 [[nodiscard]] Digest128 fingerprint(const placement::Topology& topology);
+
+/// Weighted interaction graph content: qubit count plus every (a, b, weight)
+/// edge in canonical order. This is the circuit identity of one placement
+/// window — two windows with the same reindexed subgraph share a digest even
+/// when cut from different circuits, which is what lets windowed placement
+/// reuse per-window anneals across a corpus.
+[[nodiscard]] Digest128 fingerprint(const circuit::InteractionGraph& graph);
 
 /// Full pipeline::CompileOptions: all per-stage options, the master seed,
 /// assume_transpiled, and (when set) the preset topology's content.

@@ -6,25 +6,46 @@
 
 namespace parallax::circuit {
 
-InteractionGraph::InteractionGraph(const Circuit& circuit)
-    : n_qubits_(circuit.n_qubits()),
-      adjacency_(static_cast<std::size_t>(circuit.n_qubits())),
-      weighted_degree_(static_cast<std::size_t>(circuit.n_qubits()), 0) {
-  std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t> weights;
-  for (const Gate& g : circuit.gates()) {
-    if (!g.is_two_qubit()) continue;
-    const auto a = std::min(g.q[0], g.q[1]);
-    const auto b = std::max(g.q[0], g.q[1]);
-    ++weights[{a, b}];
-    ++weighted_degree_[static_cast<std::size_t>(g.q[0])];
-    ++weighted_degree_[static_cast<std::size_t>(g.q[1])];
+InteractionGraph::InteractionGraph(const Circuit& circuit) {
+  InteractionGraphBuilder builder;
+  for (const Gate& g : circuit.gates()) builder.add_gate(g);
+  *this = builder.build(circuit.n_qubits());
+}
+
+void InteractionGraphBuilder::add_gate(const Gate& gate) {
+  if (!gate.is_two_qubit()) return;
+  add_pair(gate.q[0], gate.q[1]);
+}
+
+void InteractionGraphBuilder::add_pair(std::int32_t a, std::int32_t b) {
+  add_weighted(a, b, 1);
+}
+
+void InteractionGraphBuilder::add_weighted(std::int32_t a, std::int32_t b,
+                                           std::int64_t weight) {
+  weights_[{std::min(a, b), std::max(a, b)}] += weight;
+  n_interactions_ += weight;
+}
+
+InteractionGraph InteractionGraphBuilder::build(std::int32_t n_qubits) {
+  InteractionGraph graph;
+  graph.n_qubits_ = n_qubits;
+  graph.adjacency_.resize(static_cast<std::size_t>(n_qubits));
+  graph.weighted_degree_.assign(static_cast<std::size_t>(n_qubits), 0);
+  graph.edges_.reserve(weights_.size());
+  for (const auto& [key, w] : weights_) {
+    const auto [a, b] = key;
+    graph.edges_.push_back({a, b, w});
+    graph.adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    if (b != a) graph.adjacency_[static_cast<std::size_t>(b)].push_back(a);
+    // A degenerate pair (a == b) still counts twice toward the weighted
+    // degree, matching per-gate accumulation over the full gate list.
+    graph.weighted_degree_[static_cast<std::size_t>(a)] += w;
+    graph.weighted_degree_[static_cast<std::size_t>(b)] += w;
   }
-  edges_.reserve(weights.size());
-  for (const auto& [key, w] : weights) {
-    edges_.push_back({key.first, key.second, w});
-    adjacency_[static_cast<std::size_t>(key.first)].push_back(key.second);
-    adjacency_[static_cast<std::size_t>(key.second)].push_back(key.first);
-  }
+  weights_.clear();
+  n_interactions_ = 0;
+  return graph;
 }
 
 std::int64_t InteractionGraph::degree(std::int32_t qubit) const {

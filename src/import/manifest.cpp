@@ -1,0 +1,184 @@
+#include "import/manifest.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cache/fingerprint.hpp"
+#include "qasm/stream_parser.hpp"
+
+namespace parallax::importer {
+
+namespace {
+
+constexpr std::string_view kHeader = "# parallax-import v1";
+
+/// Grammar-validating scan with no gate storage: everything import_file
+/// needs comes from the totals and the hashing stream.
+class CountingVisitor final : public qasm::GateStreamVisitor {
+ public:
+  void on_gate(const circuit::Gate&) override {}
+};
+
+template <typename T>
+T parse_int(std::string_view field, std::string_view what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw ImportError("manifest: malformed " + std::string(what) + " '" +
+                      std::string(field) + "'");
+  }
+  return value;
+}
+
+/// Splits off the next tab-separated field; `last` takes the remainder.
+std::string_view next_field(std::string_view& line, bool last = false) {
+  if (last) {
+    const std::string_view field = line;
+    line = {};
+    return field;
+  }
+  const std::size_t tab = line.find('\t');
+  if (tab == std::string_view::npos) {
+    throw ImportError("manifest: truncated line (expected 7 tab-separated "
+                      "fields)");
+  }
+  const std::string_view field = line.substr(0, tab);
+  line.remove_prefix(tab + 1);
+  return field;
+}
+
+}  // namespace
+
+ImportEntry import_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw ImportError("import: cannot open '" + path + "'");
+  }
+  cache::HashingStreamBuf hashing(file.rdbuf());
+  std::istream in(&hashing);
+  qasm::StreamParser parser(in, path);
+  CountingVisitor visitor;
+  const qasm::StreamTotals totals = parser.run(visitor);
+
+  ImportEntry entry;
+  entry.name = std::filesystem::path(path).stem().string();
+  entry.path = path;
+  entry.digest = hashing.content_digest();
+  entry.n_qubits = totals.n_qubits;
+  entry.n_clbits = totals.n_clbits;
+  entry.n_gates = totals.n_gates;
+  entry.n_bytes = hashing.bytes_hashed();
+  return entry;
+}
+
+std::string write_manifest(const std::vector<ImportEntry>& entries) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const ImportEntry& e : entries) {
+    out << e.name << '\t' << e.digest.hex() << '\t' << e.n_qubits << '\t'
+        << e.n_clbits << '\t' << e.n_gates << '\t' << e.n_bytes << '\t'
+        << e.path << '\n';
+  }
+  return out.str();
+}
+
+std::vector<ImportEntry> parse_manifest(std::string_view text) {
+  std::vector<ImportEntry> entries;
+  bool saw_header = false;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      if (!saw_header) {
+        if (line != kHeader) {
+          throw ImportError("manifest: unknown header '" + std::string(line) +
+                            "' (expected '" + std::string(kHeader) + "')");
+        }
+        saw_header = true;
+      }
+      continue;
+    }
+    if (!saw_header) {
+      throw ImportError("manifest: missing '" + std::string(kHeader) +
+                        "' header line");
+    }
+    ImportEntry entry;
+    entry.name = std::string(next_field(line));
+    const std::string_view digest_hex = next_field(line);
+    const auto digest = util::Digest128::from_hex(digest_hex);
+    if (!digest) {
+      throw ImportError("manifest: malformed digest '" +
+                        std::string(digest_hex) + "' for circuit '" +
+                        entry.name + "'");
+    }
+    entry.digest = *digest;
+    entry.n_qubits = parse_int<std::int32_t>(next_field(line), "qubit count");
+    entry.n_clbits = parse_int<std::int32_t>(next_field(line), "clbit count");
+    entry.n_gates = parse_int<std::uint64_t>(next_field(line), "gate count");
+    entry.n_bytes = parse_int<std::uint64_t>(next_field(line), "byte count");
+    entry.path = std::string(next_field(line, /*last=*/true));
+    if (entry.name.empty() || entry.path.empty()) {
+      throw ImportError("manifest: empty name or path field");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void save_manifest(const std::vector<ImportEntry>& entries,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw ImportError("import: cannot write manifest '" + path + "'");
+  }
+  out << write_manifest(entries);
+  if (!out) {
+    throw ImportError("import: failed writing manifest '" + path + "'");
+  }
+}
+
+std::vector<ImportEntry> load_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ImportError("import: cannot open manifest '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_manifest(text.str());
+}
+
+std::vector<sweep::CircuitSpec> load_circuits(
+    const std::vector<ImportEntry>& entries) {
+  std::vector<sweep::CircuitSpec> specs;
+  specs.reserve(entries.size());
+  for (const ImportEntry& entry : entries) {
+    std::ifstream file(entry.path, std::ios::binary);
+    if (!file) {
+      throw ImportError("import: cannot open '" + entry.path +
+                        "' (manifest entry '" + entry.name + "')");
+    }
+    cache::HashingStreamBuf hashing(file.rdbuf());
+    std::istream in(&hashing);
+    qasm::StreamParser parser(in, entry.path);
+    qasm::CircuitBuilder builder;
+    const qasm::StreamTotals totals = parser.run(builder);
+    const util::Digest128 digest = hashing.content_digest();
+    if (digest != entry.digest) {
+      throw ImportError("import: '" + entry.path +
+                        "' changed since it was imported (manifest digest " +
+                        entry.digest.hex() + ", file digest " + digest.hex() +
+                        "); re-run import to refresh the manifest");
+    }
+    specs.push_back({entry.name, builder.take(entry.name, totals)});
+  }
+  return specs;
+}
+
+}  // namespace parallax::importer

@@ -1,0 +1,75 @@
+// External-circuit import: turns OpenQASM files on disk into sweep axes.
+//
+// `import_file` streams a file once through qasm::StreamParser behind a
+// cache::HashingStreamBuf — counting qubits/clbits/gates and fingerprinting
+// the raw bytes in the same pass, O(1) memory in the gate count — and
+// records the result as a manifest entry. A manifest is a plain
+// tab-separated text file (one circuit per line, self-describing header),
+// stable under re-import of unchanged files, diff-friendly, and safe to
+// commit next to the circuits it describes.
+//
+// `load_circuits` is the consuming side: it re-parses each manifest entry
+// into a sweep::CircuitSpec, re-hashing the bytes while it parses and
+// refusing (ImportError) any file whose content digest no longer matches
+// the manifest — a sweep never silently runs on drifted inputs. The digest
+// is the same content fingerprint the persistent compilation cache keys on,
+// so "manifest verified" and "cache hit valid" are one notion of identity.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+#include "util/hash.hpp"
+
+namespace parallax::importer {
+
+class ImportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One imported circuit: identity (name + content digest) plus the totals
+/// the single-pass scan observed. `path` is kept verbatim as given at import
+/// time; relative paths resolve against the consumer's working directory.
+struct ImportEntry {
+  std::string name;            // circuit name: file stem
+  std::string path;            // file path as imported
+  util::Digest128 digest;      // content fingerprint of the raw bytes
+  std::int32_t n_qubits = 0;
+  std::int32_t n_clbits = 0;
+  std::uint64_t n_gates = 0;   // resolved gate events (post macro expansion)
+  std::uint64_t n_bytes = 0;   // file size consumed by the parser
+};
+
+/// Scans one QASM file: parse (validating the full grammar), count, and
+/// fingerprint in a single streaming pass. Never materializes the gate
+/// list. Throws ImportError if the file cannot be opened and
+/// qasm::ParseError (with path:line:column) if it does not parse.
+[[nodiscard]] ImportEntry import_file(const std::string& path);
+
+/// Renders entries in the manifest text format (header line + one
+/// tab-separated line per entry, in the given order).
+[[nodiscard]] std::string write_manifest(const std::vector<ImportEntry>& entries);
+
+/// Parses the write_manifest format. Throws ImportError on an unknown
+/// header, malformed line, or bad digest.
+[[nodiscard]] std::vector<ImportEntry> parse_manifest(std::string_view text);
+
+/// File convenience wrappers around write_manifest/parse_manifest.
+void save_manifest(const std::vector<ImportEntry>& entries,
+                   const std::string& path);
+[[nodiscard]] std::vector<ImportEntry> load_manifest(const std::string& path);
+
+/// Materializes every entry into a sweep circuit, re-verifying content: each
+/// file is parsed through the same hashing stream as import_file and must
+/// reproduce the manifest's digest exactly, else ImportError names the file
+/// and both digests. Circuit names come from the manifest, so per-circuit
+/// seed derivation is stable however the files are laid out on disk.
+[[nodiscard]] std::vector<sweep::CircuitSpec> load_circuits(
+    const std::vector<ImportEntry>& entries);
+
+}  // namespace parallax::importer

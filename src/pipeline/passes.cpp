@@ -7,6 +7,7 @@
 #include "baselines/static_schedule.hpp"
 #include "baselines/swap_router.hpp"
 #include "circuit/interaction_graph.hpp"
+#include "placement/windowed.hpp"
 #include "util/rng.hpp"
 
 namespace parallax::pipeline::passes {
@@ -71,10 +72,22 @@ Pass graphine_placement() {
                                      util::kPlacementSeedSalt);
     const circuit::InteractionGraph graph(ctx.result.circuit);
     placement::PlacementStats stats;
-    if (ctx.options.anneal_counter) {
-      ctx.options.anneal_counter->fetch_add(1, std::memory_order_relaxed);
+    if (placement::windowing_applies(graph, options)) {
+      ctx.normalized = placement::windowed_place(graph, options, &stats);
+      if (ctx.options.anneal_counter) {
+        ctx.options.anneal_counter->fetch_add(
+            static_cast<std::uint64_t>(stats.windows_annealed),
+            std::memory_order_relaxed);
+      }
+    } else {
+      // Normalized single-window path: max_window_qubits plays no role here,
+      // so its fingerprint stays byte-identical to pre-windowing builds.
+      if (ctx.options.anneal_counter) {
+        ctx.options.anneal_counter->fetch_add(1, std::memory_order_relaxed);
+      }
+      options.max_window_qubits = 0;
+      ctx.normalized = placement::graphine_place(graph, options, &stats);
     }
-    ctx.normalized = placement::graphine_place(graph, options, &stats);
     ctx.result.pass_timings.push_back({"anneal", stats.anneal_seconds, false});
   });
 }

@@ -50,6 +50,14 @@ struct GraphineOptions {
   /// chain. Fingerprint-visible only when non-default, so legacy cache
   /// keys are untouched.
   int chains = 1;
+  /// Windowed placement threshold: when positive and smaller than the
+  /// circuit's qubit count, the interaction graph is partitioned into
+  /// windows of at most this many qubits, each annealed independently and
+  /// stitched (placement/windowed.hpp). 0 disables windowing. Callers
+  /// normalize the field to 0 whenever the circuit fits in one window
+  /// (pipeline and sweep do), so it is fingerprint-visible only when the
+  /// windowed path actually runs and every legacy cache key is untouched.
+  int max_window_qubits = 0;
 };
 
 /// A placement in normalized coordinates plus the selected radius.
@@ -81,6 +89,11 @@ struct PlacementStats {
   int local_searches = 0;
   int iterations = 0;
   int chains = 1;
+  /// Windowed-placement accounting (placement/windowed.hpp): total windows
+  /// and how many were actually annealed here (the rest came from a cache
+  /// hook). Both stay 0 on the single-anneal path.
+  int windows = 0;
+  int windows_annealed = 0;
 };
 
 /// Runs the annealed placement for a circuit's interaction graph.

@@ -1,0 +1,73 @@
+// Windowed (hierarchical) placement for circuits too large to anneal as one
+// interaction graph (paper Sec. II-A scales as O(q^5); external million-gate
+// corpora routinely exceed what one anneal can absorb). The graph is
+// partitioned into connected windows of at most GraphineOptions::
+// max_window_qubits qubits (greedy heaviest-edge BFS from the
+// highest-degree unassigned seed), each window is annealed independently
+// with a content-derived seed, and the window layouts are stitched onto a
+// tile grid, flipping each tile among its four orientations to shorten the
+// cut edges. The final interaction radius is the bottleneck connect radius
+// of the stitched layout, exactly as in the single-window path.
+//
+// Determinism: partition order, per-window seeds, and stitching depend only
+// on the graph content and the options — never on thread count or timing.
+// Per-window results are independently cacheable through WindowHooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "circuit/interaction_graph.hpp"
+#include "placement/graphine.hpp"
+
+namespace parallax::placement {
+
+/// One window of the partition: member qubits as global indices, ascending.
+struct Window {
+  std::vector<std::int32_t> qubits;
+};
+
+/// Deterministically partitions `graph` into windows of at most `max_qubits`
+/// qubits. Seeds are the highest-weighted-degree unassigned qubits (index
+/// ascending on ties); windows grow by repeatedly absorbing the unassigned
+/// neighbor with the heaviest connection to the window so far. Isolated
+/// qubits are packed, ascending, into the windows with spare capacity and
+/// then into fresh windows. Requires max_qubits >= 1.
+[[nodiscard]] std::vector<Window> partition_windows(
+    const circuit::InteractionGraph& graph, std::int32_t max_qubits);
+
+/// Everything a cache tier needs to identify one window's anneal: the
+/// subgraph is reindexed over window.qubits (position i in `qubits` is
+/// subgraph node i) and `options` carries the effective per-window seed.
+struct WindowContext {
+  std::size_t index = 0;
+  const Window* window = nullptr;
+  const circuit::InteractionGraph* subgraph = nullptr;
+  const GraphineOptions* options = nullptr;
+};
+
+/// Optional per-window cache hooks (both may be empty). `lookup` runs before
+/// a window anneal and may return a stored layout (in window-local [0,1]^2
+/// coordinates) to skip it; `store` runs after a fresh anneal.
+struct WindowHooks {
+  std::function<std::optional<Topology>(const WindowContext&)> lookup;
+  std::function<void(const WindowContext&, const Topology&)> store;
+};
+
+/// True when `options` routes `graph` through the windowed path: a positive
+/// max_window_qubits smaller than the graph's qubit count.
+[[nodiscard]] bool windowing_applies(const circuit::InteractionGraph& graph,
+                                     const GraphineOptions& options) noexcept;
+
+/// Windowed placement of `graph`. Falls back to a plain graphine_place when
+/// windowing_applies() is false. `stats`, when non-null, accumulates anneal
+/// work across windows and reports windows/windows_annealed; `hooks`, when
+/// non-null, can serve and capture per-window layouts.
+[[nodiscard]] Topology windowed_place(const circuit::InteractionGraph& graph,
+                                      const GraphineOptions& options,
+                                      PlacementStats* stats = nullptr,
+                                      const WindowHooks* hooks = nullptr);
+
+}  // namespace parallax::placement

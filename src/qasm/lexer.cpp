@@ -1,157 +1,18 @@
 #include "qasm/lexer.hpp"
 
-#include <cctype>
-#include <charconv>
+#include "qasm/stream_lexer.hpp"
 
 namespace parallax::qasm {
 
 ParseError::ParseError(const std::string& message, int line, int column)
-    : std::runtime_error("qasm:" + std::to_string(line) + ":" +
+    : ParseError(message, "qasm", line, column) {}
+
+ParseError::ParseError(const std::string& message, const std::string& source,
+                       int line, int column)
+    : std::runtime_error(source + ":" + std::to_string(line) + ":" +
                          std::to_string(column) + ": " + message),
       line_(line),
       column_(column) {}
-
-namespace {
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view src) : src_(src) {}
-
-  std::vector<Token> run() {
-    std::vector<Token> tokens;
-    for (;;) {
-      skip_whitespace_and_comments();
-      if (at_end()) break;
-      tokens.push_back(next_token());
-    }
-    tokens.push_back(Token{TokenKind::kEof, "", 0.0, line_, column_});
-    return tokens;
-  }
-
- private:
-  [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
-  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-
-  char advance() noexcept {
-    const char c = src_[pos_++];
-    if (c == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-    return c;
-  }
-
-  void skip_whitespace_and_comments() {
-    for (;;) {
-      while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
-        advance();
-      }
-      if (peek() == '/' && peek(1) == '/') {
-        while (!at_end() && peek() != '\n') advance();
-        continue;
-      }
-      break;
-    }
-  }
-
-  Token next_token() {
-    const int line = line_;
-    const int column = column_;
-    const char c = peek();
-
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::string text;
-      while (!at_end() &&
-             (std::isalnum(static_cast<unsigned char>(peek())) ||
-              peek() == '_')) {
-        text += advance();
-      }
-      return {TokenKind::kIdentifier, std::move(text), 0.0, line, column};
-    }
-
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
-      return lex_number(line, column);
-    }
-
-    if (c == '"') {
-      advance();
-      std::string text;
-      while (!at_end() && peek() != '"') text += advance();
-      if (at_end()) throw ParseError("unterminated string", line, column);
-      advance();  // closing quote
-      return {TokenKind::kString, std::move(text), 0.0, line, column};
-    }
-
-    advance();
-    auto simple = [&](TokenKind kind, const char* text) {
-      return Token{kind, text, 0.0, line, column};
-    };
-    switch (c) {
-      case '(': return simple(TokenKind::kLParen, "(");
-      case ')': return simple(TokenKind::kRParen, ")");
-      case '{': return simple(TokenKind::kLBrace, "{");
-      case '}': return simple(TokenKind::kRBrace, "}");
-      case '[': return simple(TokenKind::kLBracket, "[");
-      case ']': return simple(TokenKind::kRBracket, "]");
-      case ';': return simple(TokenKind::kSemicolon, ";");
-      case ',': return simple(TokenKind::kComma, ",");
-      case '+': return simple(TokenKind::kPlus, "+");
-      case '*': return simple(TokenKind::kStar, "*");
-      case '/': return simple(TokenKind::kSlash, "/");
-      case '^': return simple(TokenKind::kCaret, "^");
-      case '-':
-        if (peek() == '>') {
-          advance();
-          return simple(TokenKind::kArrow, "->");
-        }
-        return simple(TokenKind::kMinus, "-");
-      case '=':
-        if (peek() == '=') {
-          advance();
-          return simple(TokenKind::kEqualEqual, "==");
-        }
-        throw ParseError("unexpected '='", line, column);
-      default:
-        throw ParseError(std::string("unexpected character '") + c + "'",
-                         line, column);
-    }
-  }
-
-  Token lex_number(int line, int column) {
-    std::string text;
-    while (!at_end() &&
-           (std::isdigit(static_cast<unsigned char>(peek())) ||
-            peek() == '.')) {
-      text += advance();
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      text += advance();
-      if (peek() == '+' || peek() == '-') text += advance();
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
-        text += advance();
-      }
-    }
-    double value = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(text.data(), text.data() + text.size(), value);
-    if (ec != std::errc{} || ptr != text.data() + text.size()) {
-      throw ParseError("malformed number '" + text + "'", line, column);
-    }
-    return {TokenKind::kNumber, std::move(text), value, line, column};
-  }
-
-  std::string_view src_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  int column_ = 1;
-};
-
-}  // namespace
 
 std::string to_string(TokenKind kind) {
   switch (kind) {
@@ -179,7 +40,15 @@ std::string to_string(TokenKind kind) {
 }
 
 std::vector<Token> tokenize(std::string_view source) {
-  return Lexer(source).run();
+  ViewStreamBuf buf(source);
+  std::istream in(&buf);
+  StreamLexer lexer(in, "qasm");
+  std::vector<Token> tokens;
+  for (;;) {
+    tokens.push_back(lexer.next());
+    if (tokens.back().kind == TokenKind::kEof) break;
+  }
+  return tokens;
 }
 
 }  // namespace parallax::qasm

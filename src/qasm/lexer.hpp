@@ -11,10 +11,14 @@
 
 namespace parallax::qasm {
 
-/// Thrown for any lexical or syntactic error; carries line/column.
+/// Thrown for any lexical or syntactic error; carries line/column. Messages
+/// are formatted "<source>:<line>:<column>: <message>" where <source> is the
+/// file path for parse_file / imports and "qasm" for in-memory sources.
 class ParseError : public std::runtime_error {
  public:
   ParseError(const std::string& message, int line, int column);
+  ParseError(const std::string& message, const std::string& source, int line,
+             int column);
 
   [[nodiscard]] int line() const noexcept { return line_; }
   [[nodiscard]] int column() const noexcept { return column_; }

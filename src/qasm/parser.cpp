@@ -2,562 +2,31 @@
 
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <numbers>
-#include <sstream>
+#include <stdexcept>
 #include <utility>
 
-#include "qasm/ast.hpp"
-#include "qasm/stdgates.hpp"
+#include "qasm/stream_parser.hpp"
 
 namespace parallax::qasm {
 
-namespace {
-
-struct Register {
-  std::int32_t offset = 0;  // first flat index
-  std::int32_t size = 0;
-};
-
-/// A qubit argument at a call site: a whole register or one element.
-struct QubitArg {
-  std::int32_t base = 0;   // flat index of element, or register offset
-  std::int32_t count = 1;  // 1 for indexed, register size for whole-register
-
-  [[nodiscard]] std::int32_t at(std::int32_t i) const noexcept {
-    return count == 1 ? base : base + i;
-  }
-};
-
-class Parser {
- public:
-  Parser(std::string_view source, std::string name)
-      : tokens_(tokenize(source)) {
-    circuit_name_ = std::move(name);
-  }
-
-  ParseResult run() {
-    parse_header();
-    while (!check(TokenKind::kEof)) parse_statement();
-    circuit::Circuit circuit(n_qubits_, circuit_name_);
-    circuit.replace_gates(std::move(gates_));
-    return ParseResult{std::move(circuit), n_clbits_};
-  }
-
- private:
-  // --- token plumbing -----------------------------------------------------
-  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
-    const std::size_t i = pos_ + ahead;
-    return i < tokens_.size() ? tokens_[i] : tokens_.back();
-  }
-  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
-  [[nodiscard]] bool check_ident(std::string_view text) const {
-    return peek().kind == TokenKind::kIdentifier && peek().text == text;
-  }
-
-  const Token& advance() {
-    const Token& t = tokens_[pos_];
-    if (pos_ + 1 < tokens_.size()) ++pos_;
-    return t;
-  }
-
-  const Token& expect(TokenKind kind, const std::string& what) {
-    if (!check(kind)) {
-      throw ParseError("expected " + what + ", got " + to_string(peek().kind) +
-                           (peek().text.empty() ? "" : " '" + peek().text + "'"),
-                       peek().line, peek().column);
-    }
-    return advance();
-  }
-
-  [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError(message, peek().line, peek().column);
-  }
-
-  // --- top level -----------------------------------------------------------
-  void parse_header() {
-    // The OPENQASM header is optional in practice (some emitted files omit
-    // it); accept and validate it when present.
-    if (check_ident("OPENQASM")) {
-      advance();
-      const Token& version = expect(TokenKind::kNumber, "version number");
-      if (version.value < 2.0 || version.value >= 3.0) {
-        throw ParseError("unsupported OPENQASM version " + version.text,
-                         version.line, version.column);
-      }
-      expect(TokenKind::kSemicolon, "';'");
-    }
-  }
-
-  void parse_statement() {
-    if (check_ident("include")) return parse_include();
-    if (check_ident("qreg")) return parse_reg(/*quantum=*/true);
-    if (check_ident("creg")) return parse_reg(/*quantum=*/false);
-    if (check_ident("gate")) return parse_gate_def(/*opaque=*/false);
-    if (check_ident("opaque")) return parse_gate_def(/*opaque=*/true);
-    if (check_ident("measure")) return parse_measure();
-    if (check_ident("barrier")) return parse_barrier();
-    if (check_ident("reset")) fail("reset is not supported");
-    if (check_ident("if")) fail("classical control (if) is not supported");
-    if (check(TokenKind::kIdentifier)) return parse_gate_call();
-    fail("unexpected token");
-  }
-
-  void parse_include() {
-    advance();  // include
-    const Token& file = expect(TokenKind::kString, "file name");
-    expect(TokenKind::kSemicolon, "';'");
-    if (file.text == "qelib1.inc") {
-      if (!qelib_loaded_) {
-        load_library(qelib1_source());
-        qelib_loaded_ = true;
-      }
-      return;
-    }
-    throw ParseError("cannot include '" + file.text +
-                         "' (only the embedded qelib1.inc is available)",
-                     file.line, file.column);
-  }
-
-  void load_library(std::string_view source) {
-    // Parse the library with a nested parser sharing the gate-definition
-    // table. The library contains only gate definitions.
-    Parser lib(source, "qelib1");
-    lib.gate_defs_ = std::move(gate_defs_);
-    while (!lib.check(TokenKind::kEof)) {
-      if (lib.check_ident("gate")) {
-        lib.parse_gate_def(false);
-      } else if (lib.check_ident("opaque")) {
-        lib.parse_gate_def(true);
-      } else {
-        lib.fail("library may contain only gate definitions");
-      }
-    }
-    gate_defs_ = std::move(lib.gate_defs_);
-  }
-
-  void parse_reg(bool quantum) {
-    advance();  // qreg / creg
-    const Token& name = expect(TokenKind::kIdentifier, "register name");
-    expect(TokenKind::kLBracket, "'['");
-    const Token& size = expect(TokenKind::kNumber, "register size");
-    expect(TokenKind::kRBracket, "']'");
-    expect(TokenKind::kSemicolon, "';'");
-    const auto n = static_cast<std::int32_t>(size.value);
-    if (n <= 0 || size.value != static_cast<double>(n)) {
-      throw ParseError("register size must be a positive integer", size.line,
-                       size.column);
-    }
-    auto& table = quantum ? qregs_ : cregs_;
-    if (table.count(name.text) || (quantum ? cregs_ : qregs_).count(name.text)) {
-      throw ParseError("duplicate register '" + name.text + "'", name.line,
-                       name.column);
-    }
-    auto& total = quantum ? n_qubits_ : n_clbits_;
-    table[name.text] = Register{total, n};
-    total += n;
-  }
-
-  // --- gate definitions ----------------------------------------------------
-  void parse_gate_def(bool opaque) {
-    advance();  // gate / opaque
-    const Token& name = expect(TokenKind::kIdentifier, "gate name");
-    GateDef def;
-    def.name = name.text;
-    def.opaque = opaque;
-
-    std::map<std::string, int> param_slots;
-    if (check(TokenKind::kLParen)) {
-      advance();
-      if (!check(TokenKind::kRParen)) {
-        for (;;) {
-          const Token& p = expect(TokenKind::kIdentifier, "parameter name");
-          param_slots[p.text] = def.n_params++;
-          if (!check(TokenKind::kComma)) break;
-          advance();
-        }
-      }
-      expect(TokenKind::kRParen, "')'");
-    }
-
-    std::map<std::string, int> arg_slots;
-    for (;;) {
-      const Token& a = expect(TokenKind::kIdentifier, "qubit argument");
-      arg_slots[a.text] = def.n_qubits++;
-      if (!check(TokenKind::kComma)) break;
-      advance();
-    }
-
-    if (opaque) {
-      expect(TokenKind::kSemicolon, "';'");
-    } else {
-      expect(TokenKind::kLBrace, "'{'");
-      while (!check(TokenKind::kRBrace)) {
-        def.body.push_back(parse_body_statement(param_slots, arg_slots));
-      }
-      expect(TokenKind::kRBrace, "'}'");
-    }
-
-    gate_defs_[def.name] = std::move(def);
-  }
-
-  BodyStatement parse_body_statement(
-      const std::map<std::string, int>& param_slots,
-      const std::map<std::string, int>& arg_slots) {
-    BodyStatement stmt;
-    if (check_ident("barrier")) {
-      advance();
-      stmt.is_barrier = true;
-      // Consume (and ignore) the argument list.
-      while (!check(TokenKind::kSemicolon)) advance();
-      expect(TokenKind::kSemicolon, "';'");
-      return stmt;
-    }
-    const Token& name = expect(TokenKind::kIdentifier, "gate name");
-    stmt.gate_name = name.text;
-    if (check(TokenKind::kLParen)) {
-      advance();
-      if (!check(TokenKind::kRParen)) {
-        for (;;) {
-          stmt.params.push_back(parse_expr(&param_slots));
-          if (!check(TokenKind::kComma)) break;
-          advance();
-        }
-      }
-      expect(TokenKind::kRParen, "')'");
-    }
-    for (;;) {
-      const Token& a = expect(TokenKind::kIdentifier, "qubit argument");
-      const auto it = arg_slots.find(a.text);
-      if (it == arg_slots.end()) {
-        throw ParseError("unknown qubit argument '" + a.text + "'", a.line,
-                         a.column);
-      }
-      stmt.argument_slots.push_back(it->second);
-      if (!check(TokenKind::kComma)) break;
-      advance();
-    }
-    expect(TokenKind::kSemicolon, "';'");
-    return stmt;
-  }
-
-  // --- parameter expressions ----------------------------------------------
-  // Grammar: expr := term (('+'|'-') term)*
-  //          term := factor (('*'|'/') factor)*
-  //          factor := unary ('^' factor)?          (right-assoc)
-  //          unary := '-' unary | primary
-  //          primary := number | pi | param | func '(' expr ')' | '(' expr ')'
-  ExprPtr parse_expr(const std::map<std::string, int>* param_slots) {
-    ExprPtr lhs = parse_term(param_slots);
-    while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
-      const bool add = check(TokenKind::kPlus);
-      advance();
-      auto node = std::make_unique<Expr>();
-      node->kind = add ? Expr::Kind::kAdd : Expr::Kind::kSub;
-      node->lhs = std::move(lhs);
-      node->rhs = parse_term(param_slots);
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  ExprPtr parse_term(const std::map<std::string, int>* param_slots) {
-    ExprPtr lhs = parse_factor(param_slots);
-    while (check(TokenKind::kStar) || check(TokenKind::kSlash)) {
-      const bool mul = check(TokenKind::kStar);
-      advance();
-      auto node = std::make_unique<Expr>();
-      node->kind = mul ? Expr::Kind::kMul : Expr::Kind::kDiv;
-      node->lhs = std::move(lhs);
-      node->rhs = parse_factor(param_slots);
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  ExprPtr parse_factor(const std::map<std::string, int>* param_slots) {
-    ExprPtr base = parse_unary(param_slots);
-    if (check(TokenKind::kCaret)) {
-      advance();
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kPow;
-      node->lhs = std::move(base);
-      node->rhs = parse_factor(param_slots);  // right associative
-      return node;
-    }
-    return base;
-  }
-
-  ExprPtr parse_unary(const std::map<std::string, int>* param_slots) {
-    if (check(TokenKind::kMinus)) {
-      advance();
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kNegate;
-      node->lhs = parse_unary(param_slots);
-      return node;
-    }
-    return parse_primary(param_slots);
-  }
-
-  ExprPtr parse_primary(const std::map<std::string, int>* param_slots) {
-    if (check(TokenKind::kNumber)) {
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kNumber;
-      node->number = advance().value;
-      return node;
-    }
-    if (check(TokenKind::kLParen)) {
-      advance();
-      ExprPtr inner = parse_expr(param_slots);
-      expect(TokenKind::kRParen, "')'");
-      return inner;
-    }
-    if (check(TokenKind::kIdentifier)) {
-      const Token& id = advance();
-      if (id.text == "pi") {
-        auto node = std::make_unique<Expr>();
-        node->kind = Expr::Kind::kNumber;
-        node->number = std::numbers::pi;
-        return node;
-      }
-      if (check(TokenKind::kLParen)) {  // function call
-        advance();
-        auto node = std::make_unique<Expr>();
-        node->kind = Expr::Kind::kCall;
-        node->func = id.text;
-        node->lhs = parse_expr(param_slots);
-        expect(TokenKind::kRParen, "')'");
-        return node;
-      }
-      if (param_slots != nullptr) {
-        const auto it = param_slots->find(id.text);
-        if (it != param_slots->end()) {
-          auto node = std::make_unique<Expr>();
-          node->kind = Expr::Kind::kParam;
-          node->param_index = it->second;
-          return node;
-        }
-      }
-      throw ParseError("unknown identifier '" + id.text + "' in expression",
-                       id.line, id.column);
-    }
-    fail("expected expression");
-  }
-
-  // --- statement-level gate calls -------------------------------------------
-  QubitArg parse_qubit_arg() {
-    const Token& name = expect(TokenKind::kIdentifier, "register name");
-    const auto it = qregs_.find(name.text);
-    if (it == qregs_.end()) {
-      throw ParseError("unknown quantum register '" + name.text + "'",
-                       name.line, name.column);
-    }
-    const Register& reg = it->second;
-    if (check(TokenKind::kLBracket)) {
-      advance();
-      const Token& idx = expect(TokenKind::kNumber, "index");
-      expect(TokenKind::kRBracket, "']'");
-      const auto i = static_cast<std::int32_t>(idx.value);
-      if (i < 0 || i >= reg.size) {
-        throw ParseError("index out of range for '" + name.text + "'",
-                         idx.line, idx.column);
-      }
-      return QubitArg{reg.offset + i, 1};
-    }
-    return QubitArg{reg.offset, reg.size};
-  }
-
-  std::pair<std::int32_t, std::int32_t> parse_clbit_arg() {
-    const Token& name = expect(TokenKind::kIdentifier, "register name");
-    const auto it = cregs_.find(name.text);
-    if (it == cregs_.end()) {
-      throw ParseError("unknown classical register '" + name.text + "'",
-                       name.line, name.column);
-    }
-    const Register& reg = it->second;
-    if (check(TokenKind::kLBracket)) {
-      advance();
-      const Token& idx = expect(TokenKind::kNumber, "index");
-      expect(TokenKind::kRBracket, "']'");
-      return {reg.offset + static_cast<std::int32_t>(idx.value), 1};
-    }
-    return {reg.offset, reg.size};
-  }
-
-  void parse_measure() {
-    advance();  // measure
-    const QubitArg src = parse_qubit_arg();
-    expect(TokenKind::kArrow, "'->'");
-    const auto [clbit, clcount] = parse_clbit_arg();
-    (void)clbit;
-    expect(TokenKind::kSemicolon, "';'");
-    if (src.count > 1 && clcount > 1 && src.count != clcount) {
-      fail("measure register size mismatch");
-    }
-    for (std::int32_t i = 0; i < src.count; ++i) {
-      gates_.push_back(circuit::Gate::measure(src.at(i)));
-    }
-  }
-
-  void parse_barrier() {
-    advance();  // barrier
-    // Arguments are parsed but the barrier applies circuit-wide in our IR
-    // (a conservative over-approximation that never reorders illegally).
-    if (!check(TokenKind::kSemicolon)) {
-      for (;;) {
-        (void)parse_qubit_arg();
-        if (!check(TokenKind::kComma)) break;
-        advance();
-      }
-    }
-    expect(TokenKind::kSemicolon, "';'");
-    gates_.push_back(circuit::Gate::barrier());
-  }
-
-  void parse_gate_call() {
-    const Token& name = advance();
-    std::vector<double> params;
-    if (check(TokenKind::kLParen)) {
-      advance();
-      if (!check(TokenKind::kRParen)) {
-        for (;;) {
-          params.push_back(parse_expr(nullptr)->eval({}));
-          if (!check(TokenKind::kComma)) break;
-          advance();
-        }
-      }
-      expect(TokenKind::kRParen, "')'");
-    }
-    std::vector<QubitArg> args;
-    for (;;) {
-      args.push_back(parse_qubit_arg());
-      if (!check(TokenKind::kComma)) break;
-      advance();
-    }
-    expect(TokenKind::kSemicolon, "';'");
-
-    // QASM2 broadcasting: whole registers iterate in lockstep; sizes of all
-    // whole-register arguments must match.
-    std::int32_t broadcast = 1;
-    for (const QubitArg& a : args) {
-      if (a.count > 1) {
-        if (broadcast != 1 && broadcast != a.count) {
-          throw ParseError("mismatched register sizes in gate call",
-                           name.line, name.column);
-        }
-        broadcast = a.count;
-      }
-    }
-    for (std::int32_t i = 0; i < broadcast; ++i) {
-      std::vector<std::int32_t> qubits;
-      qubits.reserve(args.size());
-      for (const QubitArg& a : args) qubits.push_back(a.at(i));
-      apply_gate(name, params, qubits, /*depth=*/0);
-    }
-  }
-
-  // --- macro expansion -------------------------------------------------------
-  void apply_gate(const Token& site, const std::vector<double>& params,
-                  const std::vector<std::int32_t>& qubits, int depth) {
-    if (depth > 64) {
-      throw ParseError("gate expansion too deep (recursive definition?)",
-                       site.line, site.column);
-    }
-    const std::string& name = site.text;
-
-    auto need = [&](std::size_t n_params, std::size_t n_qubits) {
-      if (params.size() != n_params || qubits.size() != n_qubits) {
-        throw ParseError("wrong arity for gate '" + name + "'", site.line,
-                         site.column);
-      }
-    };
-
-    // Builtins.
-    if (name == "U") {
-      need(3, 1);
-      gates_.push_back(
-          circuit::Gate::u3(qubits[0], params[0], params[1], params[2]));
-      return;
-    }
-    if (name == "CX") {
-      need(0, 2);
-      emit_cx(qubits[0], qubits[1]);
-      return;
-    }
-    // Native-gate interception: cz and swap map 1:1 onto the hardware IR, so
-    // expanding their qelib1 macro bodies would only add cancellable H pairs.
-    if (name == "cz" && gate_defs_.count(name)) {
-      need(0, 2);
-      gates_.push_back(circuit::Gate::cz(qubits[0], qubits[1]));
-      return;
-    }
-    if (name == "swap" && gate_defs_.count(name)) {
-      need(0, 2);
-      gates_.push_back(circuit::Gate::swap(qubits[0], qubits[1]));
-      return;
-    }
-
-    const auto it = gate_defs_.find(name);
-    if (it == gate_defs_.end()) {
-      throw ParseError("unknown gate '" + name + "'", site.line, site.column);
-    }
-    const GateDef& def = it->second;
-    if (def.opaque) {
-      throw ParseError("cannot expand opaque gate '" + name + "'", site.line,
-                       site.column);
-    }
-    if (static_cast<int>(params.size()) != def.n_params ||
-        static_cast<int>(qubits.size()) != def.n_qubits) {
-      throw ParseError("wrong arity for gate '" + name + "'", site.line,
-                       site.column);
-    }
-    for (const BodyStatement& stmt : def.body) {
-      if (stmt.is_barrier) continue;  // intra-macro barriers are ignored
-      std::vector<double> sub_params;
-      sub_params.reserve(stmt.params.size());
-      for (const ExprPtr& e : stmt.params) sub_params.push_back(e->eval(params));
-      std::vector<std::int32_t> sub_qubits;
-      sub_qubits.reserve(stmt.argument_slots.size());
-      for (int slot : stmt.argument_slots) {
-        sub_qubits.push_back(qubits[static_cast<std::size_t>(slot)]);
-      }
-      Token sub_site = site;  // keep source location for error messages
-      sub_site.text = stmt.gate_name;
-      apply_gate(sub_site, sub_params, sub_qubits, depth + 1);
-    }
-  }
-
-  void emit_cx(std::int32_t control, std::int32_t target) {
-    constexpr double kPi = std::numbers::pi;
-    gates_.push_back(circuit::Gate::u3(target, kPi / 2, 0.0, kPi));  // H
-    gates_.push_back(circuit::Gate::cz(control, target));
-    gates_.push_back(circuit::Gate::u3(target, kPi / 2, 0.0, kPi));  // H
-  }
-
-  std::vector<Token> tokens_;
-  std::size_t pos_ = 0;
-  std::string circuit_name_;
-  std::map<std::string, Register> qregs_;
-  std::map<std::string, Register> cregs_;
-  std::map<std::string, GateDef> gate_defs_;
-  std::vector<circuit::Gate> gates_;
-  std::int32_t n_qubits_ = 0;
-  std::int32_t n_clbits_ = 0;
-  bool qelib_loaded_ = false;
-};
-
-}  // namespace
-
 ParseResult parse(std::string_view source, std::string name) {
-  return Parser(source, std::move(name)).run();
+  ViewStreamBuf buf(source);
+  std::istream in(&buf);
+  StreamParser parser(in);
+  CircuitBuilder builder;
+  const StreamTotals totals = parser.run(builder);
+  return ParseResult{builder.take(std::move(name), totals), totals.n_clbits};
 }
 
 ParseResult parse_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse(buffer.str(), std::filesystem::path(path).stem().string());
+  StreamParser parser(in, path);
+  CircuitBuilder builder;
+  const StreamTotals totals = parser.run(builder);
+  return ParseResult{
+      builder.take(std::filesystem::path(path).stem().string(), totals),
+      totals.n_clbits};
 }
 
 }  // namespace parallax::qasm

@@ -1,7 +1,10 @@
-// Recursive-descent parser for OpenQASM 2.0. Produces a flat
-// circuit::Circuit in the {U3, CZ, SWAP, measure, barrier} representation:
-// custom `gate` macros are fully expanded; the native cz/swap idioms from
+// Whole-circuit convenience API over the streaming front end
+// (qasm::StreamParser): collects the resolved event stream into a flat
+// circuit::Circuit in the {U3, CZ, SWAP, measure, barrier} representation.
+// Custom `gate` macros are fully expanded; the native cz/swap idioms from
 // qelib1 are recognized and kept as native gates rather than re-decomposed.
+// Callers that must not materialize the whole gate list (million-gate
+// corpora) should drive StreamParser with their own visitor instead.
 //
 // Supported: OPENQASM header, include "qelib1.inc" (embedded), qreg/creg,
 // gate definitions with parameter expressions, gate calls with QASM2

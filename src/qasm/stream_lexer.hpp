@@ -1,0 +1,74 @@
+// Streaming lexer for OpenQASM 2.0: pulls bytes from a std::istream through
+// a fixed refill buffer and produces one token at a time, so lexing a
+// multi-hundred-MB file needs O(buffer + current token) memory. `tokenize`
+// (lexer.hpp) and both parsers are thin layers over this class.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qasm/token.hpp"
+
+namespace parallax::qasm {
+
+/// Read-only streambuf over caller-owned bytes; lets in-memory sources run
+/// through the streaming front end without copying.
+class ViewStreamBuf final : public std::streambuf {
+ public:
+  explicit ViewStreamBuf(std::string_view view) {
+    auto* base = const_cast<char*>(view.data());
+    setg(base, base, base + view.size());
+  }
+};
+
+class StreamLexer {
+ public:
+  static constexpr std::size_t kBufferSize = std::size_t{1} << 18;
+
+  /// `source_name` prefixes error positions ("file.qasm:3:7: ...").
+  StreamLexer(std::istream& in, std::string source_name);
+
+  /// Fills `out` with the next token, reusing its string capacity (the hot
+  /// interface: steady-state lexing performs no allocations). Returns kEof
+  /// forever once input is exhausted. Throws ParseError on lexical errors.
+  void next(Token& out);
+
+  /// Convenience wrapper returning a fresh token.
+  [[nodiscard]] Token next() {
+    Token out;
+    next(out);
+    return out;
+  }
+
+  [[nodiscard]] const std::string& source_name() const noexcept {
+    return source_name_;
+  }
+  /// Total bytes pulled from the underlying stream so far.
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() { return pos_ >= end_ && !refill(); }
+  bool refill();
+  [[nodiscard]] char peek(std::size_t ahead = 0);
+  char advance();
+  void skip_whitespace_and_comments();
+  void next_token(Token& out);
+  void lex_number(Token& out);
+
+  std::streambuf* src_;
+  std::string source_name_;
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace parallax::qasm

@@ -18,6 +18,9 @@
 #include "noise/model.hpp"
 #include "parallax/compiler.hpp"
 #include "placement/graphine.hpp"
+#include "placement/windowed.hpp"
+#include "qasm/stream_parser.hpp"
+#include "qasm/writer.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -176,6 +179,81 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
                legacy.wall_seconds * 1e3, fast.wall_seconds * 1e3,
                fast_speedup, mc4.wall_seconds * 1e3, mc4_per_chain * 1e3,
                mc4.objective, legacy.objective);
+
+  // --- Streaming QASM parse throughput ------------------------------------
+  // Writer-realistic source (full-precision angles, exactly what
+  // qasm::write emits) through the pull parser with a counting visitor —
+  // the import hot path. Min-of-3 wall, like the anneal A/B.
+  double qasm_wall = 1e300;
+  std::size_t qasm_bytes = 0;
+  std::uint64_t qasm_gates = 0;
+  {
+    util::Rng qrng(options.seed ^ 0x51A3u);
+    circuit::Circuit synthetic(256, "perf_parse");
+    constexpr int kParseGates = 200000;
+    for (int g = 0; g < kParseGates; ++g) {
+      const auto a = static_cast<std::int32_t>(qrng.next_below(256));
+      auto b = static_cast<std::int32_t>(qrng.next_below(256));
+      if (b == a) b = (a + 1) % 256;
+      if (g % 2 == 0) {
+        synthetic.u3(a, qrng.uniform(0.0, 6.28), qrng.uniform(-3.14, 3.14),
+                     qrng.uniform(0.0, 6.28));
+      } else {
+        synthetic.cz(a, b);
+      }
+    }
+    const std::string source = qasm::to_qasm(synthetic);
+    qasm_bytes = source.size();
+    class CountOnly final : public qasm::GateStreamVisitor {
+     public:
+      void on_gate(const circuit::Gate&) override {}
+    };
+    for (int r = 0; r < 3; ++r) {
+      qasm::ViewStreamBuf buf(source);
+      std::istream in(&buf);
+      qasm::StreamParser parser(in, "perf_parse.qasm");
+      CountOnly visitor;
+      const util::Stopwatch parse_watch;
+      const qasm::StreamTotals totals = parser.run(visitor);
+      qasm_wall = std::min(qasm_wall, parse_watch.seconds());
+      qasm_gates = totals.n_gates;
+    }
+    std::fprintf(log, "[perf] qasm parse: %.1f MB in %.1fms (%.0f MB/s)\n",
+                 static_cast<double>(qasm_bytes) / 1e6, qasm_wall * 1e3,
+                 qasm_wall > 0.0
+                     ? static_cast<double>(qasm_bytes) / 1e6 / qasm_wall
+                     : 0.0);
+  }
+
+  // --- Windowed placement on the gate circuit ------------------------------
+  // The hierarchical path external million-gate corpora compile through:
+  // partition, per-window anneals, tile stitch. Min-of-2 wall.
+  double windowed_wall = 1e300;
+  placement::PlacementStats windowed_stats;
+  double windowed_radius = 0.0;
+  {
+    placement::GraphineOptions wopts =
+        technique_placement_options("parallax-fast", options.seed,
+                                    circuit.name());
+    wopts.max_window_qubits = std::max(graph.n_qubits() / 4, 8);
+    for (int r = 0; r < 2; ++r) {
+      placement::PlacementStats stats;
+      const util::Stopwatch windowed_watch;
+      const placement::Topology topology =
+          placement::windowed_place(graph, wopts, &stats);
+      const double wall = windowed_watch.seconds();
+      if (wall < windowed_wall) {
+        windowed_wall = wall;
+        windowed_stats = stats;
+        windowed_radius = topology.interaction_radius;
+      }
+    }
+    std::fprintf(log,
+                 "[perf] windowed placement (cap %d): %d windows in %.1fms "
+                 "(vs %.1fms single anneal)\n",
+                 wopts.max_window_qubits, windowed_stats.windows,
+                 windowed_wall * 1e3, fast.wall_seconds * 1e3);
+  }
 
   // --- Sweep throughput, cold then warm, through a scratch cache ----------
   const auto config = hardware::HardwareConfig::quera_aquila_256();
@@ -363,6 +441,26 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
   anneal["mc4_per_chain_speedup_vs_legacy"] =
       mc4_per_chain > 0.0 ? legacy.wall_seconds / mc4_per_chain : 0.0;
   root["anneal"] = std::move(anneal);
+
+  auto qasm_node = util::JsonValue::object();
+  qasm_node["source_bytes"] = qasm_bytes;
+  qasm_node["gates"] = qasm_gates;
+  qasm_node["wall_seconds"] = qasm_wall;
+  qasm_node["mb_per_second"] =
+      qasm_wall > 0.0 ? static_cast<double>(qasm_bytes) / 1e6 / qasm_wall
+                      : 0.0;
+  qasm_node["gates_per_second"] =
+      qasm_wall > 0.0 ? static_cast<double>(qasm_gates) / qasm_wall : 0.0;
+  root["qasm_parse"] = std::move(qasm_node);
+
+  auto windowed_node = util::JsonValue::object();
+  windowed_node["windows"] = windowed_stats.windows;
+  windowed_node["windows_annealed"] = windowed_stats.windows_annealed;
+  windowed_node["wall_seconds"] = windowed_wall;
+  windowed_node["anneal_seconds"] = windowed_stats.anneal_seconds;
+  windowed_node["interaction_radius"] = windowed_radius;
+  windowed_node["single_anneal_wall_seconds"] = fast.wall_seconds;
+  root["windowed_placement"] = std::move(windowed_node);
 
   auto sweep_node = util::JsonValue::object();
   sweep_node["cells"] = cold.cells.size();

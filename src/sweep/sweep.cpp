@@ -13,6 +13,7 @@
 #include "circuit/interaction_graph.hpp"
 #include "circuit/transpile.hpp"
 #include "placement/graphine.hpp"
+#include "placement/windowed.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -70,13 +71,14 @@ class Memo {
 /// whose effective inputs or placement options diverge never share one.
 std::string placement_key(const std::string& input_key,
                           const placement::GraphineOptions& options) {
-  char buffer[208];
-  std::snprintf(buffer, sizeof(buffer), "|%d|%d|%.17g|%.17g|%d|%llu|%d|%d",
+  char buffer[224];
+  std::snprintf(buffer, sizeof(buffer), "|%d|%d|%.17g|%.17g|%d|%llu|%d|%d|%d",
                 options.anneal_iterations,
                 options.local_search_evaluations, options.crowding_distance,
                 options.crowding_weight, options.warm_start ? 1 : 0,
                 static_cast<unsigned long long>(options.seed),
-                static_cast<int>(options.proposal), options.chains);
+                static_cast<int>(options.proposal), options.chains,
+                options.max_window_qubits);
   return input_key + buffer;
 }
 
@@ -298,6 +300,13 @@ Result run(const std::vector<CircuitSpec>& circuits,
         placement::GraphineOptions popts = opts.placement;
         popts.seed = util::derive_seed(opts.seed, input->name(),
                                        util::kPlacementSeedSalt);
+        // Normalize before any key is derived: a window cap the circuit fits
+        // under changes nothing, so it must not perturb memo keys or the
+        // persistent fingerprint (which feeds the field only when non-zero).
+        if (popts.max_window_qubits > 0 &&
+            input->n_qubits() <= popts.max_window_qubits) {
+          popts.max_window_qubits = 0;
+        }
         const Stopwatch placement_watch;
         opts.preset_topology = placement_memo.get(
             placement_key(input_key, popts),
@@ -306,28 +315,58 @@ Result run(const std::vector<CircuitSpec>& circuits,
               // before paying for an anneal, and persist fresh anneals so
               // no future run repeats them.
               placement::PlacementStats stats;
+              cache::Digest128 key;
               if (persistent != nullptr) {
-                const cache::Digest128 key =
-                    cache::placement_key(*input_fp, popts);
+                key = cache::placement_key(*input_fp, popts);
                 if (auto stored = persistent->get_placement(key)) {
                   placement_disk_hits.fetch_add(1, std::memory_order_relaxed);
                   return std::move(*stored);
                 }
+              }
+              const circuit::InteractionGraph graph(*input);
+              placement::Topology topology;
+              if (placement::windowing_applies(graph, popts)) {
+                // Windowed path: each window's anneal is itself cached in
+                // the persistent tier, keyed by the reindexed subgraph's
+                // content plus its effective options — so even when the
+                // whole-placement key misses (say, one window's structure
+                // changed), every unchanged window replays from disk.
+                placement::WindowHooks hooks;
+                if (persistent != nullptr) {
+                  hooks.lookup = [&](const placement::WindowContext& wctx)
+                      -> std::optional<placement::Topology> {
+                    const cache::Digest128 wkey = cache::placement_key(
+                        cache::fingerprint(*wctx.subgraph), *wctx.options);
+                    if (auto stored = persistent->get_placement(wkey)) {
+                      placement_disk_hits.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                      return std::move(*stored);
+                    }
+                    return std::nullopt;
+                  };
+                  hooks.store = [&](const placement::WindowContext& wctx,
+                                    const placement::Topology& layout) {
+                    const cache::Digest128 wkey = cache::placement_key(
+                        cache::fingerprint(*wctx.subgraph), *wctx.options);
+                    persistent->put_placement(wkey, layout);
+                  };
+                }
+                topology = placement::windowed_place(
+                    graph, popts, &stats,
+                    persistent != nullptr ? &hooks : nullptr);
+                placement_annealed_here = stats.windows_annealed > 0;
+                anneal_counter->fetch_add(
+                    static_cast<std::uint64_t>(stats.windows_annealed),
+                    std::memory_order_relaxed);
+              } else {
                 placement_annealed_here = true;
                 anneal_counter->fetch_add(1, std::memory_order_relaxed);
-                const circuit::InteractionGraph graph(*input);
-                placement::Topology topology =
-                    placement::graphine_place(graph, popts, &stats);
-                placement_anneal_seconds = stats.anneal_seconds;
-                persistent->put_placement(key, topology);
-                return topology;
+                topology = placement::graphine_place(graph, popts, &stats);
               }
-              placement_annealed_here = true;
-              anneal_counter->fetch_add(1, std::memory_order_relaxed);
-              const circuit::InteractionGraph graph(*input);
-              placement::Topology topology =
-                  placement::graphine_place(graph, popts, &stats);
               placement_anneal_seconds = stats.anneal_seconds;
+              if (persistent != nullptr) {
+                persistent->put_placement(key, topology);
+              }
               return topology;
             },
             &sweep_result.placement_cache_hits,

@@ -37,6 +37,44 @@ constexpr Golden kGoldens[] = {
 
 }  // namespace
 
+// Fingerprint goldens: the digests every persistent-cache key derives from,
+// recorded before windowed placement and the streaming front end landed. A
+// change here silently invalidates (or worse, aliases) every existing cache
+// directory, so new fingerprint-visible fields must be fed conditionally —
+// only when non-default — like ProposalMode/chains and max_window_qubits.
+TEST(Goldens, LegacyFingerprintsAreByteStable) {
+  namespace pb = parallax::bench_circuits;
+  namespace pc = parallax::circuit;
+  namespace pk = parallax::cache;
+  namespace pp = parallax::placement;
+
+  EXPECT_EQ(pk::fingerprint(pp::GraphineOptions{}).hex(),
+            "842bb19d21fa30e04924c724d58d71a6");
+  EXPECT_EQ(pk::fingerprint(parallax::pipeline::CompileOptions{}).hex(),
+            "acc1310dc7ec9ecfeae37db9679dfb69");
+
+  const pc::Circuit wst = pc::transpile(pb::make_benchmark("WST", {}));
+  const pk::Digest128 wst_fp = pk::fingerprint(wst);
+  EXPECT_EQ(wst_fp.hex(), "c2606d893511fa1d1935b3f5e074933e");
+  EXPECT_EQ(pk::placement_key(wst_fp, pp::GraphineOptions{}).hex(),
+            "6382dc9309d9bb78b22499316a893a97");
+}
+
+TEST(Goldens, WindowCapIsFingerprintInvisibleWhenNormalized) {
+  namespace pk = parallax::cache;
+  namespace pp = parallax::placement;
+  // max_window_qubits is fed only when non-zero: callers normalize it to 0
+  // whenever the circuit fits one window, so every legacy digest above (and
+  // every cache entry written before windowing existed) stays valid.
+  pp::GraphineOptions options;
+  options.max_window_qubits = 0;
+  EXPECT_EQ(pk::fingerprint(options).hex(),
+            "842bb19d21fa30e04924c724d58d71a6");
+  options.max_window_qubits = 64;
+  EXPECT_NE(pk::fingerprint(options).hex(),
+            "842bb19d21fa30e04924c724d58d71a6");
+}
+
 TEST(Goldens, LegacyPlacementsAreByteStable) {
   namespace pb = parallax::bench_circuits;
   namespace pc = parallax::circuit;

@@ -1,0 +1,206 @@
+// Windowed placement tests: the partition must be a deterministic exact
+// cover respecting the size cap, the stitched layout must be valid and
+// reproducible, and the WindowHooks cache protocol must replay a layout
+// with zero new anneals — that is what makes per-window persistent caching
+// sound in the sweep layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/fingerprint.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/interaction_graph.hpp"
+#include "placement/graphine.hpp"
+#include "placement/windowed.hpp"
+
+namespace pc = parallax::circuit;
+namespace pp = parallax::placement;
+namespace pk = parallax::cache;
+
+namespace {
+
+/// 60 qubits, ring + chord structure: connected, non-trivial weights.
+pc::Circuit big_ring(std::int32_t n = 60) {
+  pc::Circuit c(n, "big_ring");
+  for (std::int32_t i = 0; i < n; ++i) {
+    c.cz(i, (i + 1) % n);
+    if (i % 3 == 0) c.cz(i, (i + 7) % n);
+    c.cz(i, (i + 1) % n);  // doubled ring edge: weight 2
+  }
+  return c;
+}
+
+/// Ring plus isolated qubits that never appear in a 2q gate.
+pc::Circuit with_isolated(std::int32_t active, std::int32_t isolated) {
+  pc::Circuit c(active + isolated, "with_isolated");
+  for (std::int32_t i = 0; i < active; ++i) c.cz(i, (i + 1) % active);
+  return c;
+}
+
+bool topologies_equal(const pp::Topology& a, const pp::Topology& b) {
+  if (a.interaction_radius != b.interaction_radius) return false;
+  if (a.positions.size() != b.positions.size()) return false;
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    if (a.positions[i].x != b.positions[i].x ||
+        a.positions[i].y != b.positions[i].y) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(WindowPartition, ExactCoverUnderCap) {
+  const pc::InteractionGraph graph(big_ring());
+  const std::int32_t cap = 16;
+  const auto windows = pp::partition_windows(graph, cap);
+  ASSERT_FALSE(windows.empty());
+
+  std::vector<int> seen(graph.n_qubits(), 0);
+  for (const pp::Window& w : windows) {
+    EXPECT_GE(w.qubits.size(), 1u);
+    EXPECT_LE(w.qubits.size(), static_cast<std::size_t>(cap));
+    for (std::size_t i = 0; i < w.qubits.size(); ++i) {
+      ASSERT_GE(w.qubits[i], 0);
+      ASSERT_LT(w.qubits[i], graph.n_qubits());
+      ++seen[w.qubits[i]];
+      // Members are listed ascending: the window is a canonical set.
+      if (i > 0) {
+        EXPECT_LT(w.qubits[i - 1], w.qubits[i]);
+      }
+    }
+  }
+  for (std::int32_t q = 0; q < graph.n_qubits(); ++q) {
+    EXPECT_EQ(seen[q], 1) << "qubit " << q << " covered wrong number of times";
+  }
+}
+
+TEST(WindowPartition, DeterministicAcrossCalls) {
+  const pc::InteractionGraph graph(big_ring());
+  const auto a = pp::partition_windows(graph, 16);
+  const auto b = pp::partition_windows(graph, 16);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w].qubits, b[w].qubits) << "window " << w;
+  }
+}
+
+TEST(WindowPartition, IsolatedQubitsAreStillCovered) {
+  const pc::InteractionGraph graph(with_isolated(20, 13));
+  const auto windows = pp::partition_windows(graph, 8);
+  std::vector<int> seen(graph.n_qubits(), 0);
+  for (const pp::Window& w : windows) {
+    EXPECT_LE(w.qubits.size(), 8u);
+    for (std::int32_t q : w.qubits) ++seen[q];
+  }
+  for (std::int32_t q = 0; q < graph.n_qubits(); ++q) {
+    EXPECT_EQ(seen[q], 1) << "qubit " << q;
+  }
+}
+
+TEST(Windowing, AppliesOnlyWhenCapBinds) {
+  const pc::InteractionGraph graph(big_ring(30));
+  pp::GraphineOptions options;
+  options.max_window_qubits = 0;
+  EXPECT_FALSE(pp::windowing_applies(graph, options));
+  options.max_window_qubits = 30;
+  EXPECT_FALSE(pp::windowing_applies(graph, options));
+  options.max_window_qubits = 64;
+  EXPECT_FALSE(pp::windowing_applies(graph, options));
+  options.max_window_qubits = 16;
+  EXPECT_TRUE(pp::windowing_applies(graph, options));
+}
+
+TEST(WindowedPlace, ValidAndDeterministic) {
+  const pc::InteractionGraph graph(big_ring());
+  pp::GraphineOptions options;
+  options.max_window_qubits = 16;
+  options.seed = 42;
+
+  pp::PlacementStats stats_a;
+  const pp::Topology a = pp::windowed_place(graph, options, &stats_a);
+  pp::PlacementStats stats_b;
+  const pp::Topology b = pp::windowed_place(graph, options, &stats_b);
+
+  ASSERT_EQ(a.positions.size(), static_cast<std::size_t>(graph.n_qubits()));
+  for (const auto& p : a.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+  EXPECT_GT(a.interaction_radius, 0.0);
+
+  EXPECT_TRUE(topologies_equal(a, b));
+  EXPECT_GT(stats_a.windows, 1);
+  EXPECT_EQ(stats_a.windows_annealed, stats_a.windows);
+  EXPECT_EQ(stats_b.windows, stats_a.windows);
+}
+
+TEST(WindowedPlace, FallsBackToSingleAnnealWhenCapDoesNotBind) {
+  const pc::InteractionGraph graph(big_ring(24));
+  pp::GraphineOptions options;
+  options.seed = 7;
+  options.max_window_qubits = 64;  // cap above n: single-window path
+
+  pp::PlacementStats stats;
+  const pp::Topology windowed = pp::windowed_place(graph, options, &stats);
+  const pp::Topology direct = pp::graphine_place(graph, options);
+  EXPECT_TRUE(topologies_equal(windowed, direct));
+  EXPECT_EQ(stats.windows_annealed, 0);
+}
+
+TEST(WindowedPlace, HooksReplayLayoutWithZeroAnneals) {
+  const pc::InteractionGraph graph(big_ring());
+  pp::GraphineOptions options;
+  options.max_window_qubits = 16;
+  options.seed = 42;
+
+  // First run: capture every window layout keyed exactly as the sweep layer
+  // keys its persistent tier (window subgraph fingerprint + options).
+  std::map<std::string, pp::Topology> store;
+  pp::WindowHooks capture;
+  capture.store = [&](const pp::WindowContext& wctx, const pp::Topology& t) {
+    store[pk::placement_key(pk::fingerprint(*wctx.subgraph), *wctx.options)
+              .hex()] = t;
+  };
+  pp::PlacementStats cold;
+  const pp::Topology first = pp::windowed_place(graph, options, &cold, &capture);
+  ASSERT_EQ(cold.windows_annealed, cold.windows);
+  ASSERT_EQ(store.size(), static_cast<std::size_t>(cold.windows));
+
+  // Second run: serve every window from the captured store. No anneals, and
+  // the stitched result is byte-identical.
+  pp::WindowHooks serve;
+  serve.lookup =
+      [&](const pp::WindowContext& wctx) -> std::optional<pp::Topology> {
+    const auto it = store.find(
+        pk::placement_key(pk::fingerprint(*wctx.subgraph), *wctx.options)
+            .hex());
+    if (it == store.end()) return std::nullopt;
+    return it->second;
+  };
+  pp::PlacementStats warm;
+  const pp::Topology second = pp::windowed_place(graph, options, &warm, &serve);
+  EXPECT_EQ(warm.windows, cold.windows);
+  EXPECT_EQ(warm.windows_annealed, 0);
+  EXPECT_TRUE(topologies_equal(first, second));
+}
+
+TEST(WindowedPlace, SeedChangesLayoutButNotPartition) {
+  const pc::InteractionGraph graph(big_ring());
+  pp::GraphineOptions a_opts;
+  a_opts.max_window_qubits = 16;
+  a_opts.seed = 1;
+  pp::GraphineOptions b_opts = a_opts;
+  b_opts.seed = 2;
+
+  const pp::Topology a = pp::windowed_place(graph, a_opts);
+  const pp::Topology b = pp::windowed_place(graph, b_opts);
+  EXPECT_FALSE(topologies_equal(a, b));
+}

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <numbers>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "circuit/transpile.hpp"
 #include "qasm/lexer.hpp"
 #include "qasm/parser.hpp"
+#include "qasm/stream_parser.hpp"
 #include "qasm/writer.hpp"
 
 namespace pq = parallax::qasm;
@@ -306,4 +310,64 @@ TEST(EndToEnd, QasmThroughTranspiler) {
   // h q0; then each cx contributes h-cz-h on target; adjacent h's across cx
   // boundaries on different qubits cannot merge, so u3 count is 1 + 2*3 = 7.
   EXPECT_EQ(out.u3_count(), 7u);
+}
+
+// --- error reporting: every ParseError names source:line:column ------------
+
+TEST(Errors, UnknownGateNamesSourceLineAndColumn) {
+  std::istringstream in(
+      "OPENQASM 2.0;\n"
+      "qreg q[2];\n"
+      "boop q[0];\n");
+  pq::StreamParser parser(in, "prog.qasm");
+  pq::CircuitBuilder sink;
+  try {
+    (void)parser.run(sink);
+    FAIL() << "expected ParseError";
+  } catch (const pq::ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 1);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("prog.qasm:3:1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown gate 'boop'"), std::string::npos) << what;
+  }
+}
+
+TEST(Errors, MismatchQuotesOffendingToken) {
+  try {
+    (void)pq::parse("qreg q[abc];");
+    FAIL() << "expected ParseError";
+  } catch (const pq::ParseError& e) {
+    // Default source name is "qasm"; "abc" sits at line 1, column 8.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("qasm:1:8:"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected"), std::string::npos) << what;
+    EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+  }
+}
+
+TEST(Errors, ColumnPointsMidLine) {
+  std::istringstream in("qreg q[1]; creg c[1]; measure q[0] -> c[5];\n");
+  pq::StreamParser parser(in, "m.qasm");
+  pq::CircuitBuilder sink;
+  try {
+    (void)parser.run(sink);
+    FAIL() << "expected ParseError";
+  } catch (const pq::ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_GT(e.column(), 20);  // failure is in the measure statement
+    EXPECT_NE(std::string(e.what()).find("m.qasm:1:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Errors, ParseFileNamesMissingPath) {
+  try {
+    (void)pq::parse_file("/nonexistent/missing_circuit.qasm");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing_circuit.qasm"),
+              std::string::npos)
+        << e.what();
+  }
 }

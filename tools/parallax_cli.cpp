@@ -9,6 +9,7 @@
 //   parallax_cli shard plan|run|merge [options]
 //   parallax_cli serve [start|spec|submit|stats|stop] [options]
 //   parallax_cli sim (--benchmark NAME | --circuit FILE.qasm) [options]
+//   parallax_cli import FILE.qasm... [--manifest OUT]
 //
 // Options:
 //   --machine quera256|atom1225   target machine preset (default quera256)
@@ -103,6 +104,18 @@
 //                 accepting, cancels in-flight work, flushes every done
 //                 frame, and unlinks its socket
 //
+// Import subcommand (the external-corpus front door, src/import): stream
+// each QASM file once — parse-validating, counting, and content-hashing in
+// one pass with O(1) memory in the gate count — and emit a tab-separated
+// manifest (stdout, or --manifest FILE). The manifest is then a circuit
+// axis anywhere benchmarks are: compile mode, shard plan, and serve spec
+// all take --import MANIFEST, re-verifying every file's digest at load so a
+// sweep never silently runs on drifted inputs. --window N (compile modes)
+// caps the placement anneal at N qubits per window (placement/windowed.hpp)
+// so million-gate imports stay tractable:
+//   import FILE.qasm... [--manifest OUT]
+//   --circuit/--benchmark ... --import MANIFEST --window N
+//
 // Sim subcommand (the discrete-event schedule simulator, src/sim): compiles
 // the circuit with recorded positions, replays it shot-by-shot with
 // per-event error channels, and prints the closed-form model probability
@@ -133,6 +146,7 @@
 #include "cache/cache.hpp"
 #include "hardware/config.hpp"
 #include "hardware/render.hpp"
+#include "import/manifest.hpp"
 #include "noise/model.hpp"
 #include "parallax/report.hpp"
 #include "parallax/validate.hpp"
@@ -191,6 +205,11 @@ struct CliOptions {
   // sim subcommand state
   bool sim_command = false;
   std::int64_t sim_shots = 4096;
+  // import subcommand / imported-circuit state
+  bool import_command = false;
+  std::string manifest_out;       // import --manifest OUT (empty => stdout)
+  std::string import_manifest;    // --import MANIFEST circuit axis
+  std::int32_t window = 0;        // --window N placement cap (0 = off)
   // bench subcommand state
   bool bench_command = false;
   std::string serve_mode = "auto";  // "auto" | "off" | a socket path
@@ -205,14 +224,16 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: %s (--benchmark NAME | --circuit FILE.qasm) "
-               "[--machine quera256|atom1225]\n"
-               "          [--technique NAME|all] "
-               "[--aod-count N] [--no-home-return]\n"
+               "usage: %s (--benchmark NAME | --circuit FILE.qasm | "
+               "--import MANIFEST)\n"
+               "          [--machine quera256|atom1225] "
+               "[--technique NAME|all]\n"
+               "          [--aod-count N] [--no-home-return] [--window N]\n"
                "          [--spread F] [--seed N] [--threads N] "
                "[--json [--layers]] [--render]\n"
                "          [--export-qasm FILE] [--cache-dir DIR] "
                "[--no-cache]\n"
+               "       %s import FILE.qasm... [--manifest OUT]\n"
                "       %s --list-techniques\n"
                "       %s cache (stats|clear|prewarm) [--cache-dir DIR]\n"
                "               (prewarm also takes --machine --technique "
@@ -258,7 +279,7 @@ struct CliOptions {
                "               [--cache-dir DIR] [--no-cache] "
                "[--max-disk-bytes N]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -341,6 +362,9 @@ CliOptions parse_cli(int argc, char** argv) {
     options.technique = "all";  // spec default: every technique
   } else if (argc > 1 && !std::strcmp(argv[1], "sim")) {
     options.sim_command = true;
+    first = 2;
+  } else if (argc > 1 && !std::strcmp(argv[1], "import")) {
+    options.import_command = true;
     first = 2;
   }
   auto need_value = [&](int& i) -> const char* {
@@ -440,10 +464,17 @@ CliOptions parse_cli(int argc, char** argv) {
       options.perf_json = need_value(i);
     } else if (!std::strcmp(arg, "--perf-baseline")) {
       options.perf_baseline = need_value(i);
+    } else if (!std::strcmp(arg, "--manifest")) {
+      options.manifest_out = need_value(i);
+    } else if (!std::strcmp(arg, "--import")) {
+      options.import_manifest = need_value(i);
+    } else if (!std::strcmp(arg, "--window")) {
+      options.window = positive_i32_flag(argv[0], "--window", need_value(i));
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(argv[0]);
     } else if (arg[0] != '-' &&
-               (options.shard_command == "merge" || options.bench_command)) {
+               (options.shard_command == "merge" || options.bench_command ||
+                options.import_command)) {
       options.inputs.push_back(arg);
     } else {
       usage(argv[0], (std::string("unknown option ") + arg).c_str());
@@ -542,9 +573,9 @@ CliOptions parse_cli(int argc, char** argv) {
   } else if (!options.shard_command.empty()) {
     if (options.shard_command == "plan") {
       allow_only("shard plan",
-                 {"--shards", "--out-dir", "--benchmarks", "--machine",
-                  "--technique", "--seed", "--spread", "--no-home-return",
-                  "--shots", "--aod-count"});
+                 {"--shards", "--out-dir", "--benchmarks", "--import",
+                  "--window", "--machine", "--technique", "--seed",
+                  "--spread", "--no-home-return", "--shots", "--aod-count"});
       if (options.shards == 0) usage(argv[0], "shard plan needs --shards N");
       if (options.out_dir.empty()) {
         usage(argv[0], "shard plan needs --out-dir DIR");
@@ -585,9 +616,9 @@ CliOptions parse_cli(int argc, char** argv) {
       }
     } else if (options.serve_command == "spec") {
       allow_only("serve spec",
-                 {"--out", "--benchmarks", "--machine", "--technique",
-                  "--seed", "--spread", "--no-home-return", "--shots",
-                  "--aod-count"});
+                 {"--out", "--benchmarks", "--import", "--window",
+                  "--machine", "--technique", "--seed", "--spread",
+                  "--no-home-return", "--shots", "--aod-count"});
       if (options.out_file.empty()) {
         usage(argv[0], "serve spec needs --out FILE");
       }
@@ -616,18 +647,31 @@ CliOptions parse_cli(int argc, char** argv) {
     if (options.benchmark.empty() == options.circuit_file.empty()) {
       usage(argv[0], "sim needs exactly one of --benchmark / --circuit");
     }
+  } else if (options.import_command) {
+    allow_only("import", {"--manifest", "--help", "-h"});
+    if (options.inputs.empty()) {
+      usage(argv[0], "import needs at least one FILE.qasm");
+    }
   } else {
     // Compile mode: reject the subcommand-only flags it would ignore.
     allow_only("compile mode",
-               {"--benchmark", "--circuit", "--machine", "--technique",
-                "--aod-count", "--no-home-return", "--spread", "--seed",
-                "--threads", "--json", "--layers", "--render",
-                "--list-techniques", "--export-qasm", "--cache-dir",
-                "--no-cache", "--max-disk-bytes", "--help", "-h"});
-    if (!options.list_techniques &&
-        options.benchmark.empty() == options.circuit_file.empty()) {
-      usage(argv[0], "exactly one of --benchmark / --circuit is required");
+               {"--benchmark", "--circuit", "--import", "--window",
+                "--machine", "--technique", "--aod-count", "--no-home-return",
+                "--spread", "--seed", "--threads", "--json", "--layers",
+                "--render", "--list-techniques", "--export-qasm",
+                "--cache-dir", "--no-cache", "--max-disk-bytes", "--help",
+                "-h"});
+    const int sources = (options.benchmark.empty() ? 0 : 1) +
+                        (options.circuit_file.empty() ? 0 : 1) +
+                        (options.import_manifest.empty() ? 0 : 1);
+    if (!options.list_techniques && sources != 1) {
+      usage(argv[0],
+            "exactly one of --benchmark / --circuit / --import is required");
     }
+  }
+  if (!options.import_manifest.empty() && !options.benchmarks_csv.empty()) {
+    usage(argv[0],
+          "--import and --benchmarks both name the circuit axis; pick one");
   }
   return options;
 }
@@ -702,9 +746,11 @@ void report_cache_line(const parallax::sweep::Result& swept,
                        const parallax::cache::CompilationCache& cache) {
   std::fprintf(stderr,
                "cache: %zu result hits, %zu result misses, %zu placements "
-               "from disk (%s)\n",
+               "from disk, anneals=%llu (%s)\n",
                swept.result_cache_hits, swept.result_cache_misses,
-               swept.placement_disk_hits, cache.directory().c_str());
+               swept.placement_disk_hits,
+               static_cast<unsigned long long>(swept.anneals),
+               cache.directory().c_str());
 }
 
 int run_cache_command(const CliOptions& cli, const char* argv0) {
@@ -792,13 +838,22 @@ parallax::shard::SweepSpec build_sweep_spec(const CliOptions& cli,
   parallax::bench_circuits::GenOptions gen;
   gen.seed = cli.seed;
   parallax::shard::SweepSpec spec;
-  spec.circuits =
-      parallax::sweep::benchmark_circuits(benchmark_acronyms(cli), gen);
+  if (!cli.import_manifest.empty()) {
+    // Imported circuits replace the benchmark suite as the circuit axis;
+    // load_circuits re-verifies every file's content digest against the
+    // manifest before anything compiles.
+    spec.circuits = parallax::importer::load_circuits(
+        parallax::importer::load_manifest(cli.import_manifest));
+  } else {
+    spec.circuits =
+        parallax::sweep::benchmark_circuits(benchmark_acronyms(cli), gen);
+  }
   spec.techniques = technique_list(cli, registry);
   spec.machines = {{cli.machine, machine_config(cli, argv0)}};
   spec.options.compile.seed = cli.seed;
   spec.options.compile.scheduler.return_home = cli.home_return;
   spec.options.compile.discretize.spread_factor = cli.spread;
+  spec.options.compile.placement.max_window_qubits = cli.window;
   if (cli.shots) spec.options.shots = parallax::shots::ShotOptions{};
   return spec;
 }
@@ -1057,6 +1112,40 @@ int run_serve_command(const CliOptions& cli, const char* argv0) {
   }
 }
 
+int run_import_command(const CliOptions& cli) {
+  namespace im = parallax::importer;
+  std::vector<im::ImportEntry> entries;
+  entries.reserve(cli.inputs.size());
+  for (const auto& path : cli.inputs) {
+    try {
+      entries.push_back(im::import_file(path));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "import failed: %s\n", error.what());
+      return 1;
+    }
+    const im::ImportEntry& entry = entries.back();
+    std::fprintf(stderr,
+                 "imported %s: %d qubits, %llu gates, %llu bytes, %s\n",
+                 entry.path.c_str(), entry.n_qubits,
+                 static_cast<unsigned long long>(entry.n_gates),
+                 static_cast<unsigned long long>(entry.n_bytes),
+                 entry.digest.hex().c_str());
+  }
+  const std::string manifest = im::write_manifest(entries);
+  if (cli.manifest_out.empty()) {
+    // Summary rides on stderr, so a bare `import a.qasm > m.tsv` works.
+    std::fputs(manifest.c_str(), stdout);
+    return 0;
+  }
+  if (!write_file(cli.manifest_out, manifest)) {
+    std::fprintf(stderr, "cannot write %s\n", cli.manifest_out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "manifest: %zu circuits -> %s\n", entries.size(),
+               cli.manifest_out.c_str());
+  return 0;
+}
+
 int run_sim_command(const CliOptions& cli, const char* argv0) {
   using namespace parallax;
   const technique::Registry& registry = technique::Registry::global();
@@ -1312,6 +1401,7 @@ int main(int argc, char** argv) {
   if (!cli.shard_command.empty()) return run_shard_command(cli, argv[0]);
   if (!cli.serve_command.empty()) return run_serve_command(cli, argv[0]);
   if (cli.sim_command) return run_sim_command(cli, argv[0]);
+  if (cli.import_command) return run_import_command(cli);
 
   if (cli.list_techniques) {
     for (const auto& name : registry.names()) {
@@ -1323,14 +1413,21 @@ int main(int argc, char** argv) {
 
   const hardware::HardwareConfig config = machine_config(cli, argv[0]);
 
-  sweep::CircuitSpec spec;
+  std::vector<sweep::CircuitSpec> specs;
   try {
     if (!cli.benchmark.empty()) {
       bench_circuits::GenOptions gen;
       gen.seed = cli.seed;
-      spec = {cli.benchmark, bench_circuits::make_benchmark(cli.benchmark, gen)};
+      specs.push_back(
+          {cli.benchmark, bench_circuits::make_benchmark(cli.benchmark, gen)});
+    } else if (!cli.circuit_file.empty()) {
+      specs.push_back(
+          {cli.circuit_file, qasm::parse_file(cli.circuit_file).circuit});
     } else {
-      spec = {cli.circuit_file, qasm::parse_file(cli.circuit_file).circuit};
+      // Digest-verified manifest load: every imported circuit is one row of
+      // the sweep's circuit axis.
+      specs = importer::load_circuits(
+          importer::load_manifest(cli.import_manifest));
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error loading circuit: %s\n", error.what());
@@ -1343,23 +1440,30 @@ int main(int argc, char** argv) {
   options.compile.seed = cli.seed;
   options.compile.scheduler.return_home = cli.home_return;
   options.compile.discretize.spread_factor = cli.spread;
+  options.compile.placement.max_window_qubits = cli.window;
   options.n_threads = cli.threads;
   options.cache = open_cache(cli);
 
   sweep::Result swept;
   try {
-    swept = sweep::run({spec}, techniques, {{cli.machine, config}}, options,
+    swept = sweep::run(specs, techniques, {{cli.machine, config}}, options,
                        registry);
   } catch (const technique::UnknownTechniqueError& error) {
     usage(argv[0], error.what());
   }
   if (options.cache) report_cache_line(swept, *options.cache);
 
+  std::string last_circuit;
   for (const auto& cell : swept.cells) {
     if (!cell.ok()) {
-      std::fprintf(stderr, "compilation failed (%s): %s\n",
-                   cell.technique.c_str(), cell.error.c_str());
+      std::fprintf(stderr, "compilation failed (%s/%s): %s\n",
+                   cell.circuit.c_str(), cell.technique.c_str(),
+                   cell.error.c_str());
       return 1;
+    }
+    if (!cli.json && specs.size() > 1 && cell.circuit != last_circuit) {
+      std::printf("%s:\n", cell.circuit.c_str());
+      last_circuit = cell.circuit;
     }
     if (cli.json) {
       compiler::ReportOptions report_options;
