@@ -128,7 +128,31 @@ struct VisitConstants {
     const double den = std::exp(tail_exponent * std::log(std::abs(y)));
     return den != 0.0 ? x / den : x;
   }
+
+  /// The same heavy-tailed step assembled from two pre-drawn normals (the
+  /// batched stream's layout: numerator first, tail normal second).
+  [[nodiscard]] double step_from(double num, double tail,
+                                 double sigma_x) const {
+    const double x = sigma_x * num;
+    const double den = std::exp(tail_exponent * std::log(std::abs(tail)));
+    return den != 0.0 ? x / den : x;
+  }
 };
+
+/// Fills `out[0, count)` with standard normals via Box-Muller, keeping BOTH
+/// halves of every pair (util::Rng::normal draws the same u1/u2 but discards
+/// the sin half — one of the reasons the batched walk is a distinct stream).
+void fill_normals(util::Rng& rng, double* out, std::size_t count) {
+  std::size_t i = 0;
+  while (i < count) {
+    double u1 = rng.next_double();
+    while (u1 <= 0.0) u1 = rng.next_double();
+    const double u2 = rng.next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    out[i++] = r * std::cos(2.0 * std::numbers::pi * u2);
+    if (i < count) out[i++] = r * std::sin(2.0 * std::numbers::pi * u2);
+  }
+}
 
 }  // namespace
 
@@ -138,6 +162,11 @@ AnnealResult dual_annealing(const Objective& f,
                             const DualAnnealingOptions& options) {
   const std::size_t n = lower.size();
   validate(lower, upper, n, options);
+  if (options.batched_proposals) {
+    throw std::invalid_argument(
+        "dual_annealing: batched_proposals requires the incremental "
+        "(single-coordinate) overload");
+  }
   util::Rng rng(options.seed);
 
   auto clamp_wrap = [&](std::vector<double>& x) {
@@ -323,6 +352,22 @@ AnnealResult dual_annealing(IncrementalObjective& objective,
   std::int64_t accepted_since_local = 0;
 
   const auto run_local_search = [&] {
+    if (options.batched_proposals) {
+      // Lean simplex over the shared incremental interface: O(n) per
+      // iteration bookkeeping, probes scored with objective.full().
+      LocalResult local =
+          nelder_mead(objective, best.x, lower, upper, options.local_options);
+      ++best.local_searches;
+      best.evaluations += local.evaluations;
+      if (local.value < best.value) {
+        best.x = std::move(local.x);
+        best.value = local.value;
+        current = best.x;
+        current_value = objective.reset(current);
+        ++best.evaluations;
+      }
+      return;
+    }
     LocalResult local =
         nelder_mead(polish, best.x, lower, upper, options.local_options);
     ++best.local_searches;
@@ -334,6 +379,19 @@ AnnealResult dual_annealing(IncrementalObjective& objective,
       ++best.evaluations;
     }
   };
+
+  // Batched proposal staging: every draw an outer iteration needs, in a
+  // fixed layout (4 normals per site: x numerator, x tail, y numerator, y
+  // tail; then one acceptance uniform per site), from a counter-based
+  // stream keyed on the iteration number alone — so the accept loop below
+  // is branch-light and the sequence never depends on acceptance history
+  // or on the SIMD width of the scoring kernels.
+  std::vector<double> normals, uniforms, steps;
+  if (options.batched_proposals) {
+    normals.resize(4 * sites);
+    uniforms.resize(sites);
+    steps.resize(2 * sites);
+  }
 
   int k = 0;
   for (int iter = 0; iter < options.max_iterations; ++iter, ++k) {
@@ -347,10 +405,32 @@ AnnealResult dual_annealing(IncrementalObjective& objective,
     const double sigma = visit.sigma(qv, temperature);
     const double t_accept = temperature / static_cast<double>(k + 1);
 
+    if (options.batched_proposals) {
+      // `iter` (not the reanneal-reset k) keys the block so every outer
+      // iteration consumes a distinct stream.
+      util::Rng block(util::derive_seed(options.seed, "visit-block",
+                                        static_cast<std::uint64_t>(iter)));
+      fill_normals(block, normals.data(), normals.size());
+      for (std::size_t q = 0; q < sites; ++q) {
+        uniforms[q] = block.next_double();
+      }
+      for (std::size_t j = 0; j < 2 * sites; ++j) {
+        steps[j] = std::clamp(
+            visit.step_from(normals[2 * j], normals[2 * j + 1], sigma), -1e8,
+            1e8);
+      }
+    }
+
     for (std::size_t q = 0; q < sites; ++q) {
       const std::size_t xi = 2 * q, yi = 2 * q + 1;
-      const double sx = std::clamp(visit.step(rng, sigma), -1e8, 1e8);
-      const double sy = std::clamp(visit.step(rng, sigma), -1e8, 1e8);
+      double sx, sy;
+      if (options.batched_proposals) {
+        sx = steps[xi];
+        sy = steps[yi];
+      } else {
+        sx = std::clamp(visit.step(rng, sigma), -1e8, 1e8);
+        sy = std::clamp(visit.step(rng, sigma), -1e8, 1e8);
+      }
       const double cx = wrap(current[xi] + sx * (upper[xi] - lower[xi]) * 1e-2,
                              lower[xi], upper[xi]);
       const double cy = wrap(current[yi] + sy * (upper[yi] - lower[yi]) * 1e-2,
@@ -366,7 +446,9 @@ AnnealResult dual_annealing(IncrementalObjective& objective,
         const double base = 1.0 + (qa - 1.0) * delta;
         if (base > 0.0) {
           const double p = std::exp(std::log(base) / (1.0 - qa));
-          accept = rng.next_double() < std::min(1.0, p);
+          const double u = options.batched_proposals ? uniforms[q]
+                                                     : rng.next_double();
+          accept = u < std::min(1.0, p);
         }
       }
 

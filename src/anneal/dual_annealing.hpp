@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "anneal/nelder_mead.hpp"
@@ -48,6 +49,25 @@ struct DualAnnealingOptions {
   /// instead of a uniform random draw (and the final answer is never worse
   /// than the local refinement of this state).
   std::optional<std::vector<double>> initial;
+  /// Batched proposal generation (single-coordinate overload only): each
+  /// outer iteration draws all of its visit normals and acceptance uniforms
+  /// up front from a counter-based stream (derive_seed(seed, "visit-block",
+  /// iteration)), so the accept loop carries no RNG calls and the draw order
+  /// is independent of acceptance decisions and SIMD vector width. A
+  /// different (still deterministic) random walk than the per-site stream —
+  /// callers expose it only behind fingerprint-visible modes. Local search
+  /// uses the lean incremental Nelder-Mead overload.
+  bool batched_proposals = false;
+};
+
+/// Per-optimizer accounting of a portfolio race (see anneal/portfolio.hpp).
+struct EntrantAccount {
+  std::string name;
+  double value = 0.0;
+  double wall_seconds = 0.0;
+  std::int64_t evaluations = 0;
+  std::int64_t delta_evaluations = 0;
+  bool winner = false;
 };
 
 struct AnnealResult {
@@ -62,6 +82,11 @@ struct AnnealResult {
   std::int64_t delta_evaluations = 0;
   /// Times the temperature schedule re-annealed from the hot end.
   int restarts = 0;
+  /// Portfolio accounting, filled only by anneal::race: the winning
+  /// entrant's name and every entrant's budget spend (wall time is
+  /// observational — selection never reads it).
+  std::string winner;
+  std::vector<EntrantAccount> entrants;
 };
 
 /// Minimizes `f` over the box [lower, upper]^n (full-vector proposals).

@@ -1,0 +1,212 @@
+#include "anneal/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "anneal/kernels_impl.hpp"
+
+namespace parallax::anneal::kernels {
+
+namespace detail {
+// Implemented in kernels_avx2.cpp (the only TU built with -mavx2).
+bool avx2_tu_compiled() noexcept;
+void avx2_edge_terms_gather(const std::int32_t* idx, const double* w,
+                            std::size_t count, double px, double py,
+                            const double* xs, const double* ys,
+                            double* out) noexcept;
+void avx2_edge_terms_pairs(const std::int32_t* a, const std::int32_t* b,
+                           const double* w, std::size_t count,
+                           const double* xs, const double* ys,
+                           double* out) noexcept;
+std::size_t avx2_crowding_terms_excluding_self(
+    const std::int32_t* idx, std::size_t count, std::int32_t self, double px,
+    double py, const double* xs, const double* ys, double d_min, double denom,
+    double weight, double* out) noexcept;
+std::size_t avx2_crowding_terms_above_self(
+    const std::int32_t* idx, std::size_t count, std::int32_t self, double px,
+    double py, const double* xs, const double* ys, double d_min, double denom,
+    double weight, double* out) noexcept;
+}  // namespace detail
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool sse2_usable() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return true;  // SSE2 is the x86-64 baseline.
+#else
+  return false;
+#endif
+}
+
+Lane widest_available() noexcept {
+  if (detail::avx2_tu_compiled() && cpu_has_avx2()) return Lane::kAvx2;
+  if (sse2_usable()) return Lane::kSse2;
+  return Lane::kScalar;
+}
+
+// Resolves PARALLAX_SIMD once; unknown or unavailable values warn to stderr
+// and fall back to auto (the widest available lane).
+Lane resolve_env_lane() noexcept {
+  const char* raw = std::getenv("PARALLAX_SIMD");
+  if (raw == nullptr || *raw == '\0' || std::strcmp(raw, "auto") == 0) {
+    return widest_available();
+  }
+  if (std::strcmp(raw, "scalar") == 0) return Lane::kScalar;
+  if (std::strcmp(raw, "sse2") == 0 && lane_available(Lane::kSse2)) {
+    return Lane::kSse2;
+  }
+  if (std::strcmp(raw, "avx2") == 0 && lane_available(Lane::kAvx2)) {
+    return Lane::kAvx2;
+  }
+  std::fprintf(stderr,
+               "parallax: PARALLAX_SIMD=%s is unknown or unavailable on this "
+               "CPU; using %s\n",
+               raw, lane_name(widest_available()));
+  return widest_available();
+}
+
+// -1 means "not forced"; tests pin a lane through force_lane().
+std::atomic<int> g_forced_lane{-1};
+
+}  // namespace
+
+const char* lane_name(Lane lane) noexcept {
+  switch (lane) {
+    case Lane::kScalar:
+      return "scalar";
+    case Lane::kSse2:
+      return "sse2";
+    case Lane::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool lane_available(Lane lane) noexcept {
+  switch (lane) {
+    case Lane::kScalar:
+      return true;
+    case Lane::kSse2:
+      return sse2_usable();
+    case Lane::kAvx2:
+      return detail::avx2_tu_compiled() && cpu_has_avx2();
+  }
+  return false;
+}
+
+Lane active_lane() noexcept {
+  const int forced = g_forced_lane.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Lane>(forced);
+  static const Lane resolved = resolve_env_lane();
+  return resolved;
+}
+
+void force_lane(Lane lane) {
+  if (!lane_available(lane)) {
+    throw std::invalid_argument(std::string("kernels::force_lane: lane '") +
+                                lane_name(lane) +
+                                "' is unavailable on this build/CPU");
+  }
+  g_forced_lane.store(static_cast<int>(lane), std::memory_order_relaxed);
+}
+
+void clear_forced_lane() noexcept {
+  g_forced_lane.store(-1, std::memory_order_relaxed);
+}
+
+void edge_terms_gather(const std::int32_t* idx, const double* w,
+                       std::size_t count, double px, double py,
+                       const double* xs, const double* ys,
+                       double* out) noexcept {
+  switch (active_lane()) {
+    case Lane::kAvx2:
+      detail::avx2_edge_terms_gather(idx, w, count, px, py, xs, ys, out);
+      return;
+#if defined(__x86_64__) || defined(_M_X64)
+    case Lane::kSse2:
+      detail::edge_terms_gather_impl<detail::Sse2Lane>(idx, w, count, px, py,
+                                                       xs, ys, out);
+      return;
+#endif
+    default:
+      detail::edge_terms_gather_impl<detail::ScalarLane>(idx, w, count, px, py,
+                                                         xs, ys, out);
+      return;
+  }
+}
+
+void edge_terms_pairs(const std::int32_t* a, const std::int32_t* b,
+                      const double* w, std::size_t count, const double* xs,
+                      const double* ys, double* out) noexcept {
+  switch (active_lane()) {
+    case Lane::kAvx2:
+      detail::avx2_edge_terms_pairs(a, b, w, count, xs, ys, out);
+      return;
+#if defined(__x86_64__) || defined(_M_X64)
+    case Lane::kSse2:
+      detail::edge_terms_pairs_impl<detail::Sse2Lane>(a, b, w, count, xs, ys,
+                                                      out);
+      return;
+#endif
+    default:
+      detail::edge_terms_pairs_impl<detail::ScalarLane>(a, b, w, count, xs, ys,
+                                                        out);
+      return;
+  }
+}
+
+std::size_t crowding_terms_excluding_self(const std::int32_t* idx,
+                                          std::size_t count, std::int32_t self,
+                                          double px, double py,
+                                          const double* xs, const double* ys,
+                                          double d_min, double denom,
+                                          double weight, double* out) noexcept {
+  switch (active_lane()) {
+    case Lane::kAvx2:
+      return detail::avx2_crowding_terms_excluding_self(
+          idx, count, self, px, py, xs, ys, d_min, denom, weight, out);
+#if defined(__x86_64__) || defined(_M_X64)
+    case Lane::kSse2:
+      return detail::crowding_terms_impl<detail::Sse2Lane, false>(
+          idx, count, self, px, py, xs, ys, d_min, denom, weight, out);
+#endif
+    default:
+      return detail::crowding_terms_impl<detail::ScalarLane, false>(
+          idx, count, self, px, py, xs, ys, d_min, denom, weight, out);
+  }
+}
+
+std::size_t crowding_terms_above_self(const std::int32_t* idx,
+                                      std::size_t count, std::int32_t self,
+                                      double px, double py, const double* xs,
+                                      const double* ys, double d_min,
+                                      double denom, double weight,
+                                      double* out) noexcept {
+  switch (active_lane()) {
+    case Lane::kAvx2:
+      return detail::avx2_crowding_terms_above_self(
+          idx, count, self, px, py, xs, ys, d_min, denom, weight, out);
+#if defined(__x86_64__) || defined(_M_X64)
+    case Lane::kSse2:
+      return detail::crowding_terms_impl<detail::Sse2Lane, true>(
+          idx, count, self, px, py, xs, ys, d_min, denom, weight, out);
+#endif
+    default:
+      return detail::crowding_terms_impl<detail::ScalarLane, true>(
+          idx, count, self, px, py, xs, ys, d_min, denom, weight, out);
+  }
+}
+
+}  // namespace parallax::anneal::kernels

@@ -1,0 +1,83 @@
+// Batched distance/edge-cost kernels for the anneal hot loops, dispatched at
+// runtime over SIMD lanes (scalar / SSE2 / AVX2). Every kernel computes the
+// *same per-term doubles* as the scalar expressions in
+// placement::DeltaPlacementObjective — sub/mul/add/div/sqrt are all IEEE-754
+// correctly rounded elementwise, the kernel translation units are compiled
+// with -ffp-contract=off (no FMA contraction), and term accumulation stays in
+// util::ExactSum (whose add/subtract are associative) — so kernel output is
+// bit-identical to the scalar path on every lane, which is what keeps cached
+// fingerprints and goldens valid regardless of the host CPU. Locked by the
+// cross-lane fuzz tests in tests/test_kernels.cpp.
+//
+// Lane selection: widest available lane by default (AVX2 when the binary
+// carries the AVX2 translation unit and the CPU reports support, else SSE2 on
+// x86-64, else the portable scalar fallback). The PARALLAX_SIMD environment
+// knob (scalar|sse2|avx2|auto) overrides the choice for CI legs and bit-
+// identity tests; tests can also force a lane programmatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parallax::anneal::kernels {
+
+enum class Lane : std::uint8_t {
+  kScalar = 0,  // portable 4-wide manually unrolled fallback
+  kSse2 = 1,    // 2x2 doubles per step (x86-64 baseline)
+  kAvx2 = 2,    // 4 doubles per step, hardware gather
+};
+
+/// Stable lowercase name ("scalar", "sse2", "avx2") — the PARALLAX_SIMD
+/// vocabulary and the perf-snapshot field value.
+[[nodiscard]] const char* lane_name(Lane lane) noexcept;
+
+/// Whether this build + CPU can run the lane (kScalar is always available).
+[[nodiscard]] bool lane_available(Lane lane) noexcept;
+
+/// The lane every kernel below currently dispatches to. Resolved once from
+/// PARALLAX_SIMD (an unavailable or unknown value falls back to the widest
+/// available lane, with a one-time stderr note), unless a test forced one.
+[[nodiscard]] Lane active_lane() noexcept;
+
+/// Test hook: pin dispatch to `lane` until clear_forced_lane(). Throws
+/// std::invalid_argument if the lane is unavailable on this build/CPU. Not
+/// thread-safe against concurrent kernel calls — tests only.
+void force_lane(Lane lane);
+void clear_forced_lane() noexcept;
+
+// --- kernels ------------------------------------------------------------------
+// out[i] = w[i] * sqrt((px - xs[idx[i]])^2 + (py - ys[idx[i]])^2)
+// (the per-qubit CSR adjacency gather of DeltaPlacementObjective::propose).
+void edge_terms_gather(const std::int32_t* idx, const double* w,
+                       std::size_t count, double px, double py,
+                       const double* xs, const double* ys,
+                       double* out) noexcept;
+
+// out[e] = w[e] * sqrt((xs[a[e]] - xs[b[e]])^2 + (ys[a[e]] - ys[b[e]])^2)
+// (the full re-score edge loop over the SoA edge list).
+void edge_terms_pairs(const std::int32_t* a, const std::int32_t* b,
+                      const double* w, std::size_t count, const double* xs,
+                      const double* ys, double* out) noexcept;
+
+// Crowding-grid neighbor scan: for each candidate j = idx[i], computes
+// dsq = (px - xs[j])^2 + (py - ys[j])^2 and, when dsq < denom and j passes
+// the exclusion rule, appends weight * v * v / denom with v = d_min -
+// sqrt(dsq) to `out` (caller guarantees capacity >= count). Returns the
+// number of terms appended. Two exclusion rules match the two scalar loops:
+//   * excluding_self: skips j == self (propose's scan against all others);
+//   * above_self:     keeps only j > self (the pair-dedup full re-score).
+std::size_t crowding_terms_excluding_self(const std::int32_t* idx,
+                                          std::size_t count, std::int32_t self,
+                                          double px, double py,
+                                          const double* xs, const double* ys,
+                                          double d_min, double denom,
+                                          double weight, double* out) noexcept;
+
+std::size_t crowding_terms_above_self(const std::int32_t* idx,
+                                      std::size_t count, std::int32_t self,
+                                      double px, double py, const double* xs,
+                                      const double* ys, double d_min,
+                                      double denom, double weight,
+                                      double* out) noexcept;
+
+}  // namespace parallax::anneal::kernels

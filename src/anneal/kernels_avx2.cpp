@@ -1,0 +1,78 @@
+// The only translation unit built with -mavx2 (plus -ffp-contract=off, see
+// CMakeLists.txt). When the toolchain lacks -mavx2 support this file still
+// compiles — the __AVX2__ guard swaps in never-called stubs and
+// avx2_tu_compiled() reports false, so runtime dispatch simply skips the
+// lane. Nothing here may be called unless avx2_tu_compiled() && the CPU
+// reports AVX2; kernels.cpp enforces that.
+#include "anneal/kernels_impl.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parallax::anneal::kernels::detail {
+
+#if defined(__AVX2__)
+
+bool avx2_tu_compiled() noexcept { return true; }
+
+void avx2_edge_terms_gather(const std::int32_t* idx, const double* w,
+                            std::size_t count, double px, double py,
+                            const double* xs, const double* ys,
+                            double* out) noexcept {
+  edge_terms_gather_impl<Avx2Lane>(idx, w, count, px, py, xs, ys, out);
+}
+
+void avx2_edge_terms_pairs(const std::int32_t* a, const std::int32_t* b,
+                           const double* w, std::size_t count,
+                           const double* xs, const double* ys,
+                           double* out) noexcept {
+  edge_terms_pairs_impl<Avx2Lane>(a, b, w, count, xs, ys, out);
+}
+
+std::size_t avx2_crowding_terms_excluding_self(
+    const std::int32_t* idx, std::size_t count, std::int32_t self, double px,
+    double py, const double* xs, const double* ys, double d_min, double denom,
+    double weight, double* out) noexcept {
+  return crowding_terms_impl<Avx2Lane, false>(idx, count, self, px, py, xs, ys,
+                                              d_min, denom, weight, out);
+}
+
+std::size_t avx2_crowding_terms_above_self(
+    const std::int32_t* idx, std::size_t count, std::int32_t self, double px,
+    double py, const double* xs, const double* ys, double d_min, double denom,
+    double weight, double* out) noexcept {
+  return crowding_terms_impl<Avx2Lane, true>(idx, count, self, px, py, xs, ys,
+                                             d_min, denom, weight, out);
+}
+
+#else  // !__AVX2__ — toolchain could not target AVX2; dispatch never lands here.
+
+bool avx2_tu_compiled() noexcept { return false; }
+
+void avx2_edge_terms_gather(const std::int32_t*, const double*, std::size_t,
+                            double, double, const double*, const double*,
+                            double*) noexcept {}
+
+void avx2_edge_terms_pairs(const std::int32_t*, const std::int32_t*,
+                           const double*, std::size_t, const double*,
+                           const double*, double*) noexcept {}
+
+std::size_t avx2_crowding_terms_excluding_self(const std::int32_t*,
+                                               std::size_t, std::int32_t,
+                                               double, double, const double*,
+                                               const double*, double, double,
+                                               double, double*) noexcept {
+  return 0;
+}
+
+std::size_t avx2_crowding_terms_above_self(const std::int32_t*, std::size_t,
+                                           std::int32_t, double, double,
+                                           const double*, const double*,
+                                           double, double, double,
+                                           double*) noexcept {
+  return 0;
+}
+
+#endif  // __AVX2__
+
+}  // namespace parallax::anneal::kernels::detail

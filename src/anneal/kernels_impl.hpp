@@ -1,0 +1,209 @@
+// Shared lane abstraction + kernel bodies, included by kernels.cpp (scalar,
+// SSE2) and kernels_avx2.cpp (AVX2, compiled with -mavx2). Each lane policy
+// exposes the same 4-wide vocabulary so the kernel bodies are written once;
+// kWidth is uniformly 4 (SSE2 pairs two __m128d) so blocking decisions never
+// depend on the dispatched lane. All arithmetic here must stay plain
+// sub/mul/add/sqrt — both TUs are built with -ffp-contract=off so the
+// compiler cannot fuse them into FMAs, which is what makes every lane
+// bit-identical to the scalar expressions in placement/objective.cpp.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace parallax::anneal::kernels::detail {
+
+struct ScalarLane {
+  static constexpr unsigned kWidth = 4;
+  struct Vec {
+    double v[kWidth];
+  };
+  static Vec broadcast(double x) noexcept { return {{x, x, x, x}}; }
+  static Vec load(const double* p) noexcept { return {{p[0], p[1], p[2], p[3]}}; }
+  static Vec gather(const double* base, const std::int32_t* idx) noexcept {
+    return {{base[idx[0]], base[idx[1]], base[idx[2]], base[idx[3]]}};
+  }
+  static Vec add(Vec a, Vec b) noexcept {
+    return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2], a.v[3] + b.v[3]}};
+  }
+  static Vec sub(Vec a, Vec b) noexcept {
+    return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2], a.v[3] - b.v[3]}};
+  }
+  static Vec mul(Vec a, Vec b) noexcept {
+    return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2], a.v[3] * b.v[3]}};
+  }
+  static Vec sqrt(Vec a) noexcept {
+    return {{std::sqrt(a.v[0]), std::sqrt(a.v[1]), std::sqrt(a.v[2]),
+             std::sqrt(a.v[3])}};
+  }
+  static void store(double* p, Vec a) noexcept {
+    p[0] = a.v[0];
+    p[1] = a.v[1];
+    p[2] = a.v[2];
+    p[3] = a.v[3];
+  }
+  static int lt_mask(Vec a, Vec b) noexcept {
+    int mask = 0;
+    for (unsigned l = 0; l < kWidth; ++l) {
+      if (a.v[l] < b.v[l]) mask |= 1 << l;
+    }
+    return mask;
+  }
+};
+
+#if defined(__x86_64__) || defined(_M_X64)
+// SSE2 is part of the x86-64 baseline, so this lane needs no extra -m flags.
+struct Sse2Lane {
+  static constexpr unsigned kWidth = 4;
+  struct Vec {
+    __m128d lo, hi;
+  };
+  static Vec broadcast(double x) noexcept {
+    const __m128d v = _mm_set1_pd(x);
+    return {v, v};
+  }
+  static Vec load(const double* p) noexcept {
+    return {_mm_loadu_pd(p), _mm_loadu_pd(p + 2)};
+  }
+  static Vec gather(const double* base, const std::int32_t* idx) noexcept {
+    return {_mm_set_pd(base[idx[1]], base[idx[0]]),
+            _mm_set_pd(base[idx[3]], base[idx[2]])};
+  }
+  static Vec add(Vec a, Vec b) noexcept {
+    return {_mm_add_pd(a.lo, b.lo), _mm_add_pd(a.hi, b.hi)};
+  }
+  static Vec sub(Vec a, Vec b) noexcept {
+    return {_mm_sub_pd(a.lo, b.lo), _mm_sub_pd(a.hi, b.hi)};
+  }
+  static Vec mul(Vec a, Vec b) noexcept {
+    return {_mm_mul_pd(a.lo, b.lo), _mm_mul_pd(a.hi, b.hi)};
+  }
+  static Vec sqrt(Vec a) noexcept {
+    return {_mm_sqrt_pd(a.lo), _mm_sqrt_pd(a.hi)};
+  }
+  static void store(double* p, Vec a) noexcept {
+    _mm_storeu_pd(p, a.lo);
+    _mm_storeu_pd(p + 2, a.hi);
+  }
+  static int lt_mask(Vec a, Vec b) noexcept {
+    return _mm_movemask_pd(_mm_cmplt_pd(a.lo, b.lo)) |
+           (_mm_movemask_pd(_mm_cmplt_pd(a.hi, b.hi)) << 2);
+  }
+};
+#endif  // x86-64
+
+#if defined(__AVX2__)
+struct Avx2Lane {
+  static constexpr unsigned kWidth = 4;
+  using Vec = __m256d;
+  static Vec broadcast(double x) noexcept { return _mm256_set1_pd(x); }
+  static Vec load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static Vec gather(const double* base, const std::int32_t* idx) noexcept {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    return _mm256_i32gather_pd(base, vi, 8);
+  }
+  static Vec add(Vec a, Vec b) noexcept { return _mm256_add_pd(a, b); }
+  static Vec sub(Vec a, Vec b) noexcept { return _mm256_sub_pd(a, b); }
+  static Vec mul(Vec a, Vec b) noexcept { return _mm256_mul_pd(a, b); }
+  static Vec sqrt(Vec a) noexcept { return _mm256_sqrt_pd(a); }
+  static void store(double* p, Vec a) noexcept { _mm256_storeu_pd(p, a); }
+  static int lt_mask(Vec a, Vec b) noexcept {
+    return _mm256_movemask_pd(_mm256_cmp_pd(a, b, _CMP_LT_OQ));
+  }
+};
+#endif  // __AVX2__
+
+// out[i] = w[i] * sqrt((px - xs[idx[i]])^2 + (py - ys[idx[i]])^2)
+template <class L>
+void edge_terms_gather_impl(const std::int32_t* idx, const double* w,
+                            std::size_t count, double px, double py,
+                            const double* xs, const double* ys,
+                            double* out) noexcept {
+  const auto vpx = L::broadcast(px);
+  const auto vpy = L::broadcast(py);
+  std::size_t i = 0;
+  for (; i + L::kWidth <= count; i += L::kWidth) {
+    const auto dx = L::sub(vpx, L::gather(xs, idx + i));
+    const auto dy = L::sub(vpy, L::gather(ys, idx + i));
+    const auto dsq = L::add(L::mul(dx, dx), L::mul(dy, dy));
+    L::store(out + i, L::mul(L::load(w + i), L::sqrt(dsq)));
+  }
+  for (; i < count; ++i) {
+    const double dx = px - xs[idx[i]];
+    const double dy = py - ys[idx[i]];
+    out[i] = w[i] * std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+// out[e] = w[e] * sqrt((xs[a[e]] - xs[b[e]])^2 + (ys[a[e]] - ys[b[e]])^2)
+template <class L>
+void edge_terms_pairs_impl(const std::int32_t* a, const std::int32_t* b,
+                           const double* w, std::size_t count,
+                           const double* xs, const double* ys,
+                           double* out) noexcept {
+  std::size_t i = 0;
+  for (; i + L::kWidth <= count; i += L::kWidth) {
+    const auto dx = L::sub(L::gather(xs, a + i), L::gather(xs, b + i));
+    const auto dy = L::sub(L::gather(ys, a + i), L::gather(ys, b + i));
+    const auto dsq = L::add(L::mul(dx, dx), L::mul(dy, dy));
+    L::store(out + i, L::mul(L::load(w + i), L::sqrt(dsq)));
+  }
+  for (; i < count; ++i) {
+    const double dx = xs[a[i]] - xs[b[i]];
+    const double dy = ys[a[i]] - ys[b[i]];
+    out[i] = w[i] * std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+// Crowding scan. The vector part computes dsq 4-wide and uses a movemask to
+// skip blocks with no candidate inside the cutoff; the (rare) passing lanes
+// finish with the exact scalar formula ((weight * v) * v) / denom, where dsq
+// is already bit-identical either way. kAboveSelf selects the pair-dedup
+// rule (keep j > self) instead of the skip-self rule (drop j == self).
+template <class L, bool kAboveSelf>
+std::size_t crowding_terms_impl(const std::int32_t* idx, std::size_t count,
+                                std::int32_t self, double px, double py,
+                                const double* xs, const double* ys,
+                                double d_min, double denom, double weight,
+                                double* out) noexcept {
+  const auto vpx = L::broadcast(px);
+  const auto vpy = L::broadcast(py);
+  const auto vdenom = L::broadcast(denom);
+  std::size_t produced = 0;
+  std::size_t i = 0;
+  for (; i + L::kWidth <= count; i += L::kWidth) {
+    const auto dx = L::sub(vpx, L::gather(xs, idx + i));
+    const auto dy = L::sub(vpy, L::gather(ys, idx + i));
+    const auto dsq = L::add(L::mul(dx, dx), L::mul(dy, dy));
+    const int mask = L::lt_mask(dsq, vdenom);
+    if (mask == 0) continue;
+    double dsqv[L::kWidth];
+    L::store(dsqv, dsq);
+    for (unsigned l = 0; l < L::kWidth; ++l) {
+      if (((mask >> l) & 1) == 0) continue;
+      const std::int32_t j = idx[i + l];
+      if (kAboveSelf ? (j <= self) : (j == self)) continue;
+      const double v = d_min - std::sqrt(dsqv[l]);
+      out[produced++] = weight * v * v / denom;
+    }
+  }
+  for (; i < count; ++i) {
+    const std::int32_t j = idx[i];
+    if (kAboveSelf ? (j <= self) : (j == self)) continue;
+    const double dx = px - xs[j];
+    const double dy = py - ys[j];
+    const double dsq = dx * dx + dy * dy;
+    if (!(dsq < denom)) continue;
+    const double v = d_min - std::sqrt(dsq);
+    out[produced++] = weight * v * v / denom;
+  }
+  return produced;
+}
+
+}  // namespace parallax::anneal::kernels::detail

@@ -1,10 +1,27 @@
 // Nelder-Mead downhill simplex, used as the local-search phase of dual
 // annealing (mirroring SciPy's dual_annealing, which runs a local minimizer
 // from promising annealer states).
+//
+// Two overloads share the options/result types and the box-clamp semantics:
+//   * the legacy callable overload — numerics frozen (its iterates are part
+//     of the legacy full-vector anneal fingerprint);
+//   * the IncrementalObjective overload — the shared anneal objective/budget
+//     interface, so Nelder-Mead can participate in a raced portfolio budget.
+//     It evaluates f.full() and keeps simplex bookkeeping O(n) per iteration
+//     (flat vertex storage, running coordinate totals for the centroid)
+//     instead of the legacy O(n^2), which is what makes polish affordable at
+//     placement dimensionality. Deterministic, but not bit-equal to the
+//     legacy overload — callers expose it only behind fingerprint-visible
+//     modes.
+//
+// Both overloads validate their inputs with std::invalid_argument (like
+// dual_annealing) instead of debug asserts.
 #pragma once
 
 #include <functional>
 #include <vector>
+
+#include "anneal/objective.hpp"
 
 namespace parallax::anneal {
 
@@ -26,6 +43,16 @@ struct LocalResult {
 /// Minimizes `f` starting from `x0`. Coordinates are clamped to
 /// [lower, upper] per dimension before each evaluation (box constraints).
 [[nodiscard]] LocalResult nelder_mead(const Objective& f,
+                                      std::vector<double> x0,
+                                      const std::vector<double>& lower,
+                                      const std::vector<double>& upper,
+                                      const NelderMeadOptions& options = {});
+
+/// Same optimizer over the shared incremental-objective interface: each
+/// probe is scored with f.full() (the loaded state is never touched), and
+/// `options.max_evaluations` is the evaluation budget a portfolio race
+/// charges against. x0 must have exactly 2 * f.sites() coordinates.
+[[nodiscard]] LocalResult nelder_mead(IncrementalObjective& f,
                                       std::vector<double> x0,
                                       const std::vector<double>& lower,
                                       const std::vector<double>& upper,

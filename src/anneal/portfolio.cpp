@@ -1,0 +1,148 @@
+#include "anneal/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "anneal/multi_chain.hpp"
+#include "anneal/nelder_mead.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parallax::anneal {
+
+namespace {
+
+/// Polish-only entrant: one lean Nelder-Mead descent from the entrant's
+/// start state (warm start when present, else its own uniform draw).
+AnnealResult run_polish(IncrementalObjective& objective,
+                        const std::vector<double>& lower,
+                        const std::vector<double>& upper,
+                        const DualAnnealingOptions& opts) {
+  AnnealResult out;
+  const std::size_t n = 2 * objective.sites();
+  if (n == 0) {
+    out.value = objective.reset({});
+    out.evaluations = 1;
+    return out;
+  }
+  std::vector<double> start(n);
+  if (opts.initial) {
+    if (opts.initial->size() != n) {
+      throw std::invalid_argument(
+          "race: polish entrant initial state has " +
+          std::to_string(opts.initial->size()) + " dimensions, expected " +
+          std::to_string(n));
+    }
+    start = *opts.initial;
+    for (std::size_t i = 0; i < n; ++i) {
+      start[i] = std::clamp(start[i], lower[i], upper[i]);
+    }
+  } else {
+    util::Rng rng(opts.seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      start[i] = rng.uniform(lower[i], upper[i]);
+    }
+  }
+  const LocalResult local =
+      nelder_mead(objective, std::move(start), lower, upper,
+                  opts.local_options);
+  out.x = local.x;
+  out.value = local.value;
+  out.evaluations = local.evaluations;
+  out.local_searches = 1;
+  return out;
+}
+
+}  // namespace
+
+AnnealResult race(
+    const std::function<std::unique_ptr<IncrementalObjective>()>&
+        make_objective,
+    const std::vector<double>& lower, const std::vector<double>& upper,
+    const PortfolioOptions& options) {
+  if (options.entrants.empty()) {
+    throw std::invalid_argument("race: at least one entrant is required");
+  }
+  for (const PortfolioEntrant& e : options.entrants) {
+    if (e.chains < 1) {
+      throw std::invalid_argument("race: entrant '" + e.name +
+                                  "' has chains < 1");
+    }
+  }
+
+  const std::size_t count = options.entrants.size();
+  std::vector<AnnealResult> results(count);
+  std::vector<double> walls(count, 0.0);
+
+  const auto run_entrant = [&](std::size_t i) {
+    const PortfolioEntrant& e = options.entrants[i];
+    DualAnnealingOptions opts = e.anneal;
+    // Entrants explore independently even when configured identically.
+    opts.seed = util::derive_seed(e.anneal.seed, "entrant", i);
+    if (e.fresh_start) opts.initial.reset();
+
+    const auto start = std::chrono::steady_clock::now();
+    if (e.polish_only) {
+      const std::unique_ptr<IncrementalObjective> objective = make_objective();
+      results[i] = run_polish(*objective, lower, upper, opts);
+    } else if (e.chains > 1) {
+      // Chains run sequentially inside the entrant (pool = nullptr):
+      // entrants are the unit of parallelism, and a pool's worker must not
+      // re-enter parallel_for.
+      MultiChainOptions mc;
+      mc.chains = e.chains;
+      mc.anneal = opts;
+      mc.pool = nullptr;
+      MultiChainResult reduced =
+          multi_chain(make_objective, lower, upper, mc);
+      AnnealResult r = std::move(reduced.best);
+      // The account tracks the entrant's full spend, not just the winning
+      // chain's share.
+      r.evaluations = reduced.evaluations;
+      r.delta_evaluations = reduced.delta_evaluations;
+      r.restarts = reduced.restarts;
+      r.local_searches = reduced.local_searches;
+      results[i] = std::move(r);
+    } else {
+      const std::unique_ptr<IncrementalObjective> objective = make_objective();
+      results[i] = dual_annealing(*objective, lower, upper, opts);
+    }
+    walls[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  };
+
+  if (options.pool != nullptr && count > 1) {
+    options.pool->parallel_for(count, run_entrant);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) run_entrant(i);
+  }
+
+  // Fixed selection order: ascending entrant index, strict `<` only — an
+  // exact value tie keeps the lower index. Wall time is reported below but
+  // never read here.
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (results[i].value < results[winner].value) winner = i;
+  }
+
+  std::vector<EntrantAccount> accounts(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    accounts[i].name = options.entrants[i].name;
+    accounts[i].value = results[i].value;
+    accounts[i].wall_seconds = walls[i];
+    accounts[i].evaluations = results[i].evaluations;
+    accounts[i].delta_evaluations = results[i].delta_evaluations;
+    accounts[i].winner = i == winner;
+  }
+
+  AnnealResult best = std::move(results[winner]);
+  best.winner = options.entrants[winner].name;
+  best.entrants = std::move(accounts);
+  return best;
+}
+
+}  // namespace parallax::anneal

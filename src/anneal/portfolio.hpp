@@ -1,0 +1,73 @@
+// Deterministic optimizer portfolio: K configured entrants (single-chain
+// dual annealing, multi-chain reduction, Nelder-Mead polish, fresh restart)
+// race on the same objective under one configured budget, and the winner is
+// selected in fixed ascending-entrant order with strict-< on the final
+// objective value — exact ties keep the lower index. Like multi_chain, the
+// winner is a pure function of (objective, bounds, options): thread count
+// and completion order never influence it, so portfolio techniques inherit
+// content-addressed caching, sharding, and serving unchanged.
+//
+// Budgeting: each entrant carries its own DualAnnealingOptions — the roster
+// builder (see placement::graphine) splits one anneal budget across the
+// entrants so a race costs about as much as the single-chain run it
+// replaces. Per-entrant wall time is measured and reported but NEVER read
+// by selection (wall clocks are not deterministic; objective values are).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anneal/dual_annealing.hpp"
+#include "anneal/objective.hpp"
+
+namespace parallax::util {
+class ThreadPool;
+}  // namespace parallax::util
+
+namespace parallax::anneal {
+
+struct PortfolioEntrant {
+  /// Stable display name ("delta", "mc4", "nm", "restart", ...); reported in
+  /// AnnealResult::winner and the per-entrant accounts.
+  std::string name;
+  /// Entrant budget + schedule. `seed` is re-derived per entrant index by
+  /// race() (derive_seed(seed, "entrant", index)), so entrants with the same
+  /// base options still explore independently.
+  DualAnnealingOptions anneal{};
+  /// > 1 runs the entrant as a deterministic multi-chain reduction (the
+  /// chains run sequentially inside the entrant — entrants are the unit of
+  /// parallelism, so a racing pool is never re-entered).
+  int chains = 1;
+  /// Skip annealing entirely: one lean Nelder-Mead descent from the warm
+  /// start (budgeted by anneal.local_options.max_evaluations).
+  bool polish_only = false;
+  /// Drop the shared warm start and explore from the entrant's own uniform
+  /// draw.
+  bool fresh_start = false;
+};
+
+struct PortfolioOptions {
+  /// At least one entrant; selection prefers lower indices on exact ties.
+  std::vector<PortfolioEntrant> entrants;
+  /// Optional borrowed pool: entrants fan out across it (the caller must
+  /// not race from one of the pool's own workers — parallel_for blocks).
+  /// Null runs entrants sequentially; the winner is identical either way.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Races the configured entrants, each over a fresh objective from
+/// `make_objective` (entrants mutate their objective). Returns the winning
+/// entrant's AnnealResult with `winner` set to its name and `entrants`
+/// holding every entrant's accounting. Throws std::invalid_argument for an
+/// empty roster, a non-positive chain count, or invalid entrant options.
+[[nodiscard]] AnnealResult race(
+    const std::function<std::unique_ptr<IncrementalObjective>()>&
+        make_objective,
+    const std::vector<double>& lower, const std::vector<double>& upper,
+    const PortfolioOptions& options);
+
+}  // namespace parallax::anneal

@@ -98,6 +98,11 @@ void feed(Fingerprinter& fp, const placement::GraphineOptions& options) {
   if (options.max_window_qubits != 0) {
     fp.i32(options.max_window_qubits);
   }
+  // And for the raced portfolio: 0 (no race) is the default for every
+  // pre-portfolio key.
+  if (options.portfolio_entrants != 0) {
+    fp.i32(options.portfolio_entrants);
+  }
 }
 
 void feed(Fingerprinter& fp, const circuit::InteractionGraph& graph) {

@@ -88,6 +88,13 @@ Pass graphine_placement() {
       options.max_window_qubits = 0;
       ctx.normalized = placement::graphine_place(graph, options, &stats);
     }
+    // Raced portfolios surface one row per entrant (winner highlighted)
+    // ahead of the total anneal row.
+    for (const auto& entrant : stats.entrants) {
+      ctx.result.pass_timings.push_back({"anneal[" + entrant.name + "]",
+                                         entrant.wall_seconds, false,
+                                         entrant.winner});
+    }
     ctx.result.pass_timings.push_back({"anneal", stats.anneal_seconds, false});
   });
 }

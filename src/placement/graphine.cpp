@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "anneal/multi_chain.hpp"
+#include "anneal/portfolio.hpp"
 #include "placement/objective.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -142,6 +143,50 @@ std::vector<double> serpentine_seed(const circuit::InteractionGraph& graph) {
   return coords;
 }
 
+/// Fixed portfolio roster, truncated to `entrants`: the anneal iteration
+/// budget splits evenly across the annealing entrants (the mc entrant
+/// further splits its share over its chains), and the polish entrant spends
+/// only the local-search evaluation budget — so a full race costs about one
+/// configured anneal.
+std::vector<anneal::PortfolioEntrant> portfolio_roster(
+    const anneal::DualAnnealingOptions& base, int entrants) {
+  std::vector<anneal::PortfolioEntrant> roster;
+  const int annealing_entrants = std::min(entrants, 4) - (entrants >= 3 ? 1 : 0);
+  const int share =
+      std::max(1, base.max_iterations / std::max(1, annealing_entrants));
+
+  anneal::PortfolioEntrant delta;
+  delta.name = "delta";
+  delta.anneal = base;
+  delta.anneal.max_iterations = share;
+  roster.push_back(std::move(delta));
+
+  if (entrants >= 2) {
+    anneal::PortfolioEntrant mc;
+    mc.name = "mc4";
+    mc.anneal = base;
+    mc.chains = 4;
+    mc.anneal.max_iterations = std::max(1, share / mc.chains);
+    roster.push_back(std::move(mc));
+  }
+  if (entrants >= 3) {
+    anneal::PortfolioEntrant nm;
+    nm.name = "nm";
+    nm.anneal = base;
+    nm.polish_only = true;
+    roster.push_back(std::move(nm));
+  }
+  if (entrants >= 4) {
+    anneal::PortfolioEntrant restart;
+    restart.name = "restart";
+    restart.anneal = base;
+    restart.anneal.max_iterations = share;
+    restart.fresh_start = true;
+    roster.push_back(std::move(restart));
+  }
+  return roster;
+}
+
 }  // namespace
 
 namespace {
@@ -189,12 +234,15 @@ Topology graphine_place(const circuit::InteractionGraph& graph,
   anneal_options.local_options.max_evaluations =
       options.local_search_evaluations;
   anneal_options.seed = options.seed;
+  anneal_options.batched_proposals =
+      options.proposal == ProposalMode::kBatched;
   if (options.warm_start) {
     anneal_options.initial = serpentine_seed(graph);
   }
 
-  const bool incremental =
-      options.proposal == ProposalMode::kPerQubit || options.chains > 1;
+  const bool incremental = options.proposal != ProposalMode::kFullVector ||
+                           options.chains > 1 ||
+                           options.portfolio_entrants > 0;
   anneal::AnnealResult result;
   int chains_used = 1;
   const util::Stopwatch anneal_watch;
@@ -205,6 +253,30 @@ Topology graphine_place(const circuit::InteractionGraph& graph,
       return placement_objective(coords, graph, options);
     };
     result = anneal::dual_annealing(objective, lower, upper, anneal_options);
+  } else if (options.portfolio_entrants > 0) {
+    // Raced portfolio: the configured anneal budget is split across the
+    // roster so one race costs about one single-optimizer anneal; the
+    // deterministic reduction keeps the lowest final value (ties: lowest
+    // entrant index).
+    anneal::PortfolioOptions race_options;
+    race_options.entrants =
+        portfolio_roster(anneal_options, options.portfolio_entrants);
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    util::ThreadPool pool(std::min<std::size_t>(
+        race_options.entrants.size(), hw));
+    race_options.pool = &pool;
+    result = anneal::race(
+        [&]() -> std::unique_ptr<anneal::IncrementalObjective> {
+          return std::make_unique<DeltaPlacementObjective>(graph, options);
+        },
+        lower, upper, race_options);
+    // Counters report the whole race's spend, not just the winner's.
+    result.evaluations = 0;
+    result.delta_evaluations = 0;
+    for (const anneal::EntrantAccount& account : result.entrants) {
+      result.evaluations += account.evaluations;
+      result.delta_evaluations += account.delta_evaluations;
+    }
   } else if (options.chains <= 1) {
     DeltaPlacementObjective objective(graph, options);
     result = anneal::dual_annealing(objective, lower, upper, anneal_options);
@@ -247,6 +319,8 @@ Topology graphine_place(const circuit::InteractionGraph& graph,
     stats->local_searches = result.local_searches;
     stats->iterations = result.iterations;
     stats->chains = chains_used;
+    stats->portfolio_winner = result.winner;
+    stats->entrants = result.entrants;
   }
 
   for (std::size_t q = 0; q < n; ++q) {

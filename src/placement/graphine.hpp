@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "anneal/dual_annealing.hpp"
@@ -24,6 +25,12 @@ enum class ProposalMode : std::uint8_t {
   /// incrementally in O(deg + local neighbors) against a spatial hash.
   /// Fingerprint-distinct from the legacy mode.
   kPerQubit = 1,
+  /// Delta-cost path with batched proposal generation: every iteration's
+  /// visit draws and acceptance uniforms come from a counter-based block
+  /// stream, so the accept loop is branch-light and the walk is independent
+  /// of SIMD width. A distinct deterministic walk — fingerprint-distinct
+  /// from both modes above.
+  kBatched = 2,
 };
 
 struct GraphineOptions {
@@ -58,6 +65,13 @@ struct GraphineOptions {
   /// (pipeline and sweep do), so it is fingerprint-visible only when the
   /// windowed path actually runs and every legacy cache key is untouched.
   int max_window_qubits = 0;
+  /// Optimizer portfolio: when positive, the anneal budget is split across
+  /// up to this many raced entrants (delta single-chain, mc4 reduction,
+  /// Nelder-Mead polish, fresh restart — in that fixed order) and the
+  /// deterministic winner is kept (anneal/portfolio.hpp). 0 keeps the
+  /// single-optimizer paths. Fingerprint-visible only when non-zero, so
+  /// every legacy cache key is untouched.
+  int portfolio_entrants = 0;
 };
 
 /// A placement in normalized coordinates plus the selected radius.
@@ -94,6 +108,10 @@ struct PlacementStats {
   /// hook). Both stay 0 on the single-anneal path.
   int windows = 0;
   int windows_annealed = 0;
+  /// Portfolio accounting (empty unless portfolio_entrants > 0): the
+  /// winning entrant's name and every entrant's budget spend.
+  std::string portfolio_winner;
+  std::vector<anneal::EntrantAccount> entrants;
 };
 
 /// Runs the annealed placement for a circuit's interaction graph.

@@ -4,7 +4,11 @@
 #include <cassert>
 #include <cmath>
 
+#include "anneal/kernels.hpp"
+
 namespace parallax::placement {
+
+namespace kernels = anneal::kernels;
 
 DeltaPlacementObjective::DeltaPlacementObjective(
     const circuit::InteractionGraph& graph, const GraphineOptions& options)
@@ -22,11 +26,15 @@ DeltaPlacementObjective::DeltaPlacementObjective(
     ncells_ = std::clamp(static_cast<int>(1.0 / d_min_), 1, 2048);
   }
 
-  // CSR adjacency (both directions) and the flat edge list.
+  // CSR adjacency (both directions) and the SoA edge list.
   std::vector<std::int32_t> degree(n_ + 1, 0);
-  edges_.reserve(graph.edges().size());
+  edge_a_.reserve(graph.edges().size());
+  edge_b_.reserve(graph.edges().size());
+  edge_w_.reserve(graph.edges().size());
   for (const auto& e : graph.edges()) {
-    edges_.push_back({e.a, e.b, static_cast<double>(e.weight)});
+    edge_a_.push_back(e.a);
+    edge_b_.push_back(e.b);
+    edge_w_.push_back(static_cast<double>(e.weight));
     ++degree[static_cast<std::size_t>(e.a)];
     ++degree[static_cast<std::size_t>(e.b)];
   }
@@ -37,13 +45,13 @@ DeltaPlacementObjective::DeltaPlacementObjective(
   adj_qubit_.resize(static_cast<std::size_t>(adj_start_[n_]));
   adj_weight_.resize(adj_qubit_.size());
   std::vector<std::int32_t> fill(adj_start_.begin(), adj_start_.end() - 1);
-  for (const auto& e : edges_) {
-    const auto a = static_cast<std::size_t>(e.a);
-    const auto b = static_cast<std::size_t>(e.b);
-    adj_qubit_[static_cast<std::size_t>(fill[a])] = e.b;
-    adj_weight_[static_cast<std::size_t>(fill[a]++)] = e.weight;
-    adj_qubit_[static_cast<std::size_t>(fill[b])] = e.a;
-    adj_weight_[static_cast<std::size_t>(fill[b]++)] = e.weight;
+  for (std::size_t e = 0; e < edge_a_.size(); ++e) {
+    const auto a = static_cast<std::size_t>(edge_a_[e]);
+    const auto b = static_cast<std::size_t>(edge_b_[e]);
+    adj_qubit_[static_cast<std::size_t>(fill[a])] = edge_b_[e];
+    adj_weight_[static_cast<std::size_t>(fill[a]++)] = edge_w_[e];
+    adj_qubit_[static_cast<std::size_t>(fill[b])] = edge_a_[e];
+    adj_weight_[static_cast<std::size_t>(fill[b]++)] = edge_w_[e];
   }
 
   xs_.assign(n_, 0.0);
@@ -51,16 +59,6 @@ DeltaPlacementObjective::DeltaPlacementObjective(
   bucket_of_.assign(n_, 0);
   buckets_.resize(static_cast<std::size_t>(ncells_) *
                   static_cast<std::size_t>(ncells_));
-}
-
-double DeltaPlacementObjective::edge_term(double weight, double dx,
-                                          double dy) noexcept {
-  return weight * std::sqrt(dx * dx + dy * dy);
-}
-
-double DeltaPlacementObjective::crowding_term(double dsq) const noexcept {
-  const double v = d_min_ - std::sqrt(dsq);
-  return crowding_weight_ * v * v / denom_;
 }
 
 int DeltaPlacementObjective::cell_of(double x, double y) const noexcept {
@@ -73,15 +71,8 @@ int DeltaPlacementObjective::cell_of(double x, double y) const noexcept {
   return iy * ncells_ + ix;
 }
 
-void DeltaPlacementObjective::collect_terms(std::size_t q, double px,
-                                            double py,
-                                            std::vector<double>& out) const {
-  for (auto i = static_cast<std::size_t>(adj_start_[q]);
-       i < static_cast<std::size_t>(adj_start_[q + 1]); ++i) {
-    const auto j = static_cast<std::size_t>(adj_qubit_[i]);
-    out.push_back(edge_term(adj_weight_[i], px - xs_[j], py - ys_[j]));
-  }
-  if (!crowding_) return;
+void DeltaPlacementObjective::gather_bucket_candidates(double px, double py) {
+  cand_.clear();
   const int cell = cell_of(px, py);
   const int cx = cell % ncells_;
   const int cy = cell / ncells_;
@@ -89,16 +80,29 @@ void DeltaPlacementObjective::collect_terms(std::size_t q, double px,
   const int y0 = std::max(cy - 1, 0), y1 = std::min(cy + 1, ncells_ - 1);
   for (int gy = y0; gy <= y1; ++gy) {
     for (int gx = x0; gx <= x1; ++gx) {
-      for (const std::int32_t j :
-           buckets_[static_cast<std::size_t>(gy * ncells_ + gx)]) {
-        if (static_cast<std::size_t>(j) == q) continue;
-        const double dx = px - xs_[static_cast<std::size_t>(j)];
-        const double dy = py - ys_[static_cast<std::size_t>(j)];
-        const double dsq = dx * dx + dy * dy;
-        if (dsq < denom_) out.push_back(crowding_term(dsq));
-      }
+      const auto& bucket = buckets_[static_cast<std::size_t>(gy * ncells_ + gx)];
+      cand_.insert(cand_.end(), bucket.begin(), bucket.end());
     }
   }
+}
+
+void DeltaPlacementObjective::collect_terms(std::size_t q, double px,
+                                            double py,
+                                            std::vector<double>& out) {
+  const auto start = static_cast<std::size_t>(adj_start_[q]);
+  const auto deg = static_cast<std::size_t>(adj_start_[q + 1]) - start;
+  out.resize(deg);
+  kernels::edge_terms_gather(adj_qubit_.data() + start,
+                             adj_weight_.data() + start, deg, px, py,
+                             xs_.data(), ys_.data(), out.data());
+  if (!crowding_) return;
+  gather_bucket_candidates(px, py);
+  out.resize(deg + cand_.size());
+  const std::size_t produced = kernels::crowding_terms_excluding_self(
+      cand_.data(), cand_.size(), static_cast<std::int32_t>(q), px, py,
+      xs_.data(), ys_.data(), d_min_, denom_, crowding_weight_,
+      out.data() + deg);
+  out.resize(deg + produced);
 }
 
 double DeltaPlacementObjective::reset(const std::vector<double>& coords) {
@@ -117,30 +121,20 @@ double DeltaPlacementObjective::reset(const std::vector<double>& coords) {
   }
 
   acc_.clear();
-  for (const auto& e : edges_) {
-    const auto a = static_cast<std::size_t>(e.a);
-    const auto b = static_cast<std::size_t>(e.b);
-    acc_.add(edge_term(e.weight, xs_[a] - xs_[b], ys_[a] - ys_[b]));
-  }
+  term_buf_.resize(edge_a_.size());
+  kernels::edge_terms_pairs(edge_a_.data(), edge_b_.data(), edge_w_.data(),
+                            edge_a_.size(), xs_.data(), ys_.data(),
+                            term_buf_.data());
+  for (const double t : term_buf_) acc_.add(t);
   if (crowding_) {
     for (std::size_t i = 0; i < n_; ++i) {
-      const int cell = bucket_of_[i];
-      const int cx = cell % ncells_;
-      const int cy = cell / ncells_;
-      const int x0 = std::max(cx - 1, 0), x1 = std::min(cx + 1, ncells_ - 1);
-      const int y0 = std::max(cy - 1, 0), y1 = std::min(cy + 1, ncells_ - 1);
-      for (int gy = y0; gy <= y1; ++gy) {
-        for (int gx = x0; gx <= x1; ++gx) {
-          for (const std::int32_t j :
-               buckets_[static_cast<std::size_t>(gy * ncells_ + gx)]) {
-            if (static_cast<std::size_t>(j) <= i) continue;
-            const double dx = xs_[i] - xs_[static_cast<std::size_t>(j)];
-            const double dy = ys_[i] - ys_[static_cast<std::size_t>(j)];
-            const double dsq = dx * dx + dy * dy;
-            if (dsq < denom_) acc_.add(crowding_term(dsq));
-          }
-        }
-      }
+      gather_bucket_candidates(xs_[i], ys_[i]);
+      term_buf_.resize(cand_.size());
+      const std::size_t produced = kernels::crowding_terms_above_self(
+          cand_.data(), cand_.size(), static_cast<std::int32_t>(i), xs_[i],
+          ys_[i], xs_.data(), ys_.data(), d_min_, denom_, crowding_weight_,
+          term_buf_.data());
+      for (std::size_t t = 0; t < produced; ++t) acc_.add(term_buf_[t]);
     }
   }
   value_ = acc_.round();
@@ -149,8 +143,6 @@ double DeltaPlacementObjective::reset(const std::vector<double>& coords) {
 
 double DeltaPlacementObjective::propose(std::size_t q, double x, double y) {
   assert(q < n_);
-  pending_remove_.clear();
-  pending_add_.clear();
   collect_terms(q, xs_[q], ys_[q], pending_remove_);
   collect_terms(q, x, y, pending_add_);
   util::ExactSum acc = acc_;
@@ -197,13 +189,20 @@ void DeltaPlacementObjective::snapshot(std::vector<double>& coords) const {
 
 double DeltaPlacementObjective::full(const std::vector<double>& coords) {
   assert(coords.size() == 2 * n_);
-  util::ExactSum acc;
-  for (const auto& e : edges_) {
-    const auto a = static_cast<std::size_t>(e.a);
-    const auto b = static_cast<std::size_t>(e.b);
-    acc.add(edge_term(e.weight, coords[2 * a] - coords[2 * b],
-                      coords[2 * a + 1] - coords[2 * b + 1]));
+  // De-stride the query geometry once so every kernel below runs over
+  // unit-stride SoA arrays.
+  scratch_xs_.resize(n_);
+  scratch_ys_.resize(n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    scratch_xs_[q] = coords[2 * q];
+    scratch_ys_[q] = coords[2 * q + 1];
   }
+  util::ExactSum acc;
+  term_buf_.resize(edge_a_.size());
+  kernels::edge_terms_pairs(edge_a_.data(), edge_b_.data(), edge_w_.data(),
+                            edge_a_.size(), scratch_xs_.data(),
+                            scratch_ys_.data(), term_buf_.data());
+  for (const double t : term_buf_) acc.add(t);
   if (crowding_) {
     // Counting-sort the query geometry into the scratch grid.
     const auto cells =
@@ -212,7 +211,7 @@ double DeltaPlacementObjective::full(const std::vector<double>& coords) {
     scratch_items_.resize(n_);
     for (std::size_t q = 0; q < n_; ++q) {
       ++scratch_start_[static_cast<std::size_t>(
-                           cell_of(coords[2 * q], coords[2 * q + 1])) +
+                           cell_of(scratch_xs_[q], scratch_ys_[q])) +
                        1];
     }
     for (std::size_t c = 0; c < cells; ++c) {
@@ -221,31 +220,33 @@ double DeltaPlacementObjective::full(const std::vector<double>& coords) {
     std::vector<std::int32_t> fill(scratch_start_.begin(),
                                    scratch_start_.end() - 1);
     for (std::size_t q = 0; q < n_; ++q) {
-      const auto cell = static_cast<std::size_t>(
-          cell_of(coords[2 * q], coords[2 * q + 1]));
+      const auto cell =
+          static_cast<std::size_t>(cell_of(scratch_xs_[q], scratch_ys_[q]));
       scratch_items_[static_cast<std::size_t>(fill[cell]++)] =
           static_cast<std::int32_t>(q);
     }
     for (std::size_t i = 0; i < n_; ++i) {
-      const int cell = cell_of(coords[2 * i], coords[2 * i + 1]);
+      const int cell = cell_of(scratch_xs_[i], scratch_ys_[i]);
       const int cx = cell % ncells_;
       const int cy = cell / ncells_;
       const int x0 = std::max(cx - 1, 0), x1 = std::min(cx + 1, ncells_ - 1);
       const int y0 = std::max(cy - 1, 0), y1 = std::min(cy + 1, ncells_ - 1);
+      cand_.clear();
       for (int gy = y0; gy <= y1; ++gy) {
         for (int gx = x0; gx <= x1; ++gx) {
           const auto c = static_cast<std::size_t>(gy * ncells_ + gx);
-          for (auto s = static_cast<std::size_t>(scratch_start_[c]);
-               s < static_cast<std::size_t>(scratch_start_[c + 1]); ++s) {
-            const auto j = static_cast<std::size_t>(scratch_items_[s]);
-            if (j <= i) continue;
-            const double dx = coords[2 * i] - coords[2 * j];
-            const double dy = coords[2 * i + 1] - coords[2 * j + 1];
-            const double dsq = dx * dx + dy * dy;
-            if (dsq < denom_) acc.add(crowding_term(dsq));
-          }
+          cand_.insert(cand_.end(),
+                       scratch_items_.begin() + scratch_start_[c],
+                       scratch_items_.begin() + scratch_start_[c + 1]);
         }
       }
+      term_buf_.resize(cand_.size());
+      const std::size_t produced = kernels::crowding_terms_above_self(
+          cand_.data(), cand_.size(), static_cast<std::int32_t>(i),
+          scratch_xs_[i], scratch_ys_[i], scratch_xs_.data(),
+          scratch_ys_.data(), d_min_, denom_, crowding_weight_,
+          term_buf_.data());
+      for (std::size_t t = 0; t < produced; ++t) acc.add(term_buf_[t]);
     }
   }
   return acc.round();

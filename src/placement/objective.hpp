@@ -19,8 +19,10 @@
 //
 // Term arithmetic intentionally uses sqrt(dx*dx + dy*dy), not geom::distance
 // (std::hypot): hypot's extra rounding control is irrelevant in [0,1]^2 and
-// sqrt vectorizes. The legacy placement_objective keeps hypot — the two
-// paths are distinct fingerprint-visible modes, not bit-equal twins.
+// sqrt vectorizes — the per-term math runs through the anneal::kernels SIMD
+// dispatch (scalar/SSE2/AVX2), which is bit-identical to these formulas on
+// every lane. The legacy placement_objective keeps hypot — the two paths are
+// distinct fingerprint-visible modes, not bit-equal twins.
 #pragma once
 
 #include <cstdint>
@@ -47,23 +49,17 @@ class DeltaPlacementObjective final : public anneal::IncrementalObjective {
   double full(const std::vector<double>& coords) override;
 
  private:
-  struct Edge {
-    std::int32_t a = 0;
-    std::int32_t b = 0;
-    double weight = 0.0;
-  };
-
-  /// w * ||a - b||. Symmetric under argument swap: dx enters squared.
-  [[nodiscard]] static double edge_term(double weight, double dx,
-                                        double dy) noexcept;
-  /// Penalty of one pair at squared distance dsq < denom_.
-  [[nodiscard]] double crowding_term(double dsq) const noexcept;
   [[nodiscard]] int cell_of(double x, double y) const noexcept;
   /// Every cost term involving site q at position (px, py) against the
   /// current positions of all other sites: deg(q) edge terms plus the
-  /// crowding terms of neighbors within d_min.
+  /// crowding terms of neighbors within d_min. Batched through the
+  /// anneal::kernels SIMD dispatch; term values stay bit-identical to the
+  /// scalar formulas (see kernels.hpp).
   void collect_terms(std::size_t q, double px, double py,
-                     std::vector<double>& out) const;
+                     std::vector<double>& out);
+  /// Gathers the occupants of the 3x3 cell neighborhood around (px, py)
+  /// into cand_ (bucket order, self included — the kernels filter).
+  void gather_bucket_candidates(double px, double py);
 
   std::size_t n_ = 0;
   double d_min_ = 0.0;
@@ -72,11 +68,13 @@ class DeltaPlacementObjective final : public anneal::IncrementalObjective {
   bool crowding_ = false;
   int ncells_ = 1;
 
-  // CSR adjacency (both directions) + flat edge list for full scoring.
+  // CSR adjacency (both directions) + SoA edge list for full scoring —
+  // the kernel gather wants flat index/weight arrays, not an AoS struct.
   std::vector<std::int32_t> adj_start_;
   std::vector<std::int32_t> adj_qubit_;
   std::vector<double> adj_weight_;
-  std::vector<Edge> edges_;
+  std::vector<std::int32_t> edge_a_, edge_b_;
+  std::vector<double> edge_w_;
 
   // Live state: SoA coordinates, bucketed occupancy, exact running cost.
   std::vector<double> xs_, ys_;
@@ -91,8 +89,13 @@ class DeltaPlacementObjective final : public anneal::IncrementalObjective {
   double pending_x_ = 0.0, pending_y_ = 0.0, pending_value_ = 0.0;
   std::vector<double> pending_remove_, pending_add_;
 
-  // Scratch counting-sort grid for full() (arbitrary query geometry).
+  // Scratch counting-sort grid for full() (arbitrary query geometry), the
+  // de-strided coordinate copies full() feeds the kernels, and the crowding
+  // candidate/term staging buffers shared by all batched paths.
   std::vector<std::int32_t> scratch_start_, scratch_items_;
+  std::vector<double> scratch_xs_, scratch_ys_;
+  std::vector<std::int32_t> cand_;
+  std::vector<double> term_buf_;
 };
 
 }  // namespace parallax::placement

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "anneal/kernels.hpp"
 #include "bench_circuits/registry.hpp"
 #include "cache/cache.hpp"
 #include "circuit/interaction_graph.hpp"
@@ -90,6 +91,21 @@ util::JsonValue anneal_json(const AnnealSample& sample) {
   node["chains"] = sample.stats.chains;
   node["objective"] = sample.objective;
   node["interaction_radius"] = sample.interaction_radius;
+  if (!sample.stats.portfolio_winner.empty()) {
+    node["winner"] = sample.stats.portfolio_winner;
+    auto entrants = util::JsonValue::array();
+    for (const auto& entrant : sample.stats.entrants) {
+      auto row = util::JsonValue::object();
+      row["name"] = entrant.name;
+      row["value"] = entrant.value;
+      row["wall_seconds"] = entrant.wall_seconds;
+      row["evaluations"] = entrant.evaluations;
+      row["delta_evaluations"] = entrant.delta_evaluations;
+      row["winner"] = entrant.winner;
+      entrants.push_back(std::move(row));
+    }
+    node["entrants"] = std::move(entrants);
+  }
   return node;
 }
 
@@ -168,6 +184,11 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
       technique_placement_options("parallax-mc4", options.seed,
                                   circuit.name()),
       2);
+  const AnnealSample race = measure_anneal(
+      graph,
+      technique_placement_options("parallax-race", options.seed,
+                                  circuit.name()),
+      2);
 
   const double fast_speedup =
       fast.wall_seconds > 0.0 ? legacy.wall_seconds / fast.wall_seconds : 0.0;
@@ -179,6 +200,14 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
                legacy.wall_seconds * 1e3, fast.wall_seconds * 1e3,
                fast_speedup, mc4.wall_seconds * 1e3, mc4_per_chain * 1e3,
                mc4.objective, legacy.objective);
+  std::fprintf(log,
+               "[perf] race %.1fms (winner %s, objective %.1f) | simd %s\n",
+               race.wall_seconds * 1e3,
+               race.stats.portfolio_winner.empty()
+                   ? "-"
+                   : race.stats.portfolio_winner.c_str(),
+               race.objective,
+               anneal::kernels::lane_name(anneal::kernels::active_lane()));
 
   // --- Streaming QASM parse throughput ------------------------------------
   // Writer-realistic source (full-precision angles, exactly what
@@ -431,11 +460,17 @@ int run_perf_snapshot(const std::string& path, const PerfOptions& options,
   root["gate_circuit"] = kGateCircuit;
   root["gate_qubits"] = graph.n_qubits();
   root["seed"] = static_cast<double>(options.seed);
+  // Which kernel lane the anneal numbers above were measured with (scalar,
+  // sse2, or avx2) — snapshots from different hosts are only comparable
+  // lane-for-lane.
+  root["simd_lane"] =
+      std::string(anneal::kernels::lane_name(anneal::kernels::active_lane()));
 
   auto anneal = util::JsonValue::object();
   anneal["legacy"] = anneal_json(legacy);
   anneal["delta_single_chain"] = anneal_json(fast);
   anneal["delta_mc4"] = anneal_json(mc4);
+  anneal["race"] = anneal_json(race);
   anneal["delta_speedup_vs_legacy"] = fast_speedup;
   anneal["mc4_per_chain_wall_seconds"] = mc4_per_chain;
   anneal["mc4_per_chain_speedup_vs_legacy"] =

@@ -72,13 +72,14 @@ class Memo {
 std::string placement_key(const std::string& input_key,
                           const placement::GraphineOptions& options) {
   char buffer[224];
-  std::snprintf(buffer, sizeof(buffer), "|%d|%d|%.17g|%.17g|%d|%llu|%d|%d|%d",
+  std::snprintf(buffer, sizeof(buffer),
+                "|%d|%d|%.17g|%.17g|%d|%llu|%d|%d|%d|%d",
                 options.anneal_iterations,
                 options.local_search_evaluations, options.crowding_distance,
                 options.crowding_weight, options.warm_start ? 1 : 0,
                 static_cast<unsigned long long>(options.seed),
                 static_cast<int>(options.proposal), options.chains,
-                options.max_window_qubits);
+                options.max_window_qubits, options.portfolio_entrants);
   return input_key + buffer;
 }
 

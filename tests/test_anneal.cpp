@@ -12,6 +12,7 @@
 #include "anneal/multi_chain.hpp"
 #include "anneal/nelder_mead.hpp"
 #include "anneal/objective.hpp"
+#include "anneal/portfolio.hpp"
 #include "util/exact_sum.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -342,6 +343,246 @@ TEST(MultiChain, ThreadCountInvariantWinner) {
   }
   EXPECT_EQ(sequential.evaluations, pooled.evaluations);
   EXPECT_EQ(sequential.delta_evaluations, pooled.delta_evaluations);
+}
+
+// --- Batched proposal generation ------------------------------------------
+
+TEST(DualAnnealingBatched, ConvergesAndIsDeterministic) {
+  const std::vector<double> lower(8, -5.0), upper(8, 5.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 300;
+  options.seed = 13;
+  options.batched_proposals = true;
+  IncrementalSphere a(4), b(4);
+  const auto ra = pa::dual_annealing(a, lower, upper, options);
+  const auto rb = pa::dual_annealing(b, lower, upper, options);
+  EXPECT_LT(ra.value, 1e-6);
+  EXPECT_EQ(ra.x, rb.x);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ra.value),
+            std::bit_cast<std::uint64_t>(rb.value));
+  for (const double c : ra.x) {
+    EXPECT_GE(c, -5.0);
+    EXPECT_LE(c, 5.0);
+  }
+  EXPECT_GT(ra.delta_evaluations, 0);
+}
+
+TEST(DualAnnealingBatched, IsADistinctWalkFromPerSiteDraws) {
+  const std::vector<double> lower(6, -2.0), upper(6, 2.0);
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 40;
+  options.local_search_interval = 0;  // isolate the proposal streams
+  options.seed = 31;
+  IncrementalSphere a(3), b(3);
+  const auto per_site = pa::dual_annealing(a, lower, upper, options);
+  options.batched_proposals = true;
+  const auto batched = pa::dual_annealing(b, lower, upper, options);
+  // Both are valid anneals; the batched counter-based stream is a different
+  // (fingerprint-visible) random walk, so results should not coincide.
+  EXPECT_NE(per_site.x, batched.x);
+}
+
+TEST(DualAnnealingBatched, FullVectorOverloadRejectsBatchedProposals) {
+  pa::DualAnnealingOptions options;
+  options.max_iterations = 10;
+  options.batched_proposals = true;
+  EXPECT_THROW((void)pa::dual_annealing(sphere, {-1.0, -1.0}, {1.0, 1.0},
+                                        options),
+               std::invalid_argument);
+}
+
+// --- Lean Nelder-Mead over the incremental interface ----------------------
+
+TEST(NelderMeadLean, MinimizesIncrementalSphere) {
+  IncrementalSphere objective(3);
+  const std::vector<double> lower(6, -10.0), upper(6, 10.0);
+  const auto result = pa::nelder_mead(
+      objective, {4.0, -3.0, 2.0, -1.0, 0.5, 1.5}, lower, upper);
+  EXPECT_LT(result.value, 1e-6);
+  EXPECT_GT(result.evaluations, 0);
+  ASSERT_EQ(result.x.size(), 6u);
+  for (const double c : result.x) {
+    EXPECT_GE(c, -10.0);
+    EXPECT_LE(c, 10.0);
+  }
+}
+
+TEST(NelderMeadLean, DeterministicForIdenticalInputs) {
+  const std::vector<double> lower(4, -3.0), upper(4, 3.0);
+  IncrementalSphere a(2), b(2);
+  const auto ra = pa::nelder_mead(a, {1.0, 2.0, -1.5, 0.75}, lower, upper);
+  const auto rb = pa::nelder_mead(b, {1.0, 2.0, -1.5, 0.75}, lower, upper);
+  EXPECT_EQ(ra.x, rb.x);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ra.value),
+            std::bit_cast<std::uint64_t>(rb.value));
+  EXPECT_EQ(ra.evaluations, rb.evaluations);
+}
+
+TEST(NelderMead, BothOverloadsValidateInputs) {
+  const std::vector<double> lower(2, -1.0), upper(2, 1.0);
+  // Legacy callable overload.
+  EXPECT_THROW((void)pa::nelder_mead(sphere, {}, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pa::nelder_mead(sphere, {0.0, 0.0}, {-1.0}, upper),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)pa::nelder_mead(sphere, {0.0, 0.0}, {2.0, 2.0}, {1.0, 1.0}),
+      std::invalid_argument);
+  {
+    pa::NelderMeadOptions options;
+    options.max_evaluations = 0;
+    EXPECT_THROW(
+        (void)pa::nelder_mead(sphere, {0.0, 0.0}, lower, upper, options),
+        std::invalid_argument);
+  }
+  {
+    pa::NelderMeadOptions options;
+    options.x_tolerance = 0.0;
+    EXPECT_THROW(
+        (void)pa::nelder_mead(sphere, {0.0, 0.0}, lower, upper, options),
+        std::invalid_argument);
+  }
+  {
+    pa::NelderMeadOptions options;
+    options.initial_step = -0.5;
+    EXPECT_THROW(
+        (void)pa::nelder_mead(sphere, {0.0, 0.0}, lower, upper, options),
+        std::invalid_argument);
+  }
+  // Incremental overload: same checks plus the 2 * sites() shape rule.
+  IncrementalSphere objective(2);
+  EXPECT_THROW((void)pa::nelder_mead(objective, {0.0, 0.0}, lower, upper),
+               std::invalid_argument);
+  {
+    pa::NelderMeadOptions options;
+    options.f_tolerance = -1.0;
+    EXPECT_THROW((void)pa::nelder_mead(objective,
+                                       std::vector<double>(4, 0.0),
+                                       std::vector<double>(4, -1.0),
+                                       std::vector<double>(4, 1.0), options),
+                 std::invalid_argument);
+  }
+}
+
+// --- Raced optimizer portfolio --------------------------------------------
+
+namespace {
+
+std::vector<pa::PortfolioEntrant> sphere_roster() {
+  std::vector<pa::PortfolioEntrant> entrants(4);
+  entrants[0].name = "delta";
+  entrants[0].anneal.max_iterations = 40;
+  entrants[1].name = "mc2";
+  entrants[1].anneal.max_iterations = 20;
+  entrants[1].chains = 2;
+  entrants[2].name = "nm";
+  entrants[2].polish_only = true;
+  entrants[2].anneal.local_options.max_evaluations = 400;
+  entrants[3].name = "restart";
+  entrants[3].anneal.max_iterations = 40;
+  entrants[3].fresh_start = true;
+  return entrants;
+}
+
+}  // namespace
+
+TEST(Portfolio, RejectsBadRosters) {
+  const auto make = [] { return std::make_unique<IncrementalSphere>(2); };
+  const std::vector<double> lower(4, -1.0), upper(4, 1.0);
+  pa::PortfolioOptions empty;
+  EXPECT_THROW((void)pa::race(make, lower, upper, empty),
+               std::invalid_argument);
+  pa::PortfolioOptions bad_chains;
+  bad_chains.entrants = sphere_roster();
+  bad_chains.entrants[1].chains = 0;
+  EXPECT_THROW((void)pa::race(make, lower, upper, bad_chains),
+               std::invalid_argument);
+}
+
+TEST(Portfolio, WinnerIsTheBestEntrantWithFullAccounting) {
+  const auto make = [] { return std::make_unique<IncrementalSphere>(3); };
+  const std::vector<double> lower(6, -4.0), upper(6, 4.0);
+  pa::PortfolioOptions options;
+  options.entrants = sphere_roster();
+  const auto result = pa::race(make, lower, upper, options);
+
+  ASSERT_EQ(result.entrants.size(), 4u);
+  int winners = 0;
+  for (const auto& account : result.entrants) {
+    EXPECT_FALSE(account.name.empty());
+    EXPECT_GE(account.wall_seconds, 0.0);
+    // Strict-< selection: nobody beats the recorded best.
+    EXPECT_GE(account.value, result.value);
+    if (account.winner) {
+      ++winners;
+      EXPECT_EQ(account.name, result.winner);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(account.value),
+                std::bit_cast<std::uint64_t>(result.value));
+    }
+  }
+  EXPECT_EQ(winners, 1);
+  // Aggregate spend covers every entrant, not just the winner.
+  std::int64_t evaluations = 0, deltas = 0;
+  for (const auto& account : result.entrants) {
+    evaluations += account.evaluations;
+    deltas += account.delta_evaluations;
+  }
+  EXPECT_GT(evaluations, 0);
+  EXPECT_GT(deltas, 0);
+}
+
+TEST(Portfolio, ThreadCountInvariantWinner) {
+  const auto make = [] { return std::make_unique<IncrementalSphere>(4); };
+  const std::vector<double> lower(8, -3.0), upper(8, 3.0);
+  pa::PortfolioOptions options;
+  options.entrants = sphere_roster();
+
+  options.pool = nullptr;  // sequential reference
+  const auto sequential = pa::race(make, lower, upper, options);
+
+  parallax::util::ThreadPool pool(4);
+  options.pool = &pool;
+  const auto pooled = pa::race(make, lower, upper, options);
+
+  EXPECT_EQ(sequential.winner, pooled.winner);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sequential.value),
+            std::bit_cast<std::uint64_t>(pooled.value));
+  ASSERT_EQ(sequential.x.size(), pooled.x.size());
+  for (std::size_t i = 0; i < sequential.x.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(sequential.x[i]),
+              std::bit_cast<std::uint64_t>(pooled.x[i]))
+        << "coordinate " << i;
+  }
+  ASSERT_EQ(sequential.entrants.size(), pooled.entrants.size());
+  for (std::size_t e = 0; e < sequential.entrants.size(); ++e) {
+    EXPECT_EQ(sequential.entrants[e].name, pooled.entrants[e].name);
+    EXPECT_EQ(
+        std::bit_cast<std::uint64_t>(sequential.entrants[e].value),
+        std::bit_cast<std::uint64_t>(pooled.entrants[e].value));
+    EXPECT_EQ(sequential.entrants[e].evaluations,
+              pooled.entrants[e].evaluations);
+    EXPECT_EQ(sequential.entrants[e].delta_evaluations,
+              pooled.entrants[e].delta_evaluations);
+    EXPECT_EQ(sequential.entrants[e].winner, pooled.entrants[e].winner);
+  }
+}
+
+TEST(Portfolio, FreshStartIgnoresWarmStart) {
+  // Warm-start everyone at the exact global minimum: warm entrants can only
+  // stay there, while the fresh-restart entrant must have wandered.
+  const auto make = [] { return std::make_unique<IncrementalSphere>(2); };
+  const std::vector<double> lower(4, -2.0), upper(4, 2.0);
+  pa::PortfolioOptions options;
+  options.entrants = sphere_roster();
+  for (auto& entrant : options.entrants) {
+    entrant.anneal.initial = std::vector<double>(4, 0.0);
+    entrant.anneal.local_search_interval = 0;
+    entrant.anneal.max_iterations = 5;
+  }
+  const auto result = pa::race(make, lower, upper, options);
+  EXPECT_LE(result.value, 1e-12);
+  ASSERT_EQ(result.entrants.size(), 4u);
+  EXPECT_NE(result.winner, "restart");
 }
 
 TEST(MultiChain, WinnerIsBestOfItsChains) {

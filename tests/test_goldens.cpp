@@ -75,6 +75,36 @@ TEST(Goldens, WindowCapIsFingerprintInvisibleWhenNormalized) {
             "842bb19d21fa30e04924c724d58d71a6");
 }
 
+TEST(Goldens, AnnealerModesKeyDistinctlyWithoutMovingDefaults) {
+  namespace pk = parallax::cache;
+  namespace pp = parallax::placement;
+  // Same conditional-feed contract as the window cap: batched proposals and
+  // the raced portfolio are fingerprint-visible only when enabled, so every
+  // legacy key stays byte-stable while each new mode keys its own entries.
+  const std::string legacy = "842bb19d21fa30e04924c724d58d71a6";
+  pp::GraphineOptions options;
+  options.portfolio_entrants = 0;
+  EXPECT_EQ(pk::fingerprint(options).hex(), legacy);
+
+  pp::GraphineOptions batched;
+  batched.proposal = pp::ProposalMode::kBatched;
+  const std::string batched_hex = pk::fingerprint(batched).hex();
+  EXPECT_NE(batched_hex, legacy);
+
+  pp::GraphineOptions per_qubit;
+  per_qubit.proposal = pp::ProposalMode::kPerQubit;
+  EXPECT_NE(pk::fingerprint(per_qubit).hex(), batched_hex);
+
+  pp::GraphineOptions race = batched;
+  race.portfolio_entrants = 4;
+  const std::string race_hex = pk::fingerprint(race).hex();
+  EXPECT_NE(race_hex, legacy);
+  EXPECT_NE(race_hex, batched_hex);
+
+  race.portfolio_entrants = 2;
+  EXPECT_NE(pk::fingerprint(race).hex(), race_hex);
+}
+
 TEST(Goldens, LegacyPlacementsAreByteStable) {
   namespace pb = parallax::bench_circuits;
   namespace pc = parallax::circuit;

@@ -60,7 +60,7 @@ void expect_same_result(const px::CompileResult& a,
 
 TEST(Registry, ListsBuiltinsInOrder) {
   const auto names = pt::Registry::global().names();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   EXPECT_EQ(names[0], "parallax");
   EXPECT_EQ(names[1], "eldi");
   EXPECT_EQ(names[2], "graphine");
@@ -68,6 +68,7 @@ TEST(Registry, ListsBuiltinsInOrder) {
   EXPECT_EQ(names[4], "parallax-fast");
   EXPECT_EQ(names[5], "parallax-mc4");
   EXPECT_EQ(names[6], "graphine-mc4");
+  EXPECT_EQ(names[7], "parallax-race");
   for (const auto& name : names) {
     EXPECT_TRUE(pt::Registry::global().contains(name));
     EXPECT_FALSE(pt::Registry::global().info(name).description.empty());
